@@ -1,0 +1,223 @@
+//! The Section 6 "Claim" construction: monitoring the **committed**
+//! history with an automaton that reads the **full** history.
+//!
+//! > *Claim: Any event expression `E` made with respect to operations of
+//! > only committed transactions, with an object scope, can be converted
+//! > into an event expression with respect to the whole history,
+//! > including the operations of aborted transactions.*
+//!
+//! The proof converts the detection automaton `A` into `A'` whose states
+//! are pairs `(a, b)` of `A`-states: `a` is the state `A` "is really in"
+//! (assuming the running transaction commits) and `b` is the state `A`
+//! was in before the most recent `after tbegin`. On `after tcommit` the
+//! snapshot is refreshed; on `after tabort` the automaton rolls back to
+//! the snapshot, expunging every event of the aborted transaction —
+//! including its own `tbegin` marker — from the committed view.
+//!
+//! This mirrors the two implementation options the paper describes: an
+//! automaton state stored *inside* the object (restored by transaction
+//! rollback — the committed view) versus stored *outside* it (never
+//! restored — the full-history view). `A'` lets an implementation keep
+//! the state outside the object and still monitor the committed view.
+
+use std::collections::HashMap;
+
+use crate::dfa::Dfa;
+use crate::{StateId, Symbol};
+
+/// Transaction-marker symbols used by [`committed_view`].
+#[derive(Clone, Copy, Debug)]
+pub struct TxnSymbols {
+    /// The `after tbegin` symbol.
+    pub tbegin: Symbol,
+    /// The `after tcommit` symbol.
+    pub tcommit: Symbol,
+    /// The `after tabort` symbol.
+    pub tabort: Symbol,
+}
+
+/// Build `A'` from `A` per the Section 6 pair construction. Only
+/// reachable pairs are materialized, so the result has at most
+/// `|Q|²` states (the bound the paper's proof implies) and usually far
+/// fewer.
+///
+/// Assumptions (the paper's): object-level locking, so the events a
+/// single object observes from different transactions never interleave —
+/// each object sees `… tbegin (ops)* (tcommit | tabort) …` well
+/// nested-free sequences. The construction is still total on arbitrary
+/// inputs (stray commits/aborts refresh or restore the snapshot), but the
+/// equivalence guarantee only holds for well-formed histories.
+pub fn committed_view(a: &Dfa, syms: TxnSymbols) -> Dfa {
+    let k = a.alphabet_len();
+    assert!((syms.tbegin as usize) < k);
+    assert!((syms.tcommit as usize) < k);
+    assert!((syms.tabort as usize) < k);
+
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut table: Vec<StateId> = Vec::new();
+
+    let start = (a.start(), a.start());
+    index.insert(start, 0);
+    pairs.push(start);
+    accepting.push(a.is_accepting(a.start()));
+    table.resize(k, 0);
+
+    let mut next = 0usize;
+    while next < pairs.len() {
+        let (q, p) = pairs[next];
+        for sym in 0..k as Symbol {
+            let target = if sym == syms.tbegin {
+                // Snapshot the pre-tbegin state so an abort also expunges
+                // the tbegin marker itself from the committed view.
+                (a.step(q, sym), q)
+            } else if sym == syms.tcommit {
+                let r = a.step(q, sym);
+                (r, r)
+            } else if sym == syms.tabort {
+                (p, p)
+            } else {
+                (a.step(q, sym), p)
+            };
+            let id = *index.entry(target).or_insert_with(|| {
+                let id = pairs.len() as StateId;
+                pairs.push(target);
+                accepting.push(a.is_accepting(target.0));
+                table.resize(table.len() + k, 0);
+                id
+            });
+            table[next * k + sym as usize] = id;
+        }
+        next += 1;
+    }
+
+    Dfa::from_parts(k, 0, accepting, table)
+}
+
+/// Project a full history down to its committed view: drop every event of
+/// an aborted transaction (including its `tbegin`/`tabort` markers);
+/// events of the currently-open transaction are *kept* (they are
+/// provisionally committed, matching the optimistic `a`-component of the
+/// pair construction). Used by tests and benches as the reference
+/// "filter-then-run-A" implementation.
+pub fn committed_filter(history: &[Symbol], syms: TxnSymbols) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
+    let mut txn_start: Option<usize> = None; // index in `out` of current tbegin
+    for &sym in history {
+        if sym == syms.tbegin {
+            txn_start = Some(out.len());
+            out.push(sym);
+        } else if sym == syms.tabort {
+            if let Some(s) = txn_start.take() {
+                out.truncate(s);
+            }
+        } else if sym == syms.tcommit {
+            out.push(sym);
+            txn_start = None;
+        } else {
+            out.push(sym);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determinize, Nfa};
+
+    // Alphabet: 0 = a (an update), 1 = tbegin, 2 = tcommit, 3 = tabort.
+    const SY: TxnSymbols = TxnSymbols {
+        tbegin: 1,
+        tcommit: 2,
+        tabort: 3,
+    };
+
+    fn atom_a() -> Dfa {
+        determinize(&Nfa::ends_with(4, &[0]))
+    }
+
+    /// `relative(a, a)` — two a's, committed view.
+    fn two_as() -> Dfa {
+        determinize(&Nfa::ends_with(4, &[0]).concat(&Nfa::ends_with(4, &[0])))
+    }
+
+    #[test]
+    fn aborted_updates_are_expunged() {
+        let ap = committed_view(&two_as(), SY);
+        // txn1 does an `a` then aborts; txn2 does one `a` then commits:
+        // committed view has only ONE a — must not accept.
+        let h = [1, 0, 3, 1, 0];
+        assert!(!ap.run(h.iter().copied()));
+        // and the filter agrees:
+        let f = committed_filter(&h, SY);
+        assert!(!two_as().run(f.iter().copied()));
+        // but two committed a's do fire
+        let h2 = [1, 0, 2, 1, 0];
+        assert!(ap.run(h2.iter().copied()));
+    }
+
+    #[test]
+    fn open_transaction_counts_provisionally() {
+        let ap = committed_view(&atom_a(), SY);
+        // `a` inside a still-open transaction: provisional occurrence.
+        assert!(ap.run([1, 0].iter().copied()));
+        // …and if that txn aborts, a later check shows no occurrence.
+        let s = ap.run_to_state([1, 0, 3].iter().copied());
+        assert!(!ap.is_accepting(s));
+    }
+
+    #[test]
+    fn abort_expunges_tbegin_marker_too() {
+        // Event = committed-view occurrence of tbegin itself.
+        let tb = determinize(&Nfa::ends_with(4, &[1]));
+        let ap = committed_view(&tb, SY);
+        let s = ap.run_to_state([1, 3].iter().copied());
+        // after the abort, the committed view contains no tbegin at all
+        assert!(!ap.is_accepting(s));
+        let f = committed_filter(&[1, 3], SY);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn state_count_is_bounded_by_square() {
+        let a = two_as();
+        let ap = committed_view(&a, SY);
+        assert!(ap.num_states() <= a.num_states() * a.num_states());
+    }
+
+    #[test]
+    fn matches_filter_on_random_histories() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = two_as();
+        let ap = committed_view(&a, SY);
+        for trial in 0..200 {
+            // Generate a well-formed history: sequence of committed or
+            // aborted transactions, each with 0..4 `a` operations.
+            let mut h: Vec<Symbol> = Vec::new();
+            for _ in 0..rng.random_range(0..6) {
+                h.push(SY.tbegin);
+                let ops = rng.random_range(0..4);
+                h.extend(std::iter::repeat_n(0, ops));
+                h.push(if rng.random_bool(0.4) {
+                    SY.tabort
+                } else {
+                    SY.tcommit
+                });
+            }
+            // Check agreement at EVERY prefix, not just the end.
+            for cut in 0..=h.len() {
+                let prefix = &h[..cut];
+                let full = ap.run(prefix.iter().copied());
+                let filtered = committed_filter(prefix, SY);
+                let reference = a.run(filtered.iter().copied());
+                assert_eq!(
+                    full, reference,
+                    "trial {trial}, prefix {prefix:?}, filtered {filtered:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Counting products implementing the paper's `choose n (E)` and
+//! `every n (E)` operators (Section 3.4).
+//!
+//! Both operators select occurrences of a component event by ordinal:
+//!
+//! * `choose 5 (after tcommit)` — "posted by the commit of the *fifth*
+//!   transaction" (exactly the 5th occurrence, once).
+//! * `every 5 (after tcommit)` — "the 5th, the 10th, the 15th, …".
+//!
+//! An *occurrence* of `E` at point `p` of history `H` means the prefix
+//! `H[..=p]` lies in the occurrence language `O(E)`. Occurrences are
+//! counted from the beginning of the evaluation context, so both
+//! operators are products of the DFA for `O(E)` with a (bounded or
+//! modular) counter.
+
+use crate::dfa::Dfa;
+use crate::{StateId, Symbol};
+
+/// `choose n (E)`: accepts a history iff its last point is the `n`-th
+/// occurrence of `E` (1-indexed). Requires `n >= 1`.
+///
+/// States are pairs `(q, c)` where `q` is a state of `inner` and
+/// `c ∈ 0..=n` counts occurrences seen so far, saturating at `n + 1`
+/// (collapsed into a dead state — once more than `n` occurrences have
+/// happened the event can never occur again).
+pub fn choose_product(inner: &Dfa, n: u32) -> Dfa {
+    assert!(n >= 1, "choose requires a positive occurrence index");
+    bounded_count(inner, n, CountMode::Exactly)
+}
+
+/// `every n (E)`: accepts a history iff its last point is an occurrence of
+/// `E` whose ordinal is a positive multiple of `n`. Requires `n >= 1`.
+pub fn every_product(inner: &Dfa, n: u32) -> Dfa {
+    assert!(n >= 1, "every requires a positive period");
+    if n == 1 {
+        return inner.clone();
+    }
+    let k = inner.alphabet_len();
+    let nn = n as usize;
+    let ns = inner.num_states();
+    // State (q, c): c = occurrences so far mod n.
+    let id = |q: StateId, c: usize| -> StateId { (q as usize * nn + c) as StateId };
+    let mut accepting = vec![false; ns * nn];
+    let mut table = vec![0 as StateId; ns * nn * k];
+    for q in 0..ns as StateId {
+        for c in 0..nn {
+            for sym in 0..k as Symbol {
+                let q2 = inner.step(q, sym);
+                let c2 = if inner.is_accepting(q2) {
+                    (c + 1) % nn
+                } else {
+                    c
+                };
+                table[(id(q, c) as usize) * k + sym as usize] = id(q2, c2);
+                if inner.is_accepting(q2) && c2 == 0 {
+                    accepting[id(q2, c2) as usize] = true;
+                }
+            }
+        }
+    }
+    // Acceptance is a property of the *target* state (q2 accepting and the
+    // count having just wrapped to 0); recompute cleanly to avoid relying
+    // on reachability of the marking loop above.
+    for q in 0..ns as StateId {
+        for c in 0..nn {
+            accepting[id(q, c) as usize] = inner.is_accepting(q) && c == 0;
+        }
+    }
+    // But (q accepting, c == 0) also describes the start state when the
+    // inner DFA accepts ε — impossible for occurrence languages, yet the
+    // start state must not accept ε by fiat: occurrence counting starts
+    // at zero occurrences.
+    let start = id(inner.start(), 0);
+    let mut d = Dfa::from_parts(k, start, accepting, table);
+    if inner.is_accepting(inner.start()) {
+        // Defensive: never accept ε.
+        d = d.intersect(&crate::determinize(&crate::Nfa::sigma_plus(k)));
+    }
+    d.trim_unreachable()
+}
+
+enum CountMode {
+    Exactly,
+}
+
+fn bounded_count(inner: &Dfa, n: u32, _mode: CountMode) -> Dfa {
+    let k = inner.alphabet_len();
+    let nn = n as usize;
+    let ns = inner.num_states();
+    // Counter values 0..=n, plus n+1 = "overflowed" (dead for acceptance).
+    let width = nn + 2;
+    let id = |q: StateId, c: usize| -> StateId { (q as usize * width + c) as StateId };
+    let mut accepting = vec![false; ns * width];
+    let mut table = vec![0 as StateId; ns * width * k];
+    for q in 0..ns as StateId {
+        for c in 0..width {
+            for sym in 0..k as Symbol {
+                let q2 = inner.step(q, sym);
+                let c2 = if inner.is_accepting(q2) {
+                    (c + 1).min(nn + 1)
+                } else {
+                    c
+                };
+                table[(id(q, c) as usize) * k + sym as usize] = id(q2, c2);
+            }
+            accepting[id(q, c) as usize] = inner.is_accepting(q) && c == nn;
+        }
+    }
+    let start_c = usize::from(inner.is_accepting(inner.start()));
+    let start = id(inner.start(), start_c.min(nn + 1));
+    Dfa::from_parts(k, start, accepting, table).trim_unreachable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determinize, minimize, Nfa};
+
+    /// DFA for the occurrence language of logical event `a` over {a, b}.
+    fn atom() -> Dfa {
+        determinize(&Nfa::ends_with(2, &[0]))
+    }
+
+    #[test]
+    fn choose_selects_exactly_nth() {
+        let d = choose_product(&atom(), 3);
+        // third `a` fires, nothing else
+        assert!(!d.run([0]));
+        assert!(!d.run([0, 0]));
+        assert!(d.run([0, 0, 0]));
+        assert!(d.run([0, 1, 0, 1, 0]));
+        assert!(!d.run([0, 0, 0, 0])); // 4th does not fire
+        assert!(!d.run([0, 0, 0, 1])); // not at a non-occurrence point
+    }
+
+    #[test]
+    fn choose_one_is_first_occurrence() {
+        let d = choose_product(&atom(), 1);
+        assert!(d.run([0]));
+        assert!(d.run([1, 1, 0]));
+        assert!(!d.run([0, 0]));
+    }
+
+    #[test]
+    fn every_selects_multiples() {
+        let d = every_product(&atom(), 2);
+        assert!(!d.run([0]));
+        assert!(d.run([0, 0]));
+        assert!(!d.run([0, 0, 0]));
+        assert!(d.run([0, 0, 0, 0]));
+        assert!(d.run([1, 0, 1, 0, 1, 0, 0])); // 4th a
+    }
+
+    #[test]
+    fn every_one_is_identity() {
+        let d = every_product(&atom(), 1);
+        assert!(d.equivalent(&atom()));
+    }
+
+    #[test]
+    fn choose_of_composite_counts_composite_occurrences() {
+        // inner = relative(a, b) = Σ*aΣ*b; its occurrences are b-points
+        // preceded by an a. choose 2 selects the second such point.
+        let inner = determinize(&Nfa::ends_with(2, &[0]).concat(&Nfa::ends_with(2, &[1])));
+        let d = choose_product(&inner, 2);
+        assert!(!d.run([0, 1]));
+        assert!(d.run([0, 1, 1]));
+        assert!(!d.run([0, 1, 1, 1]));
+        assert!(!d.run([1, 1]));
+    }
+
+    #[test]
+    fn counting_products_minimize_cleanly() {
+        let d = minimize(&choose_product(&atom(), 4));
+        // states: count 0..4 plus dead — minimal is 6
+        assert_eq!(d.num_states(), 6);
+        let e = minimize(&every_product(&atom(), 4));
+        // modular counter: counts 1..3 merged across "just saw a" flags,
+        // plus the two distinguishable count-0 states (at an occurrence /
+        // not at one) — 5 states total.
+        assert_eq!(e.num_states(), 5);
+    }
+
+    #[test]
+    fn every_never_accepts_empty() {
+        let d = every_product(&atom(), 2);
+        assert!(!d.run([]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn choose_zero_panics() {
+        let _ = choose_product(&atom(), 0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Deterministic finite automata with dense, *complete* transition tables.
+//!
+//! A `Dfa` is the runtime artifact of event compilation: the transition
+//! table is shared per trigger definition (per class), and each
+//! object-trigger pair stores only the current [`crate::StateId`] — the
+//! "one word" of monitoring state promised in Section 5 of the paper.
+
+use crate::nfa::Nfa;
+use crate::{StateId, Symbol};
+
+/// A complete DFA: every state has a transition on every symbol, so
+/// stepping never fails and detection is a single table lookup per posted
+/// event.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    alphabet_len: usize,
+    start: StateId,
+    accepting: Vec<bool>,
+    /// Row-major `num_states × alphabet_len` table.
+    table: Vec<StateId>,
+}
+
+impl Dfa {
+    /// Build from parts. `table.len()` must equal
+    /// `accepting.len() * alphabet_len`.
+    pub fn from_parts(
+        alphabet_len: usize,
+        start: StateId,
+        accepting: Vec<bool>,
+        table: Vec<StateId>,
+    ) -> Self {
+        assert_eq!(table.len(), accepting.len() * alphabet_len);
+        assert!((start as usize) < accepting.len());
+        debug_assert!(table.iter().all(|&t| (t as usize) < accepting.len()));
+        Dfa {
+            alphabet_len,
+            start,
+            accepting,
+            table,
+        }
+    }
+
+    /// The single-state DFA rejecting everything.
+    pub fn reject(alphabet_len: usize) -> Self {
+        Dfa {
+            alphabet_len,
+            start: 0,
+            accepting: vec![false],
+            table: vec![0; alphabet_len],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `state` is accepting — i.e. whether the composite event has
+    /// just occurred when the monitor sits in `state`.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// One detection step: a single table lookup.
+    #[inline]
+    pub fn step(&self, state: StateId, sym: Symbol) -> StateId {
+        debug_assert!((sym as usize) < self.alphabet_len);
+        self.table[state as usize * self.alphabet_len + sym as usize]
+    }
+
+    /// Run the automaton over a word from the start state, returning the
+    /// final state.
+    pub fn run_to_state(&self, word: impl IntoIterator<Item = Symbol>) -> StateId {
+        let mut s = self.start;
+        for sym in word {
+            s = self.step(s, sym);
+        }
+        s
+    }
+
+    /// Whole-word acceptance test.
+    pub fn run(&self, word: impl IntoIterator<Item = Symbol>) -> bool {
+        self.is_accepting(self.run_to_state(word))
+    }
+
+    /// Product construction. `combine` decides acceptance of a pair state
+    /// from the two component acceptances; this yields intersection
+    /// (`&&`), union (`||`), difference (`a && !b`), or symmetric
+    /// difference as needed. Only reachable pairs are materialized.
+    pub fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "cannot combine automata over different alphabets"
+        );
+        let k = self.alphabet_len;
+        let mut index = std::collections::HashMap::new();
+        let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+        let mut table: Vec<StateId> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        let start_pair = (self.start, other.start);
+        index.insert(start_pair, 0 as StateId);
+        pairs.push(start_pair);
+        accepting.push(combine(
+            self.is_accepting(self.start),
+            other.is_accepting(other.start),
+        ));
+        table.resize(k, 0);
+
+        let mut next_unprocessed = 0usize;
+        while next_unprocessed < pairs.len() {
+            let (a, b) = pairs[next_unprocessed];
+            for sym in 0..k as Symbol {
+                let ta = self.step(a, sym);
+                let tb = other.step(b, sym);
+                let id = *index.entry((ta, tb)).or_insert_with(|| {
+                    let id = pairs.len() as StateId;
+                    pairs.push((ta, tb));
+                    accepting.push(combine(self.is_accepting(ta), other.is_accepting(tb)));
+                    table.resize(table.len() + k, 0);
+                    id
+                });
+                table[next_unprocessed * k + sym as usize] = id;
+            }
+            next_unprocessed += 1;
+        }
+        Dfa {
+            alphabet_len: k,
+            start: 0,
+            accepting,
+            table,
+        }
+    }
+
+    /// Language intersection — the paper's `E & F` operator.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Language union — the paper's `E | F` operator.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Language difference `L(self) \ L(other)` (used by the `fa`
+    /// operator's "no intervening G" construction).
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    /// Complement with respect to `Σ*` (flip every acceptance bit —
+    /// correct because the table is complete).
+    pub fn complement_sigma_star(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accepting {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Complement with respect to `Σ⁺` — the paper's `!E` operator
+    /// (Section 4 item 5): a point is labelled by `!E` exactly when it is
+    /// not labelled by `E`, so the occurrence language is all *nonempty*
+    /// histories outside `L(self)`. Occurrence languages never contain ε,
+    /// and neither may their complements.
+    pub fn complement_sigma_plus(&self) -> Dfa {
+        let sigma_plus = crate::determinize(&Nfa::sigma_plus(self.alphabet_len));
+        self.complement_sigma_star().intersect(&sigma_plus)
+    }
+
+    /// Is the recognized language empty? (Reachability of an accepting
+    /// state.)
+    pub fn is_empty_language(&self) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            if self.is_accepting(s) {
+                return false;
+            }
+            for sym in 0..self.alphabet_len as Symbol {
+                let t = self.step(s, sym);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Language equivalence: `L(self) == L(other)` iff the symmetric
+    /// difference is empty. Used by tests to validate rewrite laws such as
+    /// `prior+(E) ≡ E` (Section 3.4) and minimization correctness.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.product(other, |a, b| a != b).is_empty_language()
+    }
+
+    /// View this DFA as an NFA (no ε-transitions), so DFA-only results
+    /// (complements, products, counting automata) can re-enter NFA
+    /// compositions such as concatenation — the event compiler alternates
+    /// between the two representations.
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::builder(self.alphabet_len);
+        for s in 0..self.num_states() as StateId {
+            let id = nfa.add_state(self.is_accepting(s));
+            debug_assert_eq!(id, s);
+        }
+        for s in 0..self.num_states() as StateId {
+            for sym in 0..self.alphabet_len as Symbol {
+                nfa.add_transition(s, sym, self.step(s, sym));
+            }
+        }
+        nfa.set_start(self.start);
+        nfa
+    }
+
+    /// A shortest accepted word, if any — handy for debugging and for
+    /// error messages ("this event can never occur"). BFS over states.
+    pub fn shortest_accepted(&self) -> Option<Vec<Symbol>> {
+        use std::collections::VecDeque;
+        let mut prev: Vec<Option<(StateId, Symbol)>> = vec![None; self.num_states()];
+        let mut seen = vec![false; self.num_states()];
+        let mut q = VecDeque::new();
+        q.push_back(self.start);
+        seen[self.start as usize] = true;
+        let mut found = if self.is_accepting(self.start) {
+            Some(self.start)
+        } else {
+            None
+        };
+        'bfs: while let Some(s) = q.pop_front() {
+            if found.is_some() {
+                break;
+            }
+            for sym in 0..self.alphabet_len as Symbol {
+                let t = self.step(s, sym);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    prev[t as usize] = Some((s, sym));
+                    if self.is_accepting(t) {
+                        found = Some(t);
+                        break 'bfs;
+                    }
+                    q.push_back(t);
+                }
+            }
+        }
+        let mut state = found?;
+        let mut word = Vec::new();
+        while let Some((p, sym)) = prev[state as usize] {
+            word.push(sym);
+            state = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Restrict to states reachable from the start, renumbering densely.
+    pub fn trim_unreachable(&self) -> Dfa {
+        let mut map = vec![crate::NO_STATE; self.num_states()];
+        let mut order: Vec<StateId> = Vec::new();
+        let mut stack = vec![self.start];
+        map[self.start as usize] = 0;
+        order.push(self.start);
+        while let Some(s) = stack.pop() {
+            for sym in 0..self.alphabet_len as Symbol {
+                let t = self.step(s, sym);
+                if map[t as usize] == crate::NO_STATE {
+                    map[t as usize] = order.len() as StateId;
+                    order.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        let k = self.alphabet_len;
+        let mut accepting = Vec::with_capacity(order.len());
+        let mut table = Vec::with_capacity(order.len() * k);
+        for &old in &order {
+            accepting.push(self.is_accepting(old));
+            for sym in 0..k as Symbol {
+                table.push(map[self.step(old, sym) as usize]);
+            }
+        }
+        Dfa {
+            alphabet_len: k,
+            start: 0,
+            accepting,
+            table,
+        }
+    }
+
+    /// Iterate accepting flags (used by minimization).
+    pub(crate) fn accepting_slice(&self) -> &[bool] {
+        &self.accepting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determinize, Nfa};
+
+    fn ends_with(alphabet: usize, sym: Symbol) -> Dfa {
+        determinize(&Nfa::ends_with(alphabet, &[sym]))
+    }
+
+    #[test]
+    fn reject_rejects() {
+        let d = Dfa::reject(2);
+        assert!(!d.run([]));
+        assert!(!d.run([0, 1]));
+        assert!(d.is_empty_language());
+    }
+
+    #[test]
+    fn intersect_requires_both() {
+        // ends with a AND contains b somewhere before: Σ*a ∩ Σ*bΣ*a
+        let a = ends_with(2, 0);
+        let contains_b_then_a = determinize(
+            &Nfa::sigma_star(2)
+                .concat(&Nfa::symbol(2, 1))
+                .concat(&Nfa::ends_with(2, &[0])),
+        );
+        let d = a.intersect(&contains_b_then_a);
+        assert!(d.run([1, 0]));
+        assert!(!d.run([0]));
+        assert!(!d.run([1]));
+    }
+
+    #[test]
+    fn union_accepts_either() {
+        let d = ends_with(2, 0).union(&ends_with(2, 1));
+        assert!(d.run([0]));
+        assert!(d.run([1]));
+        assert!(!d.run([]));
+    }
+
+    #[test]
+    fn difference_removes() {
+        // ends-with-a minus (a as the only symbol) = Σ⁺aΣ*a-ish check
+        let a = ends_with(2, 0);
+        let only_a = determinize(&Nfa::symbol(2, 0));
+        let d = a.difference(&only_a);
+        assert!(!d.run([0]));
+        assert!(d.run([0, 0]));
+        assert!(d.run([1, 0]));
+    }
+
+    #[test]
+    fn complement_sigma_plus_excludes_epsilon() {
+        let a = ends_with(2, 0);
+        let not_a = a.complement_sigma_plus();
+        assert!(!not_a.run([])); // ε never in an occurrence language
+        assert!(!not_a.run([0]));
+        assert!(not_a.run([1]));
+        assert!(not_a.run([0, 1]));
+    }
+
+    #[test]
+    fn double_complement_is_identity_on_sigma_plus() {
+        let a = ends_with(3, 1);
+        let back = a.complement_sigma_plus().complement_sigma_plus();
+        assert!(back.equivalent(&a));
+    }
+
+    #[test]
+    fn equivalent_detects_difference() {
+        let a = ends_with(2, 0);
+        let b = ends_with(2, 1);
+        assert!(!a.equivalent(&b));
+        assert!(a.equivalent(&a.clone()));
+    }
+
+    #[test]
+    fn shortest_accepted_finds_minimal_witness() {
+        let d = ends_with(2, 1);
+        assert_eq!(d.shortest_accepted(), Some(vec![1]));
+        assert_eq!(Dfa::reject(2).shortest_accepted(), None);
+    }
+
+    #[test]
+    fn trim_unreachable_preserves_language() {
+        // Build a DFA with an unreachable state by hand.
+        let d = Dfa::from_parts(
+            1,
+            0,
+            vec![false, true, true],
+            vec![
+                1, // 0 --0--> 1
+                1, // 1 --0--> 1
+                2, // 2 --0--> 2 (unreachable)
+            ],
+        );
+        let t = d.trim_unreachable();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.equivalent(&d));
+    }
+
+    #[test]
+    fn to_nfa_round_trip_preserves_language() {
+        let d = ends_with(2, 0).complement_sigma_plus();
+        let back = determinize(&d.to_nfa());
+        assert!(back.equivalent(&d));
+    }
+
+    #[test]
+    fn run_to_state_steps_correctly() {
+        let d = ends_with(2, 0);
+        let s = d.run_to_state([1, 1, 0]);
+        assert!(d.is_accepting(s));
+        let s2 = d.step(s, 1);
+        assert!(!d.is_accepting(s2));
+    }
+}

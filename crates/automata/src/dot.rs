@@ -1,0 +1,84 @@
+//! Graphviz (DOT) export for automata — debugging aid and documentation
+//! generator (the `event_explorer` example prints these).
+
+use std::fmt::Write as _;
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::Symbol;
+
+/// Render a DFA as a DOT digraph. `symbol_name` maps alphabet symbols to
+/// labels (pass `|s| format!("s{s}")` if you have none).
+pub fn dfa_to_dot(dfa: &Dfa, symbol_name: impl Fn(Symbol) -> String) -> String {
+    let mut out = String::new();
+    out.push_str("digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> q{};", dfa.start());
+    for s in 0..dfa.num_states() as u32 {
+        if dfa.is_accepting(s) {
+            let _ = writeln!(out, "  q{s} [shape=doublecircle];");
+        }
+    }
+    // Group parallel edges: (from, to) -> label list.
+    for s in 0..dfa.num_states() as u32 {
+        let mut by_target: std::collections::BTreeMap<u32, Vec<String>> = Default::default();
+        for sym in 0..dfa.alphabet_len() as Symbol {
+            by_target
+                .entry(dfa.step(s, sym))
+                .or_default()
+                .push(symbol_name(sym));
+        }
+        for (t, labels) in by_target {
+            let _ = writeln!(out, "  q{s} -> q{t} [label=\"{}\"];", labels.join(","));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an NFA as a DOT digraph (ε-edges drawn dashed).
+pub fn nfa_to_dot(nfa: &Nfa, symbol_name: impl Fn(Symbol) -> String) -> String {
+    let mut out = String::new();
+    out.push_str("digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> q{};", nfa.start());
+    for (id, st) in nfa.states() {
+        if st.accepting {
+            let _ = writeln!(out, "  q{id} [shape=doublecircle];");
+        }
+        for &t in &st.eps {
+            let _ = writeln!(out, "  q{id} -> q{t} [label=\"ε\", style=dashed];");
+        }
+        for &(sym, t) in &st.trans {
+            let _ = writeln!(out, "  q{id} -> q{t} [label=\"{}\"];", symbol_name(sym));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determinize, Nfa};
+
+    #[test]
+    fn dfa_dot_mentions_all_states() {
+        let d = determinize(&Nfa::ends_with(2, &[0]));
+        let dot = dfa_to_dot(&d, |s| format!("s{s}"));
+        assert!(dot.starts_with("digraph dfa {"));
+        for s in 0..d.num_states() {
+            assert!(dot.contains(&format!("q{s}")), "missing q{s} in:\n{dot}");
+        }
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn nfa_dot_draws_epsilon_dashed() {
+        let n = Nfa::symbol(2, 0).union(&Nfa::symbol(2, 1));
+        let dot = nfa_to_dot(&n, |s| format!("s{s}"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("label=\"s0\""));
+        assert!(dot.contains("label=\"s1\""));
+    }
+}

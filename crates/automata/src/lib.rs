@@ -1,0 +1,107 @@
+//! # ode-automata
+//!
+//! A self-contained finite-automata toolkit built for *composite-event
+//! detection* in an active object-oriented database, reproducing the
+//! implementation strategy of Gehani, Jagadish & Shmueli, *"Event
+//! Specification in an Active Object-Oriented Database"* (SIGMOD 1992),
+//! Section 5.
+//!
+//! The paper compiles composite-event expressions — whose expressive power
+//! is exactly that of regular expressions over strings of logical events
+//! (Section 4) — into finite automata so that "event detection is
+//! particularly efficient": one shared transition table per trigger
+//! definition, and **one word of state per active trigger per object**.
+//!
+//! This crate provides everything that compilation pipeline needs:
+//!
+//! * [`Nfa`] — nondeterministic automata with ε-transitions and the
+//!   standard language constructors (union, concatenation, Kleene
+//!   star/plus, `Σ*`, `Σ⁺`, suffix languages).
+//! * [`Dfa`] — deterministic automata with *complete* transition tables,
+//!   boolean language operations (intersection, union, difference,
+//!   complement), emptiness, and language-equivalence checks.
+//! * [`subset::determinize`] — subset construction.
+//! * [`minimize::minimize`] — Hopcroft partition-refinement minimization.
+//! * [`counting`] — the counting products implementing the paper's
+//!   `choose n (E)` and `every n (E)` operators (Section 3.4).
+//! * [`regex`] — a regular-expression AST with Thompson construction and
+//!   DFA → regex state elimination, used to validate the Section 4 claim
+//!   that event expressions and regular expressions are equi-expressive.
+//! * [`committed`] — the Section 6 "Claim" construction: given an
+//!   automaton `A` over the full event history, build `A'` whose states
+//!   are pairs of `A`-states and which tracks the history *as if aborted
+//!   transactions never happened*.
+//! * [`dot`] — Graphviz export for debugging and documentation.
+//!
+//! Symbols are plain `u32` indices into an alphabet owned by the caller
+//! (the `ode-core` crate maps logical events — basic events refined by
+//! mask minterms — onto this dense symbol space).
+
+pub mod committed;
+pub mod counting;
+pub mod dfa;
+pub mod dot;
+pub mod minimize;
+pub mod nfa;
+pub mod regex;
+pub mod subset;
+
+pub use committed::committed_view;
+pub use counting::{choose_product, every_product};
+pub use dfa::Dfa;
+pub use minimize::minimize;
+pub use nfa::Nfa;
+pub use regex::{dfa_to_regex, Regex};
+pub use subset::determinize;
+
+/// Identifier of an automaton state. Also the "one word" of monitoring
+/// state the paper stores per active trigger per object (Section 5).
+pub type StateId = u32;
+
+/// A symbol of the input alphabet: one *logical event* (a basic event
+/// refined by a mask minterm; see `ode-core`). Logical events are required
+/// to be pairwise disjoint (Section 5), so every posted basic event maps to
+/// exactly one symbol.
+pub type Symbol = u32;
+
+/// Sentinel for "no state" in sparse tables.
+pub const NO_STATE: StateId = StateId::MAX;
+
+/// Convert a `Dfa` into an equivalent minimal `Dfa` via determinization of
+/// the given NFA followed by Hopcroft minimization. This is the pipeline
+/// entry point used by the event-expression compiler.
+pub fn nfa_to_min_dfa(nfa: &Nfa) -> Dfa {
+    minimize(&determinize(nfa))
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+
+    /// End-to-end: `Σ*a` over a 2-symbol alphabet compiles to a 2-state
+    /// minimal DFA.
+    #[test]
+    fn ends_with_symbol_min_dfa() {
+        let nfa = Nfa::ends_with(2, &[0]);
+        let dfa = nfa_to_min_dfa(&nfa);
+        assert_eq!(dfa.num_states(), 2);
+        assert!(dfa.run([0].iter().copied()));
+        assert!(dfa.run([1, 0].iter().copied()));
+        assert!(!dfa.run([0, 1].iter().copied()));
+        assert!(!dfa.run([].iter().copied()));
+    }
+
+    /// `O(relative(a, b)) = Σ*a · Σ*b`: accepts exactly strings whose last
+    /// symbol is `b` with at least one earlier `a`.
+    #[test]
+    fn relative_as_concatenation() {
+        let a = Nfa::ends_with(2, &[0]);
+        let b = Nfa::ends_with(2, &[1]);
+        let dfa = nfa_to_min_dfa(&a.concat(&b));
+        assert!(dfa.run([0, 1].iter().copied()));
+        assert!(dfa.run([1, 0, 1, 1].iter().copied()));
+        assert!(!dfa.run([1, 1].iter().copied()));
+        assert!(!dfa.run([0].iter().copied()));
+        assert!(!dfa.run([1, 0].iter().copied()));
+    }
+}

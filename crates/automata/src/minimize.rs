@@ -1,0 +1,284 @@
+//! DFA minimization via Hopcroft's partition-refinement algorithm.
+//!
+//! Minimization matters for the paper's storage claim (Section 5): the
+//! class-level transition table is shared by every object, and the minimal
+//! automaton keeps that table — and the state space the per-object word
+//! ranges over — as small as the language allows.
+
+use crate::dfa::Dfa;
+use crate::{StateId, Symbol};
+
+/// Produce the minimal DFA recognizing the same language. Unreachable
+/// states are removed first; states are then merged by
+/// Hopcroft-equivalence.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let dfa = dfa.trim_unreachable();
+    let n = dfa.num_states();
+    let k = dfa.alphabet_len();
+    if n <= 1 {
+        return dfa;
+    }
+
+    // Precompute reverse transitions: rev[sym][target] = sources.
+    let mut rev: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); n]; k];
+    for s in 0..n as StateId {
+        for sym in 0..k as Symbol {
+            let t = dfa.step(s, sym);
+            rev[sym as usize][t as usize].push(s);
+        }
+    }
+
+    // Partition state: block id per state, plus block membership lists.
+    let accepting = dfa.accepting_slice();
+    let mut block_of: Vec<u32> = accepting.iter().map(|&a| u32::from(a)).collect();
+    let mut blocks: Vec<Vec<StateId>> = vec![Vec::new(), Vec::new()];
+    for (s, &b) in block_of.iter().enumerate() {
+        blocks[b as usize].push(s as StateId);
+    }
+    // Drop an empty initial block (all-accepting or none-accepting DFAs).
+    if blocks[1].is_empty() {
+        blocks.pop();
+    } else if blocks[0].is_empty() {
+        blocks.swap_remove(0);
+        block_of.fill(0);
+    }
+
+    // Worklist of (block, symbol) splitters.
+    let mut work: Vec<(u32, Symbol)> = Vec::new();
+    for sym in 0..k as Symbol {
+        // Use the smaller block as the initial splitter for each symbol.
+        let b = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
+            1
+        } else {
+            0
+        };
+        work.push((b, sym));
+        if blocks.len() == 2 {
+            work.push((1 - b, sym));
+        }
+    }
+
+    let mut in_splitter = vec![false; n];
+    let mut touched_blocks: Vec<u32> = Vec::new();
+    let mut moved: Vec<Vec<StateId>> = Vec::new(); // scratch per touched block
+
+    while let Some((splitter, sym)) = work.pop() {
+        // Mark predecessors of the splitter block under `sym`.
+        let mut pred: Vec<StateId> = Vec::new();
+        for &t in &blocks[splitter as usize] {
+            for &s in &rev[sym as usize][t as usize] {
+                if !in_splitter[s as usize] {
+                    in_splitter[s as usize] = true;
+                    pred.push(s);
+                }
+            }
+        }
+        if pred.is_empty() {
+            continue;
+        }
+
+        touched_blocks.clear();
+        for &s in &pred {
+            let b = block_of[s as usize];
+            if !touched_blocks.contains(&b) {
+                touched_blocks.push(b);
+            }
+        }
+
+        for &b in &touched_blocks {
+            let members = &blocks[b as usize];
+            let hit: Vec<StateId> = members
+                .iter()
+                .copied()
+                .filter(|&s| in_splitter[s as usize])
+                .collect();
+            if hit.len() == members.len() {
+                continue; // no split: every member hits the splitter
+            }
+            // Split block b into (miss, hit); the new block takes `hit`.
+            let miss: Vec<StateId> = members
+                .iter()
+                .copied()
+                .filter(|&s| !in_splitter[s as usize])
+                .collect();
+            let new_id = blocks.len() as u32;
+            for &s in &hit {
+                block_of[s as usize] = new_id;
+            }
+            blocks[b as usize] = miss;
+            blocks.push(hit);
+            moved.push(Vec::new()); // keep scratch len in sync (unused slot)
+
+            // Hopcroft worklist update: add the smaller half for every
+            // symbol; if (b, sym') is pending, the other half must be
+            // added too, which adding the smaller one approximates safely
+            // when we always push both halves for pending splitters.
+            for sym2 in 0..k as Symbol {
+                let pending = work.contains(&(b, sym2));
+                if pending {
+                    work.push((new_id, sym2));
+                } else {
+                    let smaller = if blocks[b as usize].len() <= blocks[new_id as usize].len() {
+                        b
+                    } else {
+                        new_id
+                    };
+                    work.push((smaller, sym2));
+                }
+            }
+        }
+
+        for &s in &pred {
+            in_splitter[s as usize] = false;
+        }
+    }
+
+    // Rebuild the quotient automaton, with blocks renumbered in order of
+    // first appearance from the start block for determinism.
+    let num_blocks = blocks.len();
+    let mut renumber: Vec<u32> = vec![u32::MAX; num_blocks];
+    let mut order: Vec<u32> = Vec::new();
+    let start_block = block_of[dfa.start() as usize];
+    renumber[start_block as usize] = 0;
+    order.push(start_block);
+    let mut i = 0;
+    while i < order.len() {
+        let b = order[i];
+        let repr = blocks[b as usize][0];
+        for sym in 0..k as Symbol {
+            let tb = block_of[dfa.step(repr, sym) as usize];
+            if renumber[tb as usize] == u32::MAX {
+                renumber[tb as usize] = order.len() as u32;
+                order.push(tb);
+            }
+        }
+        i += 1;
+    }
+
+    let m = order.len();
+    let mut accepting_out = vec![false; m];
+    let mut table = vec![0 as StateId; m * k];
+    for (new_id, &b) in order.iter().enumerate() {
+        let repr = blocks[b as usize][0];
+        accepting_out[new_id] = dfa.is_accepting(repr);
+        for sym in 0..k as Symbol {
+            let tb = block_of[dfa.step(repr, sym) as usize];
+            table[new_id * k + sym as usize] = renumber[tb as usize];
+        }
+    }
+
+    Dfa::from_parts(k, 0, accepting_out, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determinize, Nfa};
+
+    #[test]
+    fn minimize_preserves_language() {
+        let nfa = Nfa::ends_with(3, &[0])
+            .concat(&Nfa::ends_with(3, &[1]))
+            .union(&Nfa::ends_with(3, &[2]).plus());
+        let dfa = determinize(&nfa);
+        let min = minimize(&dfa);
+        assert!(min.equivalent(&dfa));
+        assert!(min.num_states() <= dfa.num_states());
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let dfa = determinize(&Nfa::ends_with(2, &[0]).concat(&Nfa::ends_with(2, &[1])));
+        let m1 = minimize(&dfa);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+        assert!(m1.equivalent(&m2));
+    }
+
+    #[test]
+    fn minimal_sizes_are_canonical() {
+        // Σ*a over any alphabet has exactly 2 states.
+        for k in 1..5 {
+            let min = minimize(&determinize(&Nfa::ends_with(k, &[0])));
+            assert_eq!(min.num_states(), 2, "alphabet size {k}");
+        }
+    }
+
+    #[test]
+    fn all_accepting_collapses_to_one_state() {
+        let min = minimize(&determinize(&Nfa::sigma_star(3)));
+        assert_eq!(min.num_states(), 1);
+        assert!(min.run([0, 1, 2]));
+    }
+
+    #[test]
+    fn none_accepting_collapses_to_one_state() {
+        let min = minimize(&determinize(&Nfa::reject(3)));
+        assert_eq!(min.num_states(), 1);
+        assert!(min.is_empty_language());
+    }
+
+    #[test]
+    fn distinct_residuals_stay_distinct() {
+        // L = words ending in "ab": minimal DFA has 3 states.
+        let nfa = Nfa::sigma_star(2)
+            .concat(&Nfa::symbol(2, 0))
+            .concat(&Nfa::symbol(2, 1));
+        let min = minimize(&determinize(&nfa));
+        assert_eq!(min.num_states(), 3);
+        assert!(min.run([0, 1]));
+        assert!(min.run([1, 0, 1]));
+        assert!(!min.run([0, 1, 0]));
+    }
+
+    #[test]
+    fn minimize_handles_exact_counting() {
+        // Exactly 4 symbols: 6 states minimal (0..4 plus dead).
+        let mut nfa = Nfa::any_symbol(2);
+        for _ in 0..3 {
+            nfa = nfa.concat(&Nfa::any_symbol(2));
+        }
+        let min = minimize(&determinize(&nfa));
+        assert_eq!(min.num_states(), 6);
+        assert!(min.run([0, 1, 0, 1]));
+        assert!(!min.run([0, 1, 0]));
+        assert!(!min.run([0, 1, 0, 1, 0]));
+    }
+
+    /// Randomized cross-check: minimize agrees with the unminimized DFA on
+    /// random words.
+    #[test]
+    fn randomized_language_agreement() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            // Random NFA via random regular operations.
+            let base = [
+                Nfa::ends_with(3, &[0]),
+                Nfa::ends_with(3, &[1]),
+                Nfa::ends_with(3, &[2]),
+            ];
+            let mut cur = base[rng.random_range(0..3)].clone();
+            for _ in 0..rng.random_range(1..4) {
+                let other = &base[rng.random_range(0..3)];
+                cur = match rng.random_range(0..3) {
+                    0 => cur.union(other),
+                    1 => cur.concat(other),
+                    _ => cur.plus(),
+                };
+            }
+            let dfa = determinize(&cur);
+            let min = minimize(&dfa);
+            assert!(min.equivalent(&dfa), "trial {trial}");
+            for _ in 0..50 {
+                let len = rng.random_range(0..10);
+                let w: Vec<u32> = (0..len).map(|_| rng.random_range(0..3)).collect();
+                assert_eq!(
+                    dfa.run(w.iter().copied()),
+                    min.run(w.iter().copied()),
+                    "trial {trial} word {w:?}"
+                );
+            }
+        }
+    }
+}

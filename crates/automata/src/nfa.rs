@@ -1,0 +1,450 @@
+//! Nondeterministic finite automata with ε-transitions.
+//!
+//! The event-expression compiler (`ode-core::compile`) builds *occurrence
+//! languages* compositionally; the constructors here mirror the language
+//! operations of DESIGN.md: `Σ*`, `Σ⁺`, single symbols, union,
+//! concatenation (the paper's `relative`), and plus (the paper's
+//! `relative+`).
+
+use crate::{StateId, Symbol};
+
+/// One NFA state: an acceptance flag, ε-successors, and labelled
+/// transitions stored sparsely (most states have few outgoing edges).
+#[derive(Clone, Debug, Default)]
+pub struct NfaState {
+    /// Whether this state is accepting.
+    pub accepting: bool,
+    /// ε-transition targets.
+    pub eps: Vec<StateId>,
+    /// Labelled transitions `(symbol, target)`.
+    pub trans: Vec<(Symbol, StateId)>,
+}
+
+/// A nondeterministic finite automaton over a dense `u32` alphabet
+/// `0..alphabet_len`, with a single start state and ε-transitions.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    alphabet_len: usize,
+    start: StateId,
+    states: Vec<NfaState>,
+}
+
+impl Nfa {
+    /// An automaton with one non-accepting state: the empty language
+    /// (the paper's `∅` event expression, Section 4 item 1).
+    pub fn reject(alphabet_len: usize) -> Self {
+        Nfa {
+            alphabet_len,
+            start: 0,
+            states: vec![NfaState::default()],
+        }
+    }
+
+    /// Accepts exactly the empty string ε.
+    pub fn epsilon(alphabet_len: usize) -> Self {
+        Nfa {
+            alphabet_len,
+            start: 0,
+            states: vec![NfaState {
+                accepting: true,
+                ..Default::default()
+            }],
+        }
+    }
+
+    /// Accepts exactly the one-symbol string `sym`.
+    pub fn symbol(alphabet_len: usize, sym: Symbol) -> Self {
+        Self::one_of(alphabet_len, &[sym])
+    }
+
+    /// Accepts exactly the one-symbol strings drawn from `syms`.
+    pub fn one_of(alphabet_len: usize, syms: &[Symbol]) -> Self {
+        debug_assert!(syms.iter().all(|&s| (s as usize) < alphabet_len));
+        let start = NfaState {
+            accepting: false,
+            eps: vec![],
+            trans: syms.iter().map(|&s| (s, 1)).collect(),
+        };
+        let end = NfaState {
+            accepting: true,
+            ..Default::default()
+        };
+        Nfa {
+            alphabet_len,
+            start: 0,
+            states: vec![start, end],
+        }
+    }
+
+    /// Accepts any single symbol (the language `Σ`).
+    pub fn any_symbol(alphabet_len: usize) -> Self {
+        let all: Vec<Symbol> = (0..alphabet_len as Symbol).collect();
+        Self::one_of(alphabet_len, &all)
+    }
+
+    /// Accepts every string, `Σ*`.
+    pub fn sigma_star(alphabet_len: usize) -> Self {
+        let mut s = NfaState {
+            accepting: true,
+            ..Default::default()
+        };
+        for sym in 0..alphabet_len as Symbol {
+            s.trans.push((sym, 0));
+        }
+        Nfa {
+            alphabet_len,
+            start: 0,
+            states: vec![s],
+        }
+    }
+
+    /// Accepts every nonempty string, `Σ⁺`.
+    pub fn sigma_plus(alphabet_len: usize) -> Self {
+        Self::any_symbol(alphabet_len).concat(&Self::sigma_star(alphabet_len))
+    }
+
+    /// The occurrence language of a logical event `a`: `Σ*·a` — all
+    /// histories whose final point is an `a` (Section 4 item 2). `syms`
+    /// may enumerate several alphabet symbols because a masked basic event
+    /// expands to a *set* of disjoint mask minterms (Section 5).
+    pub fn ends_with(alphabet_len: usize, syms: &[Symbol]) -> Self {
+        Self::sigma_star(alphabet_len).concat(&Self::one_of(alphabet_len, syms))
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Immutable access to a state.
+    pub fn state(&self, id: StateId) -> &NfaState {
+        &self.states[id as usize]
+    }
+
+    /// Iterate over `(id, state)` pairs.
+    pub fn states(&self) -> impl Iterator<Item = (StateId, &NfaState)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as StateId, s))
+    }
+
+    /// Add a fresh state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = self.states.len() as StateId;
+        self.states.push(NfaState {
+            accepting,
+            ..Default::default()
+        });
+        id
+    }
+
+    /// Add a labelled transition.
+    pub fn add_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        debug_assert!((sym as usize) < self.alphabet_len);
+        self.states[from as usize].trans.push((sym, to));
+    }
+
+    /// Add an ε-transition.
+    pub fn add_epsilon(&mut self, from: StateId, to: StateId) {
+        self.states[from as usize].eps.push(to);
+    }
+
+    /// Set the start state.
+    pub fn set_start(&mut self, start: StateId) {
+        self.start = start;
+    }
+
+    /// Set a state's acceptance flag.
+    pub fn set_accepting(&mut self, id: StateId, accepting: bool) {
+        self.states[id as usize].accepting = accepting;
+    }
+
+    /// Create an empty automaton shell (no states yet) for manual
+    /// construction; callers must add at least a start state.
+    pub fn builder(alphabet_len: usize) -> Self {
+        Nfa {
+            alphabet_len,
+            start: 0,
+            states: Vec::new(),
+        }
+    }
+
+    /// Copy all of `other`'s states into `self`, returning the offset that
+    /// maps `other` state ids into `self` state ids.
+    fn absorb(&mut self, other: &Nfa) -> StateId {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "cannot combine automata over different alphabets"
+        );
+        let offset = self.states.len() as StateId;
+        for st in &other.states {
+            self.states.push(NfaState {
+                accepting: st.accepting,
+                eps: st.eps.iter().map(|&t| t + offset).collect(),
+                trans: st.trans.iter().map(|&(s, t)| (s, t + offset)).collect(),
+            });
+        }
+        offset
+    }
+
+    /// Language union `L(self) ∪ L(other)` (the paper's `|` operator).
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        let mut out = self.clone();
+        let off = out.absorb(other);
+        let new_start = out.add_state(false);
+        out.add_epsilon(new_start, self.start);
+        out.add_epsilon(new_start, other.start + off);
+        out.set_start(new_start);
+        out
+    }
+
+    /// Language concatenation `L(self)·L(other)` — the paper's
+    /// `relative(E, F)` operator on occurrence languages: `E` occurs at
+    /// some point, and `F` occurs in the *truncated* history that follows
+    /// (Section 4 item 3).
+    pub fn concat(&self, other: &Nfa) -> Nfa {
+        let mut out = self.clone();
+        let off = out.absorb(other);
+        for i in 0..off {
+            if out.states[i as usize].accepting {
+                out.states[i as usize].accepting = false;
+                out.states[i as usize].eps.push(other.start + off);
+            }
+        }
+        out
+    }
+
+    /// Kleene plus `L⁺` — the paper's `relative+ (E)`: the infinite
+    /// disjunction `relative(E) | relative(E,E) | …` (Section 3.4).
+    pub fn plus(&self) -> Nfa {
+        let mut out = self.clone();
+        let accepting: Vec<StateId> = out
+            .states()
+            .filter(|(_, s)| s.accepting)
+            .map(|(i, _)| i)
+            .collect();
+        for id in accepting {
+            out.add_epsilon(id, out.start);
+        }
+        out
+    }
+
+    /// Kleene star `L*`.
+    pub fn star(&self) -> Nfa {
+        let plus = self.plus();
+        let mut out = plus;
+        let new_start = out.add_state(true);
+        out.add_epsilon(new_start, out.start);
+        out.set_start(new_start);
+        out
+    }
+
+    /// `Lⁿ` — n-fold concatenation; `repeat(0)` is ε. Implements the
+    /// curried `relative n (E)` form (Section 3.4: "the n-th and any
+    /// subsequent" occurrences).
+    pub fn repeat(&self, n: u32) -> Nfa {
+        let mut out = Nfa::epsilon(self.alphabet_len);
+        for _ in 0..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    /// ε-closure of a set of states (used by the subset construction and
+    /// by direct NFA simulation). `set` is mutated in place and returned
+    /// sorted and deduplicated.
+    pub fn eps_closure(&self, set: &mut Vec<StateId>) {
+        let mut stack: Vec<StateId> = set.clone();
+        let mut seen = vec![false; self.states.len()];
+        for &s in set.iter() {
+            seen[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s as usize].eps {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    set.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    /// Direct NFA simulation — O(|word|·|states|²); used only by tests as
+    /// an oracle for the DFA pipeline.
+    pub fn accepts(&self, word: impl IntoIterator<Item = Symbol>) -> bool {
+        let mut current = vec![self.start];
+        self.eps_closure(&mut current);
+        for sym in word {
+            let mut next: Vec<StateId> = Vec::new();
+            for &s in &current {
+                for &(a, t) in &self.states[s as usize].trans {
+                    if a == sym {
+                        next.push(t);
+                    }
+                }
+            }
+            self.eps_closure(&mut next);
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&s| self.states[s as usize].accepting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_accepts_nothing() {
+        let n = Nfa::reject(2);
+        assert!(!n.accepts([]));
+        assert!(!n.accepts([0]));
+        assert!(!n.accepts([1, 0]));
+    }
+
+    #[test]
+    fn epsilon_accepts_only_empty() {
+        let n = Nfa::epsilon(2);
+        assert!(n.accepts([]));
+        assert!(!n.accepts([0]));
+    }
+
+    #[test]
+    fn symbol_accepts_exactly_itself() {
+        let n = Nfa::symbol(3, 1);
+        assert!(n.accepts([1]));
+        assert!(!n.accepts([0]));
+        assert!(!n.accepts([1, 1]));
+        assert!(!n.accepts([]));
+    }
+
+    #[test]
+    fn one_of_accepts_each_choice() {
+        let n = Nfa::one_of(4, &[0, 2]);
+        assert!(n.accepts([0]));
+        assert!(n.accepts([2]));
+        assert!(!n.accepts([1]));
+        assert!(!n.accepts([3]));
+    }
+
+    #[test]
+    fn sigma_star_accepts_everything() {
+        let n = Nfa::sigma_star(2);
+        assert!(n.accepts([]));
+        assert!(n.accepts([0, 1, 1, 0]));
+    }
+
+    #[test]
+    fn sigma_plus_rejects_empty() {
+        let n = Nfa::sigma_plus(2);
+        assert!(!n.accepts([]));
+        assert!(n.accepts([0]));
+        assert!(n.accepts([1, 1, 0]));
+    }
+
+    #[test]
+    fn ends_with_is_suffix_test() {
+        let n = Nfa::ends_with(3, &[2]);
+        assert!(n.accepts([2]));
+        assert!(n.accepts([0, 1, 2]));
+        assert!(!n.accepts([2, 0]));
+        assert!(!n.accepts([]));
+    }
+
+    #[test]
+    fn union_is_language_or() {
+        let n = Nfa::symbol(2, 0).union(&Nfa::symbol(2, 1).concat(&Nfa::symbol(2, 1)));
+        assert!(n.accepts([0]));
+        assert!(n.accepts([1, 1]));
+        assert!(!n.accepts([1]));
+        assert!(!n.accepts([0, 0]));
+    }
+
+    #[test]
+    fn concat_joins_languages() {
+        let n = Nfa::symbol(2, 0).concat(&Nfa::symbol(2, 1));
+        assert!(n.accepts([0, 1]));
+        assert!(!n.accepts([0]));
+        assert!(!n.accepts([1, 0]));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let n = Nfa::symbol(2, 0).plus();
+        assert!(!n.accepts([]));
+        assert!(n.accepts([0]));
+        assert!(n.accepts([0, 0, 0]));
+        assert!(!n.accepts([0, 1]));
+    }
+
+    #[test]
+    fn star_allows_zero() {
+        let n = Nfa::symbol(2, 0).star();
+        assert!(n.accepts([]));
+        assert!(n.accepts([0, 0]));
+        assert!(!n.accepts([1]));
+    }
+
+    #[test]
+    fn repeat_counts_exactly() {
+        let n = Nfa::symbol(2, 0).repeat(3);
+        assert!(n.accepts([0, 0, 0]));
+        assert!(!n.accepts([0, 0]));
+        assert!(!n.accepts([0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn repeat_zero_is_epsilon() {
+        let n = Nfa::ends_with(2, &[1]).repeat(0);
+        assert!(n.accepts([]));
+        assert!(!n.accepts([1]));
+    }
+
+    #[test]
+    fn relative_n_includes_subsequent_occurrences() {
+        // (Σ*a)^2 labels the 2nd and every later `a` (paper §3.4).
+        let n = Nfa::ends_with(2, &[0]).repeat(2);
+        assert!(!n.accepts([0]));
+        assert!(n.accepts([0, 0]));
+        assert!(n.accepts([0, 1, 0]));
+        assert!(n.accepts([0, 0, 0])); // third `a` still labelled
+        assert!(!n.accepts([0, 0, 1])); // must end on `a`
+    }
+
+    #[test]
+    #[should_panic(expected = "different alphabets")]
+    fn mixing_alphabets_panics() {
+        let _ = Nfa::symbol(2, 0).union(&Nfa::symbol(3, 0));
+    }
+
+    #[test]
+    fn eps_closure_transitive() {
+        let mut n = Nfa::builder(1);
+        let a = n.add_state(false);
+        let b = n.add_state(false);
+        let c = n.add_state(true);
+        n.add_epsilon(a, b);
+        n.add_epsilon(b, c);
+        n.set_start(a);
+        let mut set = vec![a];
+        n.eps_closure(&mut set);
+        assert_eq!(set, vec![a, b, c]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Regular expressions over the logical-event alphabet.
+//!
+//! Section 4 of the paper: "The language is equivalent, in terms of
+//! expressive power, to regular expressions over strings of logical
+//! events." This module provides both directions of that equivalence:
+//!
+//! * [`Regex::to_nfa`] — Thompson construction, regex → NFA;
+//! * [`dfa_to_regex`] — state elimination (GNFA), DFA → regex;
+//!
+//! so tests can round-trip an event expression through a regex and back
+//! and verify the language is unchanged.
+
+use std::fmt;
+
+use crate::nfa::Nfa;
+use crate::{Dfa, StateId, Symbol};
+
+/// A regular expression AST with smart constructors that apply the usual
+/// identities (`∅·r = ∅`, `ε·r = r`, `∅|r = r`, `ε* = ε`, …) so that
+/// state elimination produces readable output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language.
+    Empty,
+    /// The empty string.
+    Epsilon,
+    /// A single alphabet symbol.
+    Symbol(Symbol),
+    /// Alternation `r | s`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Concatenation `r · s`.
+    Cat(Box<Regex>, Box<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Smart alternation.
+    pub fn alt(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) if a == b => a,
+            (a, b) => Regex::Alt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart concatenation.
+    pub fn cat(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Cat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart star.
+    pub fn star(a: Regex) -> Regex {
+        match a {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(inner) => Regex::Star(inner),
+            a => Regex::Star(Box::new(a)),
+        }
+    }
+
+    /// Thompson construction: build an NFA over `alphabet_len` symbols
+    /// recognizing this regex.
+    pub fn to_nfa(&self, alphabet_len: usize) -> Nfa {
+        match self {
+            Regex::Empty => Nfa::reject(alphabet_len),
+            Regex::Epsilon => Nfa::epsilon(alphabet_len),
+            Regex::Symbol(s) => Nfa::symbol(alphabet_len, *s),
+            Regex::Alt(a, b) => a.to_nfa(alphabet_len).union(&b.to_nfa(alphabet_len)),
+            Regex::Cat(a, b) => a.to_nfa(alphabet_len).concat(&b.to_nfa(alphabet_len)),
+            Regex::Star(a) => a.to_nfa(alphabet_len).star(),
+        }
+    }
+
+    /// Size of the AST (number of nodes) — a readability/complexity
+    /// metric reported by the E3 experiment.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Symbol(_) => 1,
+            Regex::Alt(a, b) | Regex::Cat(a, b) => 1 + a.size() + b.size(),
+            Regex::Star(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Precedence: Alt < Cat < Star.
+        fn go(r: &Regex, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match r {
+                Regex::Empty => write!(f, "∅"),
+                Regex::Epsilon => write!(f, "ε"),
+                Regex::Symbol(s) => write!(f, "s{s}"),
+                Regex::Alt(a, b) => {
+                    let need = prec > 0;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 0)?;
+                    write!(f, "|")?;
+                    go(b, f, 0)?;
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Cat(a, b) => {
+                    let need = prec > 1;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 1)?;
+                    write!(f, " ")?;
+                    go(b, f, 1)?;
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(a) => {
+                    go(a, f, 2)?;
+                    write!(f, "*")
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+/// Convert a DFA into an equivalent regular expression via state
+/// elimination over a generalized NFA.
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    let dfa = dfa.trim_unreachable();
+    let n = dfa.num_states();
+    // GNFA node layout: 0 = fresh start, 1..=n = DFA states, n+1 = fresh
+    // accept. Edge matrix of Option<Regex> (None = no edge = Empty).
+    let total = n + 2;
+    let start = 0usize;
+    let accept = total - 1;
+    let mut edge: Vec<Option<Regex>> = vec![None; total * total];
+    let set = |edges: &mut Vec<Option<Regex>>, i: usize, j: usize, r: Regex| {
+        let slot = &mut edges[i * total + j];
+        *slot = Some(match slot.take() {
+            Some(old) => Regex::alt(old, r),
+            None => r,
+        });
+    };
+
+    set(&mut edge, start, dfa.start() as usize + 1, Regex::Epsilon);
+    for s in 0..n as StateId {
+        for sym in 0..dfa.alphabet_len() as Symbol {
+            let t = dfa.step(s, sym);
+            set(
+                &mut edge,
+                s as usize + 1,
+                t as usize + 1,
+                Regex::Symbol(sym),
+            );
+        }
+        if dfa.is_accepting(s) {
+            set(&mut edge, s as usize + 1, accept, Regex::Epsilon);
+        }
+    }
+
+    // Eliminate internal nodes one at a time.
+    let mut alive: Vec<usize> = (1..=n).collect();
+    while let Some(rip) = alive.pop() {
+        let self_loop = edge[rip * total + rip]
+            .take()
+            .map(Regex::star)
+            .unwrap_or(Regex::Epsilon);
+        // Collect incoming and outgoing edges.
+        let nodes: Vec<usize> = (0..total).collect();
+        let incoming: Vec<(usize, Regex)> = nodes
+            .iter()
+            .filter(|&&i| i != rip)
+            .filter_map(|&i| edge[i * total + rip].take().map(|r| (i, r)))
+            .collect();
+        let outgoing: Vec<(usize, Regex)> = nodes
+            .iter()
+            .filter(|&&j| j != rip)
+            .filter_map(|&j| edge[rip * total + j].take().map(|r| (j, r)))
+            .collect();
+        for (i, rin) in &incoming {
+            for (j, rout) in &outgoing {
+                let path = Regex::cat(Regex::cat(rin.clone(), self_loop.clone()), rout.clone());
+                set(&mut edge, *i, *j, path);
+            }
+        }
+    }
+
+    edge[start * total + accept].take().unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{determinize, minimize, nfa_to_min_dfa};
+
+    fn round_trip(d: &Dfa) -> Dfa {
+        let r = dfa_to_regex(d);
+        minimize(&determinize(&r.to_nfa(d.alphabet_len())))
+    }
+
+    #[test]
+    fn round_trip_ends_with() {
+        let d = nfa_to_min_dfa(&Nfa::ends_with(2, &[0]));
+        assert!(round_trip(&d).equivalent(&d));
+    }
+
+    #[test]
+    fn round_trip_relative() {
+        let d = nfa_to_min_dfa(&Nfa::ends_with(3, &[0]).concat(&Nfa::ends_with(3, &[1])));
+        assert!(round_trip(&d).equivalent(&d));
+    }
+
+    #[test]
+    fn round_trip_complement() {
+        let d = nfa_to_min_dfa(&Nfa::ends_with(2, &[0])).complement_sigma_plus();
+        assert!(round_trip(&d).equivalent(&d));
+    }
+
+    #[test]
+    fn round_trip_empty_language() {
+        let d = Dfa::reject(2);
+        assert_eq!(dfa_to_regex(&d), Regex::Empty);
+        assert!(round_trip(&d).equivalent(&d));
+    }
+
+    #[test]
+    fn thompson_matches_semantics() {
+        // (s0 s1)* s0
+        let r = Regex::cat(
+            Regex::star(Regex::cat(Regex::Symbol(0), Regex::Symbol(1))),
+            Regex::Symbol(0),
+        );
+        let n = r.to_nfa(2);
+        assert!(n.accepts([0]));
+        assert!(n.accepts([0, 1, 0]));
+        assert!(!n.accepts([0, 1]));
+        assert!(!n.accepts([]));
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Regex::cat(Regex::Empty, Regex::Symbol(0)), Regex::Empty);
+        assert_eq!(
+            Regex::cat(Regex::Epsilon, Regex::Symbol(0)),
+            Regex::Symbol(0)
+        );
+        assert_eq!(Regex::alt(Regex::Empty, Regex::Symbol(0)), Regex::Symbol(0));
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(
+            Regex::star(Regex::star(Regex::Symbol(0))),
+            Regex::star(Regex::Symbol(0))
+        );
+        assert_eq!(
+            Regex::alt(Regex::Symbol(1), Regex::Symbol(1)),
+            Regex::Symbol(1)
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Regex::cat(
+            Regex::star(Regex::alt(Regex::Symbol(0), Regex::Symbol(1))),
+            Regex::Symbol(0),
+        );
+        assert_eq!(r.to_string(), "(s0|s1)* s0");
+    }
+
+    #[test]
+    fn randomized_round_trips() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..25 {
+            let mut cur = Nfa::ends_with(3, &[rng.random_range(0..3)]);
+            for _ in 0..rng.random_range(0..3) {
+                let other = Nfa::ends_with(3, &[rng.random_range(0..3)]);
+                cur = match rng.random_range(0..3) {
+                    0 => cur.union(&other),
+                    1 => cur.concat(&other),
+                    _ => cur.plus(),
+                };
+            }
+            let d = nfa_to_min_dfa(&cur);
+            assert!(round_trip(&d).equivalent(&d), "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Subset construction: NFA → complete DFA.
+//!
+//! Section 5 of the paper: "Since composite events can alternatively be
+//! expressed as regular expressions, their occurrence can be detected
+//! using finite automata." The compiler builds an NFA per event
+//! expression; this module turns it into the deterministic table the
+//! per-object monitor steps through.
+
+use std::collections::HashMap;
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::StateId;
+
+/// Determinize `nfa` via the classic subset construction. The result is
+/// *complete*: the empty subset becomes an explicit dead state, so the
+/// detector never needs a failure path.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let k = nfa.alphabet_len();
+    let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let mut subsets: Vec<Vec<StateId>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut table: Vec<StateId> = Vec::new();
+
+    let mut start_set = vec![nfa.start()];
+    nfa.eps_closure(&mut start_set);
+    let start_accepting = subset_accepts(nfa, &start_set);
+    index.insert(start_set.clone(), 0);
+    subsets.push(start_set);
+    accepting.push(start_accepting);
+    table.resize(k, 0);
+
+    let mut next_unprocessed = 0usize;
+    // Reusable buckets: per-symbol successor sets for the current subset.
+    let mut buckets: Vec<Vec<StateId>> = vec![Vec::new(); k];
+    while next_unprocessed < subsets.len() {
+        for b in &mut buckets {
+            b.clear();
+        }
+        for &s in &subsets[next_unprocessed] {
+            for &(sym, t) in &nfa.state(s).trans {
+                buckets[sym as usize].push(t);
+            }
+        }
+        for (sym, bucket) in buckets.iter_mut().enumerate() {
+            let mut set = std::mem::take(bucket);
+            nfa.eps_closure(&mut set);
+            let id = match index.get(&set) {
+                Some(&id) => id,
+                None => {
+                    let id = subsets.len() as StateId;
+                    accepting.push(subset_accepts(nfa, &set));
+                    index.insert(set.clone(), id);
+                    subsets.push(set);
+                    table.resize(table.len() + k, 0);
+                    id
+                }
+            };
+            table[next_unprocessed * k + sym] = id;
+        }
+        next_unprocessed += 1;
+    }
+
+    Dfa::from_parts(k, 0, accepting, table)
+}
+
+fn subset_accepts(nfa: &Nfa, set: &[StateId]) -> bool {
+    set.iter().any(|&s| nfa.state(s).accepting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Symbol;
+
+    #[test]
+    fn determinize_preserves_language_on_samples() {
+        // (Σ*a)·(Σ*b) over Σ={a,b,c}
+        let nfa = Nfa::ends_with(3, &[0]).concat(&Nfa::ends_with(3, &[1]));
+        let dfa = determinize(&nfa);
+        let words: &[&[Symbol]] = &[
+            &[],
+            &[0],
+            &[1],
+            &[0, 1],
+            &[1, 0],
+            &[0, 2, 1],
+            &[2, 0, 2, 1],
+            &[0, 1, 2],
+            &[0, 1, 1],
+            &[1, 0, 1],
+        ];
+        for w in words {
+            assert_eq!(
+                nfa.accepts(w.iter().copied()),
+                dfa.run(w.iter().copied()),
+                "mismatch on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_state_is_materialized() {
+        // NFA accepting only "a" — after "b" the DFA must sit in a dead
+        // state but still step safely.
+        let dfa = determinize(&Nfa::symbol(2, 0));
+        let s = dfa.run_to_state([1, 0, 0, 1]);
+        assert!(!dfa.is_accepting(s));
+    }
+
+    #[test]
+    fn empty_nfa_determinizes_to_reject() {
+        let dfa = determinize(&Nfa::reject(2));
+        assert!(dfa.is_empty_language());
+    }
+
+    #[test]
+    fn exhaustive_small_alphabet_agreement() {
+        // Compare NFA and DFA on all words of length ≤ 5 over {0,1}.
+        let nfa = Nfa::ends_with(2, &[1])
+            .concat(&Nfa::ends_with(2, &[0]))
+            .union(&Nfa::symbol(2, 0).plus());
+        let dfa = determinize(&nfa);
+        for len in 0..=5usize {
+            for bits in 0..(1u32 << len) {
+                let word: Vec<Symbol> = (0..len).map(|i| (bits >> i) & 1).collect();
+                assert_eq!(
+                    nfa.accepts(word.iter().copied()),
+                    dfa.run(word.iter().copied()),
+                    "mismatch on {word:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! An operational **E-C-A rule engine** with explicit coupling modes —
+//! the architecture the paper argues *against* (Section 7).
+//!
+//! Here, the coupling between Event–Condition and Condition–Action is a
+//! pair of engine-implemented scheduling modes (immediate / deferred /
+//! separate-dependent / separate-independent), exactly the machinery the
+//! HiPAC-style model requires. The paper's E-A model instead folds the
+//! condition and the coupling into the *event expression*; experiment E6
+//! runs both over identical transaction scripts and checks they fire at
+//! the same phases.
+
+use std::sync::Arc;
+
+use ode_core::{
+    BasicEvent, CompiledEvent, Detector, EventError, EventExpr, MaskEnv, MaskError, MaskExpr, Value,
+};
+
+/// Coupling mode between trigger components (Section 7's list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coupling {
+    /// In the same transaction, immediately.
+    Immediate,
+    /// Just prior to the commit of the transaction.
+    Deferred,
+    /// In a separate transaction, after commit only (commit dependency).
+    SeparateDependent,
+    /// In a separate transaction, after commit or abort.
+    SeparateIndependent,
+}
+
+/// When a rule's action ran, relative to the triggering transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// During the transaction (immediately at detection / condition).
+    During,
+    /// At the `before tcomplete` point.
+    BeforeCommit,
+    /// After the transaction committed.
+    AfterCommit,
+    /// After the transaction aborted.
+    AfterAbort,
+}
+
+/// An E-C-A rule.
+pub struct EcaRule {
+    /// Rule name.
+    pub name: String,
+    /// The event part (detected with the shared automaton machinery —
+    /// the comparison is about *coupling*, not detection).
+    pub event: EventExpr,
+    /// The condition part.
+    pub condition: MaskExpr,
+    /// Event–Condition coupling.
+    pub ec: Coupling,
+    /// Condition–Action coupling.
+    pub ca: Coupling,
+}
+
+/// A recorded firing.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Firing {
+    /// Rule name.
+    pub rule: String,
+    /// Phase the action ran in.
+    pub phase: Phase,
+}
+
+struct CompiledRule {
+    rule: EcaRule,
+    detector: Detector,
+    /// Condition evaluations scheduled for later phases.
+    pending_condition: Vec<Coupling>,
+    /// Actions scheduled for later phases (condition already true).
+    pending_action: Vec<Coupling>,
+}
+
+/// The operational engine. Drive it with the same per-object event
+/// stream the E-A detectors see; it schedules condition evaluation and
+/// action execution per the rules' coupling modes.
+pub struct EcaEngine {
+    rules: Vec<CompiledRule>,
+    in_txn: bool,
+    /// All firings, in order.
+    pub firings: Vec<Firing>,
+}
+
+impl EcaEngine {
+    /// Compile the rules.
+    pub fn new(rules: Vec<EcaRule>) -> Result<Self, EventError> {
+        let compiled_rules = rules
+            .into_iter()
+            .map(|rule| {
+                let compiled = Arc::new(CompiledEvent::compile(&rule.event)?);
+                Ok(CompiledRule {
+                    detector: Detector::new(compiled),
+                    rule,
+                    pending_condition: Vec::new(),
+                    pending_action: Vec::new(),
+                })
+            })
+            .collect::<Result<Vec<_>, EventError>>()?;
+        Ok(EcaEngine {
+            rules: compiled_rules,
+            in_txn: false,
+            firings: Vec::new(),
+        })
+    }
+
+    /// Arm every rule (feeds `start`).
+    pub fn activate(&mut self, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        for r in &mut self.rules {
+            r.detector.activate(env)?;
+        }
+        Ok(())
+    }
+
+    /// Transaction begin.
+    pub fn begin(&mut self) {
+        self.in_txn = true;
+    }
+
+    /// Post an application event within the current transaction.
+    pub fn post(
+        &mut self,
+        basic: &BasicEvent,
+        args: &[Value],
+        env: &dyn MaskEnv,
+    ) -> Result<(), MaskError> {
+        let mut fired: Vec<usize> = Vec::new();
+        for (i, r) in self.rules.iter_mut().enumerate() {
+            if r.detector.post(basic, args, env)? {
+                fired.push(i);
+            }
+        }
+        for i in fired {
+            self.on_event_detected(i, env)?;
+        }
+        Ok(())
+    }
+
+    fn on_event_detected(&mut self, i: usize, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        let ec = self.rules[i].rule.ec;
+        match ec {
+            Coupling::Immediate => self.evaluate_condition(i, Phase::During, env)?,
+            other => self.rules[i].pending_condition.push(other),
+        }
+        Ok(())
+    }
+
+    fn evaluate_condition(
+        &mut self,
+        i: usize,
+        phase: Phase,
+        env: &dyn MaskEnv,
+    ) -> Result<(), MaskError> {
+        let r = &mut self.rules[i];
+        if !r.rule.condition.eval_bool(env)? {
+            return Ok(());
+        }
+        let ca = r.rule.ca;
+        match (ca, phase) {
+            // Immediate CA: run in the phase the condition ran in.
+            (Coupling::Immediate, p) => self.run_action(i, p),
+            // Deferred CA from a during-txn condition: wait for commit
+            // point; from the commit point itself: run now.
+            (Coupling::Deferred, Phase::During) => {
+                r.pending_action.push(Coupling::Deferred);
+            }
+            (Coupling::Deferred, p) => self.run_action(i, p),
+            (Coupling::SeparateDependent, Phase::AfterCommit) => {
+                self.run_action(i, Phase::AfterCommit)
+            }
+            (Coupling::SeparateDependent, _) => {
+                r.pending_action.push(Coupling::SeparateDependent);
+            }
+            (Coupling::SeparateIndependent, Phase::AfterCommit | Phase::AfterAbort) => {
+                self.run_action(i, phase)
+            }
+            (Coupling::SeparateIndependent, _) => {
+                r.pending_action.push(Coupling::SeparateIndependent);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_action(&mut self, i: usize, phase: Phase) {
+        self.firings.push(Firing {
+            rule: self.rules[i].rule.name.clone(),
+            phase,
+        });
+    }
+
+    /// The transaction reached its commit point (`before tcomplete`).
+    /// Runs deferred condition evaluations and deferred actions, and
+    /// advances the detectors over the `before tcomplete` event itself.
+    pub fn complete(&mut self, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        self.post(
+            &BasicEvent::before(ode_core::EventKind::TComplete),
+            &[],
+            env,
+        )?;
+        for i in 0..self.rules.len() {
+            let conds: Vec<Coupling> = std::mem::take(&mut self.rules[i].pending_condition);
+            for c in conds {
+                match c {
+                    Coupling::Deferred => self.evaluate_condition(i, Phase::BeforeCommit, env)?,
+                    other => self.rules[i].pending_condition.push(other),
+                }
+            }
+            let acts: Vec<Coupling> = std::mem::take(&mut self.rules[i].pending_action);
+            for a in acts {
+                match a {
+                    Coupling::Deferred => self.run_action(i, Phase::BeforeCommit),
+                    other => self.rules[i].pending_action.push(other),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The transaction committed.
+    pub fn commit(&mut self, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        self.post(&BasicEvent::after(ode_core::EventKind::TCommit), &[], env)?;
+        self.finish_txn(Phase::AfterCommit, env)
+    }
+
+    /// The transaction aborted.
+    pub fn abort(&mut self, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        self.post(&BasicEvent::after(ode_core::EventKind::TAbort), &[], env)?;
+        self.finish_txn(Phase::AfterAbort, env)
+    }
+
+    fn finish_txn(&mut self, phase: Phase, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        self.in_txn = false;
+        for i in 0..self.rules.len() {
+            let conds: Vec<Coupling> = std::mem::take(&mut self.rules[i].pending_condition);
+            for c in conds {
+                let runs = matches!(
+                    (c, phase),
+                    (Coupling::SeparateDependent, Phase::AfterCommit)
+                        | (Coupling::SeparateIndependent, _)
+                );
+                if runs {
+                    self.evaluate_condition(i, phase, env)?;
+                }
+                // commit-dependent work is discarded on abort
+            }
+            let acts: Vec<Coupling> = std::mem::take(&mut self.rules[i].pending_action);
+            for a in acts {
+                let runs = matches!(
+                    (a, phase),
+                    (Coupling::SeparateDependent, Phase::AfterCommit)
+                        | (Coupling::SeparateIndependent, _)
+                        | (Coupling::Deferred, Phase::AfterCommit)
+                );
+                if runs {
+                    let run_phase = if a == Coupling::Deferred {
+                        // deferred actions of a committing txn ran at
+                        // BeforeCommit via complete(); reaching here means
+                        // complete() was skipped — run at commit.
+                        Phase::BeforeCommit
+                    } else {
+                        phase
+                    };
+                    self.run_action(i, run_phase);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Distinct `(rule, phase)` firings, sorted — the comparison set for
+    /// the E6 equivalence check ("the system only takes cognizance of the
+    /// occurrence of this event once", Section 4).
+    pub fn firing_set(&self) -> Vec<Firing> {
+        let mut v = self.firings.clone();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_core::EmptyEnv;
+
+    fn rule(ec: Coupling, ca: Coupling) -> EcaRule {
+        EcaRule {
+            name: format!("{ec:?}-{ca:?}"),
+            event: ode_core::parse_event("after poke").unwrap(),
+            condition: MaskExpr::Bool(true),
+            ec,
+            ca,
+        }
+    }
+
+    fn run_script(rules: Vec<EcaRule>, commit: bool) -> Vec<Firing> {
+        let mut eng = EcaEngine::new(rules).unwrap();
+        eng.activate(&EmptyEnv).unwrap();
+        eng.begin();
+        eng.post(
+            &BasicEvent::after(ode_core::EventKind::TBegin),
+            &[],
+            &EmptyEnv,
+        )
+        .unwrap();
+        eng.post(&BasicEvent::after_method("poke"), &[], &EmptyEnv)
+            .unwrap();
+        if commit {
+            eng.complete(&EmptyEnv).unwrap();
+            eng.commit(&EmptyEnv).unwrap();
+        } else {
+            eng.abort(&EmptyEnv).unwrap();
+        }
+        eng.firing_set()
+    }
+
+    #[test]
+    fn immediate_immediate_fires_during() {
+        let f = run_script(vec![rule(Coupling::Immediate, Coupling::Immediate)], true);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].phase, Phase::During);
+    }
+
+    #[test]
+    fn immediate_deferred_fires_at_commit_point() {
+        let f = run_script(vec![rule(Coupling::Immediate, Coupling::Deferred)], true);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].phase, Phase::BeforeCommit);
+    }
+
+    #[test]
+    fn dependent_skipped_on_abort() {
+        let f = run_script(
+            vec![rule(Coupling::Immediate, Coupling::SeparateDependent)],
+            false,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn independent_fires_on_abort() {
+        let f = run_script(
+            vec![rule(Coupling::Immediate, Coupling::SeparateIndependent)],
+            false,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].phase, Phase::AfterAbort);
+    }
+
+    #[test]
+    fn deferred_condition_evaluates_at_commit_point() {
+        let f = run_script(vec![rule(Coupling::Deferred, Coupling::Immediate)], true);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].phase, Phase::BeforeCommit);
+    }
+
+    #[test]
+    fn deferred_condition_discarded_on_abort() {
+        // no complete() happens on abort, and deferred is commit-bound
+        let f = run_script(vec![rule(Coupling::Deferred, Coupling::Immediate)], false);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn false_condition_blocks_action() {
+        let mut r = rule(Coupling::Immediate, Coupling::Immediate);
+        r.condition = MaskExpr::Bool(false);
+        let f = run_script(vec![r], true);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn dependent_dependent_fires_after_commit() {
+        let f = run_script(
+            vec![rule(
+                Coupling::SeparateDependent,
+                Coupling::SeparateDependent,
+            )],
+            true,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].phase, Phase::AfterCommit);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ode-baselines — comparison implementations for the reproduction
+//!
+//! Two baselines the experiments measure the paper's contributions
+//! against:
+//!
+//! * [`NaiveDetector`] — composite-event detection *without* automata:
+//!   store the history, re-evaluate the Section 4 semantics at every
+//!   posting. Experiment E1 contrasts its growing per-event cost with
+//!   the automaton's constant-time step, and experiment E2 contrasts its
+//!   `O(|H|)` state with the automaton's one word.
+//! * [`EcaEngine`] — an operational Event-Condition-Action rule engine
+//!   with explicit coupling modes (the HiPAC-style architecture of
+//!   Section 7's discussion). Experiment E6 checks that the paper's E-A
+//!   encodings fire at exactly the phases the operational engine
+//!   schedules, coupling by coupling.
+
+#![warn(missing_docs)]
+
+pub mod eca;
+pub mod naive;
+
+pub use eca::{Coupling, EcaEngine, EcaRule, Firing, Phase};
+pub use naive::NaiveDetector;

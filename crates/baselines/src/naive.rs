@@ -1,0 +1,156 @@
+//! The no-automaton baseline: detect composite events by **replaying the
+//! reference semantics over the full history** after every posting.
+//!
+//! This is what an implementation without Section 5's compilation has to
+//! do: the Section 4 denotation `E[H]` depends on the whole history, so
+//! each new point costs `Ω(|H|)` (and much worse for nested operators).
+//! Experiment E1 compares this baseline's per-event cost against the
+//! automaton detector's O(1) table lookup as the history grows.
+
+use std::sync::Arc;
+
+use ode_automata::Symbol;
+use ode_core::semantics::occurs_at_end;
+use ode_core::{
+    BasicEvent, CompiledEvent, EventError, EventExpr, MaskEnv, MaskError, SymExpr, Value,
+};
+
+/// A detector that stores the whole event history and re-evaluates the
+/// Section 4 semantics from scratch on every posted event.
+#[derive(Clone)]
+pub struct NaiveDetector {
+    compiled: Arc<CompiledEvent>,
+    lowered: SymExpr,
+    history: Vec<Symbol>,
+}
+
+impl NaiveDetector {
+    /// Build from an event expression. The compiled artifact is used
+    /// *only* for its alphabet (mask-minterm classification must match
+    /// the automaton detector exactly); detection never touches the DFA.
+    pub fn new(expr: &EventExpr) -> Result<Self, EventError> {
+        let compiled = Arc::new(CompiledEvent::compile(expr)?);
+        let lowered = compiled.lower_expr(expr)?;
+        Ok(NaiveDetector {
+            compiled,
+            lowered,
+            history: Vec::new(),
+        })
+    }
+
+    /// Build sharing an existing compiled event (so benches construct the
+    /// alphabet once).
+    pub fn from_compiled(
+        compiled: Arc<CompiledEvent>,
+        expr: &EventExpr,
+    ) -> Result<Self, EventError> {
+        let lowered = compiled.lower_expr(expr)?;
+        Ok(NaiveDetector {
+            compiled,
+            lowered,
+            history: Vec::new(),
+        })
+    }
+
+    /// Feed the distinguished `start` point.
+    pub fn activate(&mut self, env: &dyn MaskEnv) -> Result<(), MaskError> {
+        let sym = self.compiled.alphabet().start_symbol(env)?;
+        self.history.push(sym);
+        Ok(())
+    }
+
+    /// Post a basic event; returns whether the composite event occurs at
+    /// this point — computed by full re-evaluation.
+    pub fn post(
+        &mut self,
+        basic: &BasicEvent,
+        args: &[Value],
+        env: &dyn MaskEnv,
+    ) -> Result<bool, MaskError> {
+        match self.compiled.alphabet().classify(basic, args, env)? {
+            Some(sym) => {
+                self.history.push(sym);
+                Ok(occurs_at_end(&self.lowered, &self.history))
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Post a pre-classified symbol (bench path, mask evaluation
+    /// excluded).
+    pub fn step_symbol(&mut self, sym: Symbol) -> bool {
+        self.history.push(sym);
+        occurs_at_end(&self.lowered, &self.history)
+    }
+
+    /// Length of the stored history — the baseline's state, versus the
+    /// automaton's single word.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Bytes of detection state this baseline carries.
+    pub fn state_bytes(&self) -> usize {
+        self.history.len() * std::mem::size_of::<Symbol>()
+    }
+
+    /// The shared compiled artifact.
+    pub fn compiled(&self) -> &Arc<CompiledEvent> {
+        &self.compiled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_core::{parse_event, Detector, EmptyEnv};
+
+    /// The naive detector and the automaton detector must agree on every
+    /// prefix of every stream.
+    #[test]
+    fn agrees_with_automaton_detector() {
+        let sources = [
+            "after a; after b",
+            "relative(after a, after b)",
+            "choose 3 (after a)",
+            "fa(after a, after b, after c)",
+            "!(after a) & (after b | after c)",
+            "prior(after a, after b)",
+            "every 2 (after a | after b)",
+        ];
+        let streams: &[&[&str]] = &[
+            &["a", "b", "c", "a", "b"],
+            &["a", "a", "a", "b", "b", "c"],
+            &["c", "c", "b", "a", "b", "a", "c", "b"],
+        ];
+        for src in sources {
+            let expr = parse_event(src).unwrap();
+            let mut naive = NaiveDetector::new(&expr).unwrap();
+            let mut auto = Detector::new(Arc::clone(naive.compiled()));
+            naive.activate(&EmptyEnv).unwrap();
+            auto.activate(&EmptyEnv).unwrap();
+            for stream in streams {
+                for m in stream.iter() {
+                    let b = BasicEvent::after_method(*m);
+                    let n = naive.post(&b, &[], &EmptyEnv).unwrap();
+                    let a = auto.post(&b, &[], &EmptyEnv).unwrap();
+                    assert_eq!(n, a, "expr `{src}`, at `{m}` in {stream:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_grows_with_history() {
+        let expr = parse_event("after a").unwrap();
+        let mut naive = NaiveDetector::new(&expr).unwrap();
+        naive.activate(&EmptyEnv).unwrap();
+        for _ in 0..100 {
+            naive
+                .post(&BasicEvent::after_method("a"), &[], &EmptyEnv)
+                .unwrap();
+        }
+        assert_eq!(naive.history_len(), 101); // start + 100 events
+        assert!(naive.state_bytes() > 100);
+    }
+}

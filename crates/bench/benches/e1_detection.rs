@@ -1,0 +1,129 @@
+//! E1 — "event detection particularly efficient" (paper §1, §5).
+//!
+//! Per-event detection cost as the history grows: the compiled automaton
+//! detector (one table lookup per event) versus the naive baseline
+//! (re-evaluating the Section 4 semantics over the stored history).
+//!
+//! Expected shape: the automaton's cost is flat in the history length;
+//! the naive baseline grows roughly linearly (and worse for nested
+//! operators), so the gap widens without bound.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_baselines::NaiveDetector;
+use ode_bench::random_stream;
+use ode_core::{parse_event, CompiledEvent, Detector, EmptyEnv};
+
+/// (label, spec, methods of the trigger's own alphabet — streams stay
+/// inside it so every posted event really advances both detectors).
+const EXPRS: &[(&str, &str, &[&str])] = &[
+    ("sequence", "after a; after b", &["a", "b"]),
+    ("fa", "fa(after a, after b, after c)", &["a", "b", "c"]),
+    (
+        "counting",
+        "every 4 (after a | after w(i, q) && q > 100)",
+        &["a", "w"],
+    ),
+];
+
+fn bench_detection(c: &mut Criterion) {
+    eprintln!("\n== E1: per-event detection cost vs history length ==");
+    eprintln!(
+        "{:<10} {:>8} | {:>14} {:>14} | {:>8}",
+        "expr", "history", "automaton", "naive", "ratio"
+    );
+
+    let mut group = c.benchmark_group("e1_detection");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for (label, src, methods) in EXPRS {
+        let expr = parse_event(src).unwrap();
+        let compiled = Arc::new(CompiledEvent::compile(&expr).unwrap());
+        for &n in &[100usize, 1_000, 5_000] {
+            let stream = random_stream(methods, n, 42);
+
+            // Prime both detectors with n relevant events.
+            let mut auto = Detector::new(Arc::clone(&compiled));
+            auto.activate(&EmptyEnv).unwrap();
+            let mut naive = NaiveDetector::from_compiled(Arc::clone(&compiled), &expr).unwrap();
+            naive.activate(&EmptyEnv).unwrap();
+            for (ev, args) in &stream {
+                auto.post(ev, args, &EmptyEnv).unwrap();
+                naive.post(ev, args, &EmptyEnv).unwrap();
+            }
+            assert_eq!(naive.history_len(), n + 1, "stream must be fully relevant");
+            let probe = ode_core::BasicEvent::after_method(methods[0]);
+            let probe = &probe;
+            let probe_args: &[ode_core::Value] = &[];
+            let probe_args = &probe_args;
+
+            // Manual timing for the table (Criterion numbers follow).
+            let t_auto = time_per_event(|| {
+                let mut d = auto.clone();
+                std::hint::black_box(d.post(probe, probe_args, &EmptyEnv).unwrap());
+            });
+            let t_naive = time_per_event(|| {
+                let mut d = naive.clone();
+                std::hint::black_box(d.post(probe, probe_args, &EmptyEnv).unwrap());
+            });
+            eprintln!(
+                "{:<10} {:>8} | {:>12.0}ns {:>12.0}ns | {:>7.1}x",
+                label,
+                n,
+                t_auto,
+                t_naive,
+                t_naive / t_auto
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("automaton/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut d = auto.clone();
+                        std::hint::black_box(d.post(probe, probe_args, &EmptyEnv).unwrap())
+                    })
+                },
+            );
+            if n <= 1_000 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("naive/{label}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            let mut d = naive.clone();
+                            std::hint::black_box(d.post(probe, probe_args, &EmptyEnv).unwrap())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Cheap manual timer: best-of-5 estimate of one call in nanoseconds.
+fn time_per_event(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let iters = 10;
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    best
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E3 — expressive power and compilability (paper §4–§5).
+//!
+//! Event expressions compile to finite automata; this experiment charts
+//! automaton sizes (NFA states, minimal DFA states) and compile time
+//! across operator families as the expression grows, including the
+//! determinization-heavy cases (`!`, `nested_fa`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::operator_family;
+use ode_core::CompiledEvent;
+
+const FAMILIES: &[&str] = &[
+    "relative_chain",
+    "sequence_chain",
+    "choose",
+    "every",
+    "prior_n",
+    "nested_fa",
+    "negation_tower",
+    "fa_abs",
+];
+
+fn bench_compile(c: &mut Criterion) {
+    eprintln!("\n== E3: automaton sizes per operator family ==");
+    eprintln!(
+        "{:<16} {:>4} {:>10} {:>10} {:>10}",
+        "family", "n", "expr nodes", "nfa states", "min dfa"
+    );
+    for fam in FAMILIES {
+        for &n in &[2u32, 4, 8] {
+            let expr = operator_family(fam, n);
+            let compiled = CompiledEvent::compile(&expr).unwrap();
+            let s = compiled.stats();
+            eprintln!(
+                "{:<16} {:>4} {:>10} {:>10} {:>10}",
+                fam, n, s.expr_size, s.nfa_states, s.dfa_states
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("e3_compile");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    for fam in FAMILIES {
+        for &n in &[2u32, 8] {
+            let expr = operator_family(fam, n);
+            group.bench_with_input(BenchmarkId::new(*fam, n), &expr, |b, e| {
+                b.iter(|| std::hint::black_box(CompiledEvent::compile(e).unwrap()))
+            });
+        }
+    }
+    group.finish();
+
+    // Round trip through a regular expression (the §4 equivalence).
+    eprintln!("\n-- §4 equivalence: expr -> min DFA -> regex -> min DFA --");
+    for fam in ["relative_chain", "choose", "nested_fa"] {
+        let expr = operator_family(fam, 3);
+        let compiled = CompiledEvent::compile(&expr).unwrap();
+        let regex = ode_automata::dfa_to_regex(compiled.dfa());
+        let back = ode_automata::nfa_to_min_dfa(&regex.to_nfa(compiled.dfa().alphabet_len()));
+        assert!(back.equivalent(compiled.dfa()));
+        eprintln!(
+            "{fam}: regex size {} nodes, round-trip DFA {} states (equal language: yes)",
+            regex.size(),
+            back.num_states()
+        );
+    }
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

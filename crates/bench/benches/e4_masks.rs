@@ -1,0 +1,58 @@
+//! E4 — the mask-disjointness rewrite (paper §5).
+//!
+//! "While it is true that the sort of rewriting we require could cause a
+//! combinatorial explosion, in practice we do not expect to see enough
+//! such overlap for this explosion to be a worry."
+//!
+//! This experiment quantifies that: `k` overlapping masks on one basic
+//! event yield `2^k` minterm symbols. We chart the alphabet size, the
+//! minimal-DFA size, and the *runtime* cost of classifying one posted
+//! event (k mask evaluations + 1 table lookup).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::overlapping_masks;
+use ode_core::{BasicEvent, CompiledEvent, Detector, EmptyEnv, Value};
+
+fn bench_masks(c: &mut Criterion) {
+    eprintln!("\n== E4: minterm blowup vs number of overlapping masks ==");
+    eprintln!(
+        "{:<3} {:>9} {:>9} {:>12}",
+        "k", "symbols", "min dfa", "table bytes"
+    );
+    let mut compiled_by_k = Vec::new();
+    for k in 1..=8usize {
+        let expr = overlapping_masks(k);
+        let compiled = Arc::new(CompiledEvent::compile(&expr).unwrap());
+        let s = compiled.stats();
+        eprintln!(
+            "{:<3} {:>9} {:>9} {:>12}",
+            k,
+            s.alphabet_len,
+            s.dfa_states,
+            s.dfa_states * s.alphabet_len * 4
+        );
+        compiled_by_k.push((k, compiled));
+    }
+
+    let mut group = c.benchmark_group("e4_classify_and_step");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    let event = BasicEvent::after_method("w");
+    let args = vec![Value::Null, Value::Int(45)];
+    for (k, compiled) in &compiled_by_k {
+        let mut d = Detector::new(Arc::clone(compiled));
+        d.activate(&EmptyEnv).unwrap();
+        group.bench_with_input(BenchmarkId::new("post", k), k, |b, _| {
+            b.iter(|| std::hint::black_box(d.post(&event, &args, &EmptyEnv).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_masks);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E6 — the E-A model versus the operational E-C-A engine (paper §7).
+//!
+//! Every coupling mode is just an event expression in the E-A model.
+//! This experiment charts the automaton each encoding compiles to, and
+//! compares per-transaction processing cost: the E-A detector (a few
+//! table lookups) versus the E-C-A engine (detector + explicit
+//! condition/action scheduling queues).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_baselines::{Coupling, EcaEngine, EcaRule};
+use ode_core::{BasicEvent, CompiledEvent, Detector, EmptyEnv, EventExpr, EventKind, MaskExpr};
+use ode_db::coupling;
+
+fn bench_couplings(c: &mut Criterion) {
+    eprintln!("\n== E6: the nine coupling encodings as automata ==");
+    eprintln!("{:<24} {:>9} {:>9}", "coupling", "symbols", "min dfa");
+    let mut encoded = Vec::new();
+    for (name, f) in coupling::all_couplings() {
+        let expr = f(EventExpr::after_method("poke"), MaskExpr::Bool(true));
+        let compiled = Arc::new(CompiledEvent::compile(&expr).unwrap());
+        let s = compiled.stats();
+        eprintln!("{:<24} {:>9} {:>9}", name, s.alphabet_len, s.dfa_states);
+        encoded.push((name, compiled));
+    }
+
+    // One committing transaction: tbegin, poke, tcomplete, tcommit.
+    let txn_script = [
+        BasicEvent::after(EventKind::TBegin),
+        BasicEvent::after_method("poke"),
+        BasicEvent::before(EventKind::TComplete),
+        BasicEvent::after(EventKind::TCommit),
+    ];
+
+    let mut group = c.benchmark_group("e6_per_txn");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    // The E-A side: one detector per coupling, 4 posts per transaction.
+    for (name, compiled) in &encoded {
+        let mut d = Detector::new(Arc::clone(compiled));
+        d.activate(&EmptyEnv).unwrap();
+        group.bench_function(BenchmarkId::new("ea_detector", *name), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for ev in &txn_script {
+                    hits += u32::from(d.post(ev, &[], &EmptyEnv).unwrap());
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+
+    // The operational E-C-A engine with all 16 mode pairs loaded.
+    let modes = [
+        Coupling::Immediate,
+        Coupling::Deferred,
+        Coupling::SeparateDependent,
+        Coupling::SeparateIndependent,
+    ];
+    let rules: Vec<EcaRule> = modes
+        .iter()
+        .flat_map(|&ec| {
+            modes.iter().map(move |&ca| EcaRule {
+                name: format!("{ec:?}-{ca:?}"),
+                event: EventExpr::after_method("poke"),
+                condition: MaskExpr::Bool(true),
+                ec,
+                ca,
+            })
+        })
+        .collect();
+    let mut eng = EcaEngine::new(rules).unwrap();
+    eng.activate(&EmptyEnv).unwrap();
+    group.bench_function("eca_engine_16_rules", |b| {
+        b.iter(|| {
+            eng.begin();
+            eng.post(&BasicEvent::after(EventKind::TBegin), &[], &EmptyEnv)
+                .unwrap();
+            eng.post(&BasicEvent::after_method("poke"), &[], &EmptyEnv)
+                .unwrap();
+            eng.complete(&EmptyEnv).unwrap();
+            eng.commit(&EmptyEnv).unwrap();
+            std::hint::black_box(eng.firings.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_couplings);
+criterion_main!(benches);

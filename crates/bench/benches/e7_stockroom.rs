@@ -1,0 +1,127 @@
+//! E7 — the Section 3.5 stockroom end to end.
+//!
+//! Throughput of the full active database running the paper's worked
+//! example: all eight triggers active on every object, transactions of
+//! deposits/withdrawals spread round-robin over a growing object
+//! population. Events per second should scale with work done (the
+//! monitoring cost per posted event is constant).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_core::event::calendar;
+use ode_core::Value;
+use ode_db::demo::stockroom_class;
+use ode_db::{Database, ObjectId};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn setup_rooms(objects: usize) -> (Database, Vec<ObjectId>) {
+    let mut db = Database::new();
+    db.define_class(stockroom_class()).unwrap();
+    let txn = db.begin_as(Value::Str("alice".into()));
+    let mut ids = Vec::new();
+    for _ in 0..objects {
+        ids.push(db.create_object(txn, "stockRoom", &[]).unwrap());
+    }
+    db.commit(txn).unwrap();
+    db.advance_clock_to(9 * calendar::HR);
+    db.take_output();
+    (db, ids)
+}
+
+/// One workday: `ops` transactions, mixing small/large withdrawals and
+/// deposit+withdraw pairs, then the 17:00 day end.
+fn run_day(db: &mut Database, rooms: &[ObjectId], ops: usize, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = ["alice", "bob", "mallory"];
+    let items = ["bolt", "gear", "shim"];
+    for k in 0..ops {
+        let room = rooms[k % rooms.len()];
+        let user = users[rng.random_range(0..users.len())];
+        let item = items[rng.random_range(0..items.len())];
+        let q = if rng.random_bool(0.25) {
+            rng.random_range(101..300)
+        } else {
+            rng.random_range(1..50)
+        };
+        let txn = db.begin_as(Value::Str(user.into()));
+        let r = if rng.random_bool(0.2) {
+            db.call(
+                txn,
+                room,
+                "deposit",
+                &[Value::Str(item.into()), Value::Int(q)],
+            )
+            .and_then(|_| {
+                db.call(
+                    txn,
+                    room,
+                    "withdraw",
+                    &[Value::Str(item.into()), Value::Int(q)],
+                )
+            })
+        } else {
+            db.call(
+                txn,
+                room,
+                "withdraw",
+                &[Value::Str(item.into()), Value::Int(q)],
+            )
+        };
+        match r {
+            Ok(_) => {
+                let _ = db.commit(txn);
+            }
+            Err(_) => { /* aborted by T1 (mallory) — already finalized */ }
+        }
+    }
+    db.stats().events_posted
+}
+
+fn bench_stockroom(c: &mut Criterion) {
+    eprintln!("\n== E7: stockroom day-cycle throughput (T1-T8 active) ==");
+
+    let mut group = c.benchmark_group("e7_stockroom");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    const OPS: usize = 200;
+    for &objects in &[1usize, 10, 50] {
+        // Measure once for the events/sec table.
+        let (mut db, rooms) = setup_rooms(objects);
+        let t0 = std::time::Instant::now();
+        let before = db.stats().events_posted;
+        run_day(&mut db, &rooms, OPS, 1);
+        let events = db.stats().events_posted - before;
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "{objects:>4} object(s): {OPS} txns -> {events} posted events in {:.1}ms \
+             = {:.0} events/sec ({} firings)",
+            secs * 1e3,
+            events as f64 / secs,
+            db.stats().triggers_fired
+        );
+
+        group.throughput(Throughput::Elements(OPS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("day_cycle_200txns", objects),
+            &objects,
+            |b, &objects| {
+                b.iter_batched(
+                    || setup_rooms(objects),
+                    |(mut db, rooms)| {
+                        run_day(&mut db, &rooms, OPS, 1);
+                        std::hint::black_box(db.stats().triggers_fired)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stockroom);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E8 — per-operator behaviour (paper §3.4).
+//!
+//! For the counting and sequencing operators, how do automaton size and
+//! per-event detection cost scale with the operator's count `n`? The
+//! paper's design predicts: DFA states grow linearly in `n` for
+//! `choose`/`every`/`relative n`, while per-event detection cost stays
+//! constant — the count lives in the state space, not in the step.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_bench::{operator_family, random_stream};
+use ode_core::{CompiledEvent, Detector, EmptyEnv};
+
+const FAMILIES: &[&str] = &["choose", "every", "relative_n", "prior_n", "sequence_n"];
+
+fn bench_operators(c: &mut Criterion) {
+    eprintln!("\n== E8: operator scaling with n ==");
+    eprintln!(
+        "{:<12} {:>4} {:>10} {:>12}",
+        "operator", "n", "min dfa", "table bytes"
+    );
+    let mut compiled_set = Vec::new();
+    for fam in FAMILIES {
+        for &n in &[1u32, 4, 16, 64] {
+            let expr = operator_family(fam, n);
+            let compiled = Arc::new(CompiledEvent::compile(&expr).unwrap());
+            let s = compiled.stats();
+            eprintln!(
+                "{:<12} {:>4} {:>10} {:>12}",
+                fam,
+                n,
+                s.dfa_states,
+                s.dfa_states * s.alphabet_len * 4
+            );
+            compiled_set.push((*fam, n, compiled));
+        }
+    }
+
+    let stream = random_stream(&["a", "b"], 1_000, 17);
+    let mut group = c.benchmark_group("e8_detect_1000_events");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    for (fam, n, compiled) in &compiled_set {
+        if *n != 4 && *n != 64 {
+            continue;
+        }
+        group.bench_function(BenchmarkId::new(*fam, n), |b| {
+            b.iter(|| {
+                let mut d = Detector::new(Arc::clone(compiled));
+                d.activate(&EmptyEnv).unwrap();
+                let mut hits = 0u32;
+                for (ev, args) in &stream {
+                    hits += u32::from(d.post(ev, args, &EmptyEnv).unwrap());
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+use ode_core::detector::CompiledEvent;
+use ode_core::expr::{EventExpr, LogicalEvent};
+use ode_core::event::BasicEvent;
+use ode_core::mask::MaskExpr;
+
+fn main() {
+    // Compile a trigger on bare `after w`.
+    let base = EventExpr::after_method("w");
+    let compiled = CompiledEvent::compile(&base).unwrap();
+    // Now lower a different expr whose logical event has a mask not in the alphabet,
+    // but whose basic event IS in the alphabet.
+    let masked = EventExpr::Logical(
+        LogicalEvent::bare(BasicEvent::after_method("w"))
+            .with_params(["q"])
+            .with_mask(MaskExpr::gt("q", 100i64)),
+    );
+    let r = std::panic::catch_unwind(|| compiled.lower_expr(&masked));
+    match r {
+        Ok(Ok(s)) => println!("lowered fine: {s:?}"),
+        Ok(Err(e)) => println!("error: {e}"),
+        Err(_) => println!("PANICKED"),
+    }
+    // Also via compile_with_alphabet
+    let alpha = ode_core::alphabet::Alphabet::build(&base).unwrap();
+    let r2 = std::panic::catch_unwind(|| CompiledEvent::compile_with_alphabet(&masked, alpha));
+    println!("compile_with_alphabet: {}", match r2 { Ok(Ok(_)) => "ok".into(), Ok(Err(e)) => format!("error: {e}"), Err(_) => "PANICKED".into() });
+}

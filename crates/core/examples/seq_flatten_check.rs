@@ -1,0 +1,41 @@
+use ode_core::lower::SymExpr;
+use ode_core::semantics::occurrences;
+use ode_core::compile::compile;
+use ode_core::expr::EventExpr;
+use ode_core::simplify::simplify;
+use ode_core::alphabet::Alphabet;
+use ode_core::detector::CompiledEvent;
+
+fn atom(s: u32) -> SymExpr { SymExpr::Atom(vec![s]) }
+
+fn main() {
+    // symbolic level: sequence(a, sequence(b,c)) vs sequence(a,b,c)
+    let nested = SymExpr::Sequence(vec![atom(0), SymExpr::Sequence(vec![atom(1), atom(2)])]);
+    let flat = SymExpr::Sequence(vec![atom(0), atom(1), atom(2)]);
+    let dn = compile(&nested, 3).unwrap();
+    let dfl = compile(&flat, 3).unwrap();
+    println!("symbolic equivalent: {}", dn.equivalent(&dfl));
+    let h = [0u32, 1, 2]; // a b c
+    println!("nested occ on [a,b,c]: {:?}", occurrences(&nested, &h));
+    println!("flat   occ on [a,b,c]: {:?}", occurrences(&flat, &h));
+
+    // EventExpr level through simplify
+    let a = EventExpr::after_method("a");
+    let b = EventExpr::after_method("b");
+    let c = EventExpr::after_method("c");
+    let e = EventExpr::sequence([a.clone(), EventExpr::sequence([b.clone(), c.clone()])]);
+    let s = simplify(&e);
+    println!("simplified: {s}");
+    let alphabet = Alphabet::build(&e).unwrap();
+    let c1 = CompiledEvent::compile_with_alphabet(&e, alphabet.clone()).unwrap();
+    let c2 = CompiledEvent::compile_with_alphabet(&s, alphabet).unwrap();
+    println!("simplify preserved language: {}", c1.dfa().equivalent(c2.dfa()));
+
+    // Also test relative for comparison
+    let e2 = EventExpr::relative([a.clone(), EventExpr::relative([b.clone(), c.clone()])]);
+    let s2 = simplify(&e2);
+    let alpha2 = Alphabet::build(&e2).unwrap();
+    let r1 = CompiledEvent::compile_with_alphabet(&e2, alpha2.clone()).unwrap();
+    let r2 = CompiledEvent::compile_with_alphabet(&s2, alpha2).unwrap();
+    println!("relative flatten preserved: {}", r1.dfa().equivalent(r2.dfa()));
+}

@@ -1,0 +1,122 @@
+//! Specification diagnostics: explain *when* a composite event can
+//! occur, before attaching it to a trigger.
+//!
+//! The formal model (Section 4) makes these questions decidable on the
+//! compiled automaton: whether the event can occur at all, a shortest
+//! witness history, and whether it can occur more than once. Surfacing
+//! them at definition time catches specification bugs — the engine
+//! already rejects impossible triggers; this module says *why*.
+
+use ode_automata::Symbol;
+
+use crate::detector::CompiledEvent;
+
+/// A diagnosis of a compiled event specification.
+#[derive(Clone, Debug)]
+pub struct Diagnosis {
+    /// Can the event ever occur?
+    pub can_occur: bool,
+    /// A shortest symbol sequence (as human-readable logical events) at
+    /// whose last point the event occurs. Note: the occurrence language
+    /// itself does not force the distinguished `start` point — the
+    /// detector always feeds it first, and `Σ*`-shaped languages absorb
+    /// it.
+    pub shortest_witness: Option<Vec<String>>,
+    /// Can the event occur at two different points of some history? An
+    /// event that cannot reoccur makes a `perpetual` trigger pointless.
+    pub can_reoccur: bool,
+    /// Number of symbols in the compiled alphabet.
+    pub alphabet_len: usize,
+    /// Number of states in the minimal detection automaton.
+    pub dfa_states: usize,
+}
+
+/// Diagnose a compiled event.
+pub fn diagnose(compiled: &CompiledEvent) -> Diagnosis {
+    let dfa = compiled.dfa();
+    let alphabet = compiled.alphabet();
+
+    let witness_syms = dfa.shortest_accepted();
+    let shortest_witness = witness_syms.as_ref().map(|w| {
+        w.iter()
+            .map(|&s| alphabet.describe(s))
+            .collect::<Vec<String>>()
+    });
+
+    // Reoccurrence: is there an accepted word with a proper prefix that
+    // is also accepted? Equivalently, L ∩ L·Σ⁺ non-empty.
+    let can_reoccur = {
+        let n = ode_automata::Nfa::sigma_plus(dfa.alphabet_len());
+        let l = dfa.to_nfa();
+        let l_then_more =
+            ode_automata::minimize(&ode_automata::determinize(&l.concat(&n)));
+        !dfa.intersect(&l_then_more).is_empty_language()
+    };
+
+    Diagnosis {
+        can_occur: witness_syms.is_some(),
+        shortest_witness,
+        can_reoccur,
+        alphabet_len: alphabet.len(),
+        dfa_states: dfa.num_states(),
+    }
+}
+
+/// A shortest witness as raw symbols (tooling).
+pub fn shortest_witness_symbols(compiled: &CompiledEvent) -> Option<Vec<Symbol>> {
+    compiled.dfa().shortest_accepted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_event;
+
+    fn diag(src: &str) -> Diagnosis {
+        let compiled = CompiledEvent::compile(&parse_event(src).unwrap()).unwrap();
+        diagnose(&compiled)
+    }
+
+    #[test]
+    fn witness_for_sequence() {
+        let d = diag("after deposit; after withdraw");
+        assert!(d.can_occur);
+        let w = d.shortest_witness.unwrap();
+        assert_eq!(
+            w,
+            vec!["after deposit".to_string(), "after withdraw".to_string()]
+        );
+        assert!(d.can_reoccur);
+    }
+
+    #[test]
+    fn impossible_events_have_no_witness() {
+        let d = diag("after a & !after a");
+        assert!(!d.can_occur);
+        assert!(d.shortest_witness.is_none());
+        assert!(!d.can_reoccur);
+    }
+
+    #[test]
+    fn choose_cannot_reoccur() {
+        let d = diag("choose 3 (after a)");
+        assert!(d.can_occur);
+        assert!(!d.can_reoccur, "the 3rd occurrence happens once");
+        let d = diag("every 3 (after a)");
+        assert!(d.can_reoccur, "every 3rd keeps firing");
+    }
+
+    #[test]
+    fn masked_witness_names_the_minterm() {
+        let d = diag("after w(i, q) && q > 100");
+        let w = d.shortest_witness.unwrap();
+        assert!(w.last().unwrap().contains("q > 100"), "{w:?}");
+    }
+
+    #[test]
+    fn sizes_reported() {
+        let d = diag("choose 4 (after a)");
+        assert_eq!(d.alphabet_len, 2);
+        assert_eq!(d.dfa_states, 6);
+    }
+}

@@ -1,0 +1,431 @@
+//! The Section 4 reference semantics: event expressions denote **sets of
+//! points** of an event history.
+//!
+//! > "An event expression `E` evaluated in the context of a history `H`,
+//! > denoted as `E[H]`, specifies a subset (sub-sequence) of `H`."
+//!
+//! This module evaluates that denotation directly, by recursion over the
+//! expression and over history suffixes — no automata anywhere. It is
+//! deliberately the *slow, obviously-correct* implementation: the
+//! property-test suite checks, for random expressions and histories, that
+//! the compiled DFA accepts `H[..=p]` exactly when `p ∈ E[H]`, and the
+//! naive baseline detector (experiment E1) is built on it.
+//!
+//! Positions are absolute indices into the history. "Evaluated in the
+//! context of the history obtained from `H` by deleting all logical
+//! events up to and including `hᵢ`" (Section 4 item 6) is implemented by
+//! the `from` cursor.
+
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use ode_automata::Symbol;
+
+use crate::lower::SymExpr;
+
+/// All points of `history` labelled by `expr`, evaluated in the full
+/// history context (Section 4).
+pub fn occurrences(expr: &SymExpr, history: &[Symbol]) -> BTreeSet<usize> {
+    Evaluator::new(history).eval(expr, 0).as_ref().clone()
+}
+
+/// Does `expr` occur at the last point of `history`? ("If the rightmost
+/// history symbol is labeled then the specified event has just
+/// occurred.")
+pub fn occurs_at_end(expr: &SymExpr, history: &[Symbol]) -> bool {
+    if history.is_empty() {
+        return false;
+    }
+    let last = history.len() - 1;
+    occurrences(expr, history).contains(&last)
+}
+
+type Points = Rc<BTreeSet<usize>>;
+
+struct Evaluator<'h> {
+    history: &'h [Symbol],
+    /// Memo keyed by (expression node address, context start).
+    memo: HashMap<(usize, usize), Points>,
+}
+
+impl<'h> Evaluator<'h> {
+    fn new(history: &'h [Symbol]) -> Self {
+        Evaluator {
+            history,
+            memo: HashMap::new(),
+        }
+    }
+
+    fn eval(&mut self, e: &SymExpr, from: usize) -> Points {
+        let key = (e as *const SymExpr as usize, from);
+        if let Some(hit) = self.memo.get(&key) {
+            return Rc::clone(hit);
+        }
+        let result: BTreeSet<usize> = match e {
+            SymExpr::Empty => BTreeSet::new(),
+            SymExpr::Atom(syms) => (from..self.history.len())
+                .filter(|&i| syms.contains(&self.history[i]))
+                .collect(),
+            SymExpr::Or(a, b) => {
+                let pa = self.eval(a, from);
+                let pb = self.eval(b, from);
+                pa.union(&pb).copied().collect()
+            }
+            SymExpr::And(a, b) => {
+                let pa = self.eval(a, from);
+                let pb = self.eval(b, from);
+                pa.intersection(&pb).copied().collect()
+            }
+            SymExpr::Not(a) => {
+                let pa = self.eval(a, from);
+                (from..self.history.len())
+                    .filter(|i| !pa.contains(i))
+                    .collect()
+            }
+            SymExpr::Relative(list) => self.eval_relative(list, from),
+            SymExpr::RelativePlus(a) => {
+                // Fixpoint: points reachable by chaining ≥1 occurrences.
+                let mut result: BTreeSet<usize> = self.eval(a, from).as_ref().clone();
+                let mut frontier: Vec<usize> = result.iter().copied().collect();
+                while let Some(q) = frontier.pop() {
+                    for &p in self.eval(a, q + 1).as_ref() {
+                        if result.insert(p) {
+                            frontier.push(p);
+                        }
+                    }
+                }
+                result
+            }
+            SymExpr::RelativeN(n, a) => {
+                let mut cur: BTreeSet<usize> = self.eval(a, from).as_ref().clone();
+                for _ in 1..*n {
+                    let mut next = BTreeSet::new();
+                    for &q in &cur {
+                        next.extend(self.eval(a, q + 1).iter().copied());
+                    }
+                    cur = next;
+                }
+                cur
+            }
+            SymExpr::Prior(list) => self.eval_prior(list, from),
+            SymExpr::PriorN(n, a) => {
+                let pe = self.eval(a, from);
+                let mut cur: BTreeSet<usize> = pe.as_ref().clone();
+                for _ in 1..*n {
+                    cur = match cur.first() {
+                        Some(&min) => pe.iter().copied().filter(|&p| p > min).collect(),
+                        None => BTreeSet::new(),
+                    };
+                }
+                cur
+            }
+            SymExpr::Sequence(list) => self.eval_sequence(list, from),
+            SymExpr::SequenceN(n, a) => {
+                let pe = self.eval(a, from);
+                let mut cur: BTreeSet<usize> = pe.as_ref().clone();
+                for _ in 1..*n {
+                    cur = pe
+                        .iter()
+                        .copied()
+                        .filter(|&p| p > 0 && cur.contains(&(p - 1)))
+                        .collect();
+                }
+                cur
+            }
+            SymExpr::Choose(n, a) => {
+                let pts = self.eval(a, from);
+                pts.iter()
+                    .nth(*n as usize - 1)
+                    .copied()
+                    .into_iter()
+                    .collect()
+            }
+            SymExpr::Every(n, a) => {
+                let pts = self.eval(a, from);
+                pts.iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + 1) % (*n as usize) == 0)
+                    .map(|(_, &p)| p)
+                    .collect()
+            }
+            SymExpr::Fa(e, f, g) => {
+                let qs = self.eval(e, from);
+                let mut out = BTreeSet::new();
+                for &q in qs.as_ref().clone().iter() {
+                    let fs = self.eval(f, q + 1);
+                    let Some(&p) = fs.first() else { continue };
+                    let gs = self.eval(g, q + 1);
+                    // "no intervening event G … prior to the occurrence
+                    // of the logical event p"
+                    if gs.iter().all(|&gp| gp >= p) {
+                        out.insert(p);
+                    }
+                }
+                out
+            }
+            SymExpr::FaAbs(e, f, g) => {
+                let qs = self.eval(e, from);
+                let gs_abs = self.eval(g, from);
+                let mut out = BTreeSet::new();
+                for &q in qs.as_ref().clone().iter() {
+                    let fs = self.eval(f, q + 1);
+                    let Some(&p) = fs.first() else { continue };
+                    if gs_abs.iter().all(|&gp| gp <= q || gp >= p) {
+                        out.insert(p);
+                    }
+                }
+                out
+            }
+        };
+        let rc = Rc::new(result);
+        self.memo.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    fn eval_relative(&mut self, list: &[SymExpr], from: usize) -> BTreeSet<usize> {
+        let Some((first, rest)) = list.split_first() else {
+            return BTreeSet::new();
+        };
+        let mut cur: BTreeSet<usize> = self.eval(first, from).as_ref().clone();
+        for f in rest {
+            let mut next = BTreeSet::new();
+            for &q in &cur {
+                next.extend(self.eval(f, q + 1).iter().copied());
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn eval_prior(&mut self, list: &[SymExpr], from: usize) -> BTreeSet<usize> {
+        let Some((first, rest)) = list.split_first() else {
+            return BTreeSet::new();
+        };
+        let mut cur: BTreeSet<usize> = self.eval(first, from).as_ref().clone();
+        for f in rest {
+            let pf = self.eval(f, from);
+            cur = match cur.first() {
+                Some(&min) => pf.iter().copied().filter(|&p| p > min).collect(),
+                None => BTreeSet::new(),
+            };
+        }
+        cur
+    }
+
+    fn eval_sequence(&mut self, list: &[SymExpr], from: usize) -> BTreeSet<usize> {
+        let Some((first, rest)) = list.split_first() else {
+            return BTreeSet::new();
+        };
+        let mut cur: BTreeSet<usize> = self.eval(first, from).as_ref().clone();
+        for f in rest {
+            let pf = self.eval(f, from);
+            cur = pf
+                .iter()
+                .copied()
+                .filter(|&p| p > 0 && cur.contains(&(p - 1)))
+                .collect();
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(s: Symbol) -> SymExpr {
+        SymExpr::Atom(vec![s])
+    }
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    // histories use symbols: 0 = a, 1 = b, 2 = c
+
+    #[test]
+    fn atom_labels_its_points() {
+        let h = [0, 1, 0, 2, 0];
+        assert_eq!(occurrences(&atom(0), &h), set(&[0, 2, 4]));
+        assert_eq!(occurrences(&atom(2), &h), set(&[3]));
+    }
+
+    #[test]
+    fn empty_labels_nothing() {
+        assert_eq!(occurrences(&SymExpr::Empty, &[0, 1]), set(&[]));
+    }
+
+    #[test]
+    fn not_is_pointwise_complement() {
+        let h = [0, 1, 0];
+        let e = SymExpr::Not(Box::new(atom(0)));
+        assert_eq!(occurrences(&e, &h), set(&[1]));
+    }
+
+    #[test]
+    fn and_or_are_set_ops() {
+        let h = [0, 1, 0];
+        let union = SymExpr::Or(Box::new(atom(0)), Box::new(atom(1)));
+        assert_eq!(occurrences(&union, &h), set(&[0, 1, 2]));
+        let both = SymExpr::And(Box::new(atom(0)), Box::new(atom(1)));
+        assert_eq!(occurrences(&both, &h), set(&[]));
+    }
+
+    #[test]
+    fn relative_shifts_context() {
+        // relative(a, b): b-points strictly after some a-point.
+        let h = [1, 0, 1, 1];
+        let e = SymExpr::Relative(vec![atom(0), atom(1)]);
+        assert_eq!(occurrences(&e, &h), set(&[2, 3]));
+    }
+
+    /// The paper's own discriminating example (Section 3.4): history
+    /// `F1 E1 E2 F2` with E = relative(E1,E2), F = relative(F1,F2):
+    /// prior(E, F) occurs at F2 but relative(E, F) does not.
+    #[test]
+    fn paper_prior_vs_relative_example() {
+        // symbols: E1=0, E2=1, F1=2, F2=3; history: F1 E1 E2 F2
+        let h = [2, 0, 1, 3];
+        let e = SymExpr::Relative(vec![atom(0), atom(1)]);
+        let f = SymExpr::Relative(vec![atom(2), atom(3)]);
+        let prior = SymExpr::Prior(vec![e.clone(), f.clone()]);
+        let relative = SymExpr::Relative(vec![e, f]);
+        assert_eq!(occurrences(&prior, &h), set(&[3]));
+        assert_eq!(occurrences(&relative, &h), set(&[]));
+    }
+
+    #[test]
+    fn sequence_requires_adjacency() {
+        let h = [0, 1, 0, 2, 1];
+        let e = SymExpr::Sequence(vec![atom(0), atom(1)]);
+        assert_eq!(occurrences(&e, &h), set(&[1]));
+    }
+
+    #[test]
+    fn relative_plus_chains() {
+        let h = [0, 0, 1, 0];
+        let e = SymExpr::RelativePlus(Box::new(atom(0)));
+        assert_eq!(occurrences(&e, &h), set(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn relative_n_is_nth_and_subsequent() {
+        // relative 2 (a) labels the 2nd and later a's.
+        let h = [0, 1, 0, 0];
+        let e = SymExpr::RelativeN(2, Box::new(atom(0)));
+        assert_eq!(occurrences(&e, &h), set(&[2, 3]));
+    }
+
+    #[test]
+    fn prior_n_matches_relative_n_on_logical_events() {
+        // For plain logical events the two coincide (Section 3.4).
+        let h = [0, 1, 0, 0, 1, 0];
+        let rel = SymExpr::RelativeN(3, Box::new(atom(0)));
+        let pri = SymExpr::PriorN(3, Box::new(atom(0)));
+        assert_eq!(occurrences(&rel, &h), occurrences(&pri, &h));
+        assert_eq!(occurrences(&rel, &h), set(&[3, 5]));
+    }
+
+    #[test]
+    fn choose_selects_exactly_one() {
+        let h = [0, 1, 0, 0];
+        let e = SymExpr::Choose(2, Box::new(atom(0)));
+        assert_eq!(occurrences(&e, &h), set(&[2]));
+        let e = SymExpr::Choose(5, Box::new(atom(0)));
+        assert_eq!(occurrences(&e, &h), set(&[]));
+    }
+
+    #[test]
+    fn every_selects_multiples() {
+        let h = [0, 0, 0, 0, 0];
+        let e = SymExpr::Every(2, Box::new(atom(0)));
+        assert_eq!(occurrences(&e, &h), set(&[1, 3]));
+    }
+
+    #[test]
+    fn fa_takes_first_f_unless_g_intervenes() {
+        // fa(a, b, c) over: a c b b — c intervenes before first b → ∅
+        let h = [0, 2, 1, 1];
+        let e = SymExpr::Fa(Box::new(atom(0)), Box::new(atom(1)), Box::new(atom(2)));
+        assert_eq!(occurrences(&e, &h), set(&[]));
+        // a b c b: first b at 1, no g before → {1}
+        let h = [0, 1, 2, 1];
+        assert_eq!(occurrences(&e, &h), set(&[1]));
+    }
+
+    #[test]
+    fn fa_g_at_f_point_is_allowed() {
+        // G and F at the same point cannot happen (symbols disjoint), but
+        // g exactly AT p means gp >= p → allowed by the strictness rule.
+        // Construct with F = (b|c), G = c: history a c → F occurs at 1,
+        // G also at 1; "no intervening G prior to p" holds.
+        let f = SymExpr::Or(Box::new(atom(1)), Box::new(atom(2)));
+        let e = SymExpr::Fa(Box::new(atom(0)), Box::new(f), Box::new(atom(2)));
+        let h = [0, 2];
+        assert_eq!(occurrences(&e, &h), set(&[1]));
+    }
+
+    #[test]
+    fn fa_multiple_e_points_union() {
+        // each a spawns its own first-b search
+        let h = [0, 1, 0, 2, 1];
+        // fa(a, b, c): from a@0: first b at 1 (no c before) → 1.
+        // from a@2: first b at 4, but c@3 intervenes → excluded.
+        let e = SymExpr::Fa(Box::new(atom(0)), Box::new(atom(1)), Box::new(atom(2)));
+        assert_eq!(occurrences(&e, &h), set(&[1]));
+    }
+
+    #[test]
+    fn fa_abs_guard_is_absolute() {
+        // faAbs(E, F, G) with G before E's point: not intervening.
+        // history: c a b — G at 0 is ≤ q=1 → allowed.
+        let e = SymExpr::FaAbs(Box::new(atom(0)), Box::new(atom(1)), Box::new(atom(2)));
+        let h = [2, 0, 1];
+        assert_eq!(occurrences(&e, &h), set(&[2]));
+        // history: a c b — G at 1 strictly between q=0 and p=2 → blocked.
+        let h = [0, 2, 1];
+        assert_eq!(occurrences(&e, &h), set(&[]));
+    }
+
+    #[test]
+    fn fa_vs_fa_abs_differ_on_guard_context() {
+        // G = relative(c, c): needs two c's.
+        // history: c a c b
+        //   fa: from a@1, truncated context [c b]: G=relative(c,c) needs
+        //       two c's after a — absent → b@3 fires.
+        //   faAbs: absolute context has c@0, c@2 → G occurs at 2, which
+        //       lies strictly between q=1 and p=3 → blocked.
+        let g = SymExpr::Relative(vec![atom(2), atom(2)]);
+        let h = [2, 0, 2, 1];
+        let fa = SymExpr::Fa(Box::new(atom(0)), Box::new(atom(1)), Box::new(g.clone()));
+        let fa_abs = SymExpr::FaAbs(Box::new(atom(0)), Box::new(atom(1)), Box::new(g));
+        assert_eq!(occurrences(&fa, &h), set(&[3]));
+        assert_eq!(occurrences(&fa_abs, &h), set(&[]));
+    }
+
+    #[test]
+    fn occurs_at_end_checks_rightmost() {
+        let e = SymExpr::Relative(vec![atom(0), atom(1)]);
+        assert!(occurs_at_end(&e, &[0, 1]));
+        assert!(!occurs_at_end(&e, &[0, 1, 0]));
+        assert!(!occurs_at_end(&e, &[]));
+    }
+
+    #[test]
+    fn footnote_4_relative_self_reference() {
+        // Paper footnote 4: E = F & !prior(F, F). Given "F F", E occurs
+        // at the first F but not the second; relative(E, E) occurs at the
+        // second but not the first.
+        let f = atom(0);
+        let e = SymExpr::And(
+            Box::new(f.clone()),
+            Box::new(SymExpr::Not(Box::new(SymExpr::Prior(vec![
+                f.clone(),
+                f.clone(),
+            ])))),
+        );
+        let h = [0, 0];
+        assert_eq!(occurrences(&e, &h), set(&[0]));
+        let rel = SymExpr::Relative(vec![e.clone(), e]);
+        assert_eq!(occurrences(&rel, &h), set(&[1]));
+    }
+}

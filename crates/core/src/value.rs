@@ -1,0 +1,182 @@
+//! Runtime values for event parameters, object fields, and mask
+//! evaluation.
+//!
+//! O++ masks are C++ boolean expressions over event parameters and object
+//! state (`after withdraw(Item i, int q) && q > 1000`, Section 3.2). This
+//! module provides the dynamically-typed value universe those expressions
+//! evaluate over, including records so that parameter member access like
+//! `i.balance` (trigger T2, Section 3.5) works.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically typed value.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent / SQL-ish null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (O++ `int`/`long`).
+    Int(i64),
+    /// Double-precision float (O++ `float`/`double`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// A record with named fields — models O++ struct/class values such
+    /// as the `Item` parameter of `withdraw(Item i, int q)`.
+    Record(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Build a record from `(name, value)` pairs.
+    pub fn record<I, S>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Value::Record(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Truthiness for mask evaluation: `Bool` is itself; every other type
+    /// is a type error (masks must be boolean-valued, Section 3.3).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view, coercing `Int` to `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Record member access (`i.balance`).
+    pub fn member(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Record(_) => "record",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Record(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+    }
+
+    #[test]
+    fn as_float_coerces_int() {
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_float(), None);
+    }
+
+    #[test]
+    fn record_member_access() {
+        let item = Value::record([("balance", Value::Int(40)), ("name", "bolt".into())]);
+        assert_eq!(item.member("balance"), Some(&Value::Int(40)));
+        assert_eq!(item.member("missing"), None);
+        assert_eq!(Value::Int(1).member("x"), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let item = Value::record([("a", Value::Int(1))]);
+        assert_eq!(item.to_string(), "{a: 1}");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn bool_strictness() {
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+    }
+}

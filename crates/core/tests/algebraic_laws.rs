@@ -1,0 +1,191 @@
+//! Algebraic laws of the event algebra, checked by compiling both sides
+//! and deciding language equivalence — the Section 4 formal model makes
+//! every such identity mechanically decidable.
+
+use ode_core::{parse_event, Alphabet, CompiledEvent, EventExpr, LogicalEvent, MaskExpr};
+
+/// Compile both sides against one *shared* alphabet (symbol identities
+/// must agree for language comparison to be meaningful).
+fn compile_pair(a: &str, b: &str) -> (CompiledEvent, CompiledEvent) {
+    let ea = parse_event(a).unwrap();
+    let eb = parse_event(b).unwrap();
+    let mut logical: Vec<LogicalEvent> = Vec::new();
+    let mut masks: Vec<MaskExpr> = Vec::new();
+    for e in [&ea, &eb] {
+        for le in e.logical_events() {
+            if !logical.contains(&le) {
+                logical.push(le);
+            }
+        }
+        for m in e.composite_masks() {
+            if !masks.contains(&m) {
+                masks.push(m);
+            }
+        }
+    }
+    let alphabet = Alphabet::build_from_parts(&logical, &masks).unwrap();
+    let ca = CompiledEvent::compile_with_alphabet(&ea, alphabet.clone()).unwrap();
+    let cb = CompiledEvent::compile_with_alphabet(&eb, alphabet).unwrap();
+    (ca, cb)
+}
+
+/// Assert two specifications denote the same event (same occurrence
+/// language over the shared alphabet).
+fn equivalent(a: &str, b: &str) {
+    let (ca, cb) = compile_pair(a, b);
+    assert!(ca.dfa().equivalent(cb.dfa()), "`{a}` should equal `{b}`");
+}
+
+/// Assert two specifications differ.
+fn different(a: &str, b: &str) {
+    let (ca, cb) = compile_pair(a, b);
+    assert!(
+        !ca.dfa().equivalent(cb.dfa()),
+        "`{a}` should differ from `{b}`"
+    );
+}
+
+/// `EventExpr` needed in signature resolution.
+#[allow(dead_code)]
+fn _t(_: &EventExpr) {}
+
+#[test]
+fn boolean_lattice_laws() {
+    equivalent("after a | after b", "after b | after a");
+    equivalent("after a & after b", "after b & after a");
+    equivalent(
+        "(after a | after b) | after c",
+        "after a | (after b | after c)",
+    );
+    equivalent(
+        "after a & (after b | after c)",
+        "(after a & after b) | (after a & after c)",
+    );
+    equivalent("!(after a | after b)", "!after a & !after b");
+    equivalent("!(after a & after b)", "!after a | !after b");
+    equivalent("!!after a", "after a");
+    equivalent("after a | after a", "after a");
+}
+
+#[test]
+fn empty_is_the_zero() {
+    equivalent("after a | empty", "after a");
+    equivalent("after a & empty", "empty");
+    // relative with an empty component never completes
+    equivalent("relative(after a, empty)", "empty");
+    equivalent("relative(empty, after a)", "empty");
+}
+
+#[test]
+fn relative_is_associative() {
+    equivalent(
+        "relative(relative(after a, after b), after c)",
+        "relative(after a, relative(after b, after c))",
+    );
+    equivalent(
+        "relative(after a, after b, after c)",
+        "relative(after a, relative(after b, after c))",
+    );
+}
+
+#[test]
+fn relative_distributes_over_union() {
+    equivalent(
+        "relative(after a, after b | after c)",
+        "relative(after a, after b) | relative(after a, after c)",
+    );
+    equivalent(
+        "relative(after a | after b, after c)",
+        "relative(after a, after c) | relative(after b, after c)",
+    );
+}
+
+#[test]
+fn relative_plus_unrolls() {
+    equivalent(
+        "relative+(after a)",
+        "after a | relative(after a, relative+(after a))",
+    );
+    // relative n is n-fold relative
+    equivalent(
+        "relative 3 (after a)",
+        "relative(after a, after a, after a)",
+    );
+}
+
+#[test]
+fn prior_and_sequence_absorb_into_their_base() {
+    // prior(E, F) ⊆ F and sequence(E, F) ⊆ F
+    equivalent("prior(after a, after b) | after b", "after b");
+    equivalent("sequence(after a, after b) | after b", "after b");
+    // …and sequence is at least as strict as prior
+    equivalent(
+        "sequence(after a, after b) | prior(after a, after b)",
+        "prior(after a, after b)",
+    );
+}
+
+#[test]
+fn sequence_vs_prior_vs_relative_strictness() {
+    // On plain logical events relative(E,F) and prior(E,F) coincide...
+    equivalent("relative(after a, after b)", "prior(after a, after b)");
+    // ...but sequence is strictly tighter.
+    different("sequence(after a, after b)", "prior(after a, after b)");
+    // On composite arguments relative and prior genuinely differ
+    // (the paper's §3.4 example).
+    different(
+        "relative(relative(after a, after b), relative(after c, after b))",
+        "prior(relative(after a, after b), relative(after c, after b))",
+    );
+}
+
+#[test]
+fn counting_laws() {
+    // choose 1 = first occurrence; every 1 = all occurrences
+    equivalent("every 1 (after a)", "after a");
+    different("choose 1 (after a)", "after a");
+    // the n-th occurrence is in "n-th and subsequent"
+    equivalent(
+        "choose 3 (after a) | relative 3 (after a)",
+        "relative 3 (after a)",
+    );
+    // every n ⊆ relative n
+    equivalent(
+        "every 3 (after a) | relative 3 (after a)",
+        "relative 3 (after a)",
+    );
+    different("every 3 (after a)", "choose 3 (after a)");
+}
+
+#[test]
+fn fa_laws() {
+    // With an impossible guard, fa is just "first F after E".
+    equivalent(
+        "fa(after a, after b, empty)",
+        "relative(after a, after b & !prior(after b, after b))",
+    );
+    // A guard equal to F blocks nothing extra (the first F is also the
+    // first guard, and guards only block *strictly before* F).
+    equivalent(
+        "fa(after a, after b, after b)",
+        "fa(after a, after b, empty)",
+    );
+    // fa and faAbs coincide when the guard is a plain logical event
+    // (a single point in either context).
+    equivalent(
+        "fa(after a, after b, after c)",
+        "faAbs(after a, after b, after c)",
+    );
+}
+
+#[test]
+fn masks_refine_events() {
+    // a masked event is a sub-event of its base
+    equivalent("after w(i, q) && q > 10 | after w(i, q)", "after w(i, q)");
+    different("after w(i, q) && q > 10", "after w(i, q) && q > 20");
+    // and the conjunction of two masks is their shared minterm
+    different(
+        "(after w(i, q) && q > 10) & (after w(i, q) && q > 20)",
+        "after w(i, q) && q > 10",
+    );
+}

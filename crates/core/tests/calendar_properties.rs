@@ -1,0 +1,117 @@
+//! Property tests for the simulation calendar: `TimeSpec::matches` and
+//! `TimeSpec::next_match_after` must agree.
+
+use ode_core::event::{calendar, TimeSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = TimeSpec> {
+    // Random subsets of the sub-day fields (day-and-coarser follow the
+    // same code path; sub-day keeps the exhaustive scans cheap).
+    (
+        prop::option::of(0u32..24),
+        prop::option::of(0u32..60),
+        prop::option::of(0u32..60),
+    )
+        .prop_map(|(hr, min, sec)| TimeSpec {
+            hr,
+            min,
+            sec,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// `next_match_after(t)` returns a strictly later instant that
+    /// `matches`.
+    #[test]
+    fn next_match_is_a_future_match(
+        spec in spec_strategy(),
+        t in 0u64..(3 * calendar::DAY),
+    ) {
+        prop_assume!(spec.hr.is_some() || spec.min.is_some() || spec.sec.is_some());
+        let next = spec.next_match_after(t);
+        let next = next.expect("sub-day patterns recur forever");
+        prop_assert!(next > t);
+        prop_assert!(spec.matches(next), "{spec:?} should match {next}");
+    }
+
+    /// Nothing between `t` and the reported next match matches —
+    /// verified exhaustively at second granularity.
+    #[test]
+    fn next_match_is_the_earliest(
+        hr in prop::option::of(0u32..24),
+        min in prop::option::of(0u32..60),
+        sec in 0u32..60,
+        t in 0u64..(2 * calendar::DAY),
+    ) {
+        let spec = TimeSpec { hr, min, sec: Some(sec), ..Default::default() };
+        let next = spec.next_match_after(t).expect("recurs");
+        // scan the open interval at second resolution (the finest this
+        // spec constrains)
+        let start = t / calendar::SEC + 1;
+        let end = next / calendar::SEC;
+        for s in start..end {
+            let instant = s * calendar::SEC;
+            prop_assert!(
+                !spec.matches(instant),
+                "{spec:?} matches {instant} before reported next {next}"
+            );
+        }
+    }
+
+    /// Matching instants are exactly the fixed points of
+    /// `next_match_after(t - 1)`.
+    #[test]
+    fn matches_iff_reachable(
+        spec in spec_strategy(),
+        t in 1u64..(2 * calendar::DAY),
+    ) {
+        prop_assume!(spec.hr.is_some() || spec.min.is_some() || spec.sec.is_some());
+        if spec.matches(t) {
+            prop_assert_eq!(spec.next_match_after(t - 1), Some(t));
+        }
+    }
+
+    /// Durations are additive in their fields.
+    #[test]
+    fn duration_is_linear(h in 0u32..100, m in 0u32..100, s in 0u32..100) {
+        let spec = TimeSpec {
+            hr: Some(h),
+            min: Some(m),
+            sec: Some(s),
+            ..Default::default()
+        };
+        prop_assert_eq!(
+            spec.as_duration_ms(),
+            h as u64 * calendar::HR + m as u64 * calendar::MIN + s as u64 * calendar::SEC
+        );
+    }
+}
+
+#[test]
+fn empty_spec_never_matches_or_schedules() {
+    let empty = TimeSpec::default();
+    assert!(!empty.matches(0));
+    assert!(!empty.matches(calendar::DAY));
+    assert_eq!(empty.next_match_after(0), None);
+}
+
+#[test]
+fn year_anchored_specs_are_one_shot() {
+    let spec = TimeSpec {
+        yr: Some(1),
+        mo: Some(2),
+        day: Some(3),
+        hr: Some(4),
+        ..Default::default()
+    };
+    let t = spec.next_match_after(0).unwrap();
+    assert!(spec.matches(t));
+    assert_eq!(
+        t,
+        calendar::YR + calendar::MO + 2 * calendar::DAY + 4 * calendar::HR
+    );
+    assert_eq!(spec.next_match_after(t), None);
+}

@@ -1,0 +1,116 @@
+//! The combined per-class monitor with masked events, and the compiler's
+//! resource caps.
+
+use std::sync::Arc;
+
+use ode_core::{
+    parse_event, BasicEvent, CombinedDetector, CombinedEvent, CompiledEvent, Detector,
+    EmptyEnv, EventError, EventExpr, LogicalEvent, MaskExpr, Value,
+};
+
+/// Combined monitoring with masked, parameterized events: the shared
+/// alphabet must carry the union of all triggers' mask minterms, and
+/// classification must agree with the individual detectors.
+#[test]
+fn combined_monitor_with_masks_agrees() {
+    let exprs: Vec<EventExpr> = [
+        "after w(i, q) && q > 100",
+        "choose 2 (after w(i, q) && q > 10)",
+        "after w(i, q) && q > 10; after w(i, q) && q > 100",
+    ]
+    .iter()
+    .map(|s| parse_event(s).unwrap())
+    .collect();
+
+    let combined = Arc::new(CombinedEvent::compile(&exprs).unwrap());
+    let mut cd = CombinedDetector::new(Arc::clone(&combined));
+    cd.activate(&EmptyEnv).unwrap();
+    let mut individual: Vec<Detector> = exprs
+        .iter()
+        .map(|e| {
+            let mut d = Detector::new(Arc::new(CompiledEvent::compile(e).unwrap()));
+            d.activate(&EmptyEnv).unwrap();
+            d
+        })
+        .collect();
+
+    let quantities = [5i64, 50, 500, 20, 200, 7, 150, 15];
+    for q in quantities {
+        let ev = BasicEvent::after_method("w");
+        let args = [Value::Null, Value::Int(q)];
+        let mask = cd.post(&ev, &args, &EmptyEnv).unwrap();
+        for (i, d) in individual.iter_mut().enumerate() {
+            let fired = d.post(&ev, &args, &EmptyEnv).unwrap();
+            assert_eq!(fired, mask & (1 << i) != 0, "event {i} at q={q}");
+        }
+    }
+}
+
+/// More than `MAX_GROUP_MASKS` distinct masks on one basic event is
+/// rejected with the minterm-blowup explanation.
+#[test]
+fn per_event_mask_cap_enforced() {
+    let mut expr: Option<EventExpr> = None;
+    for j in 0..(ode_core::alphabet::MAX_GROUP_MASKS + 1) {
+        let le = EventExpr::Logical(
+            LogicalEvent::bare(BasicEvent::after_method("w"))
+                .with_params(["i", "q"])
+                .with_mask(MaskExpr::gt("q", j as i64)),
+        );
+        expr = Some(match expr {
+            Some(e) => e.or(le),
+            None => le,
+        });
+    }
+    let err = CompiledEvent::compile(&expr.unwrap()).unwrap_err();
+    assert!(matches!(err, EventError::TooManyMasks { .. }), "{err}");
+    assert!(err.to_string().contains("minterm"), "{err}");
+}
+
+/// The alphabet-size cap catches combinations of many masked events and
+/// composite masks.
+#[test]
+fn alphabet_cap_enforced() {
+    // 10 masks on each of 2 basic events (2 * 2^10 minterms) times 2^8
+    // composite-mask bits blows past MAX_ALPHABET.
+    let mut expr: Option<EventExpr> = None;
+    for m in ["w", "v"] {
+        for j in 0..ode_core::alphabet::MAX_GROUP_MASKS {
+            let le = EventExpr::Logical(
+                LogicalEvent::bare(BasicEvent::after_method(m))
+                    .with_params(["i", "q"])
+                    .with_mask(MaskExpr::gt("q", j as i64)),
+            );
+            expr = Some(match expr {
+                Some(e) => e.or(le),
+                None => le,
+            });
+        }
+    }
+    let mut e = expr.unwrap();
+    for j in 0..ode_core::alphabet::MAX_GLOBAL_MASKS {
+        e = e.masked(MaskExpr::lt("level", j as i64));
+    }
+    let err = CompiledEvent::compile(&e).unwrap_err();
+    assert!(matches!(err, EventError::AlphabetTooLarge { .. }), "{err}");
+}
+
+/// A single-event CombinedEvent behaves exactly like the plain detector.
+#[test]
+fn combined_of_one_is_plain_detection() {
+    let e = parse_event("fa(after a, after b, after c)").unwrap();
+    let combined = Arc::new(CombinedEvent::compile(std::slice::from_ref(&e)).unwrap());
+    let plain = Arc::new(CompiledEvent::compile(&e).unwrap());
+    assert_eq!(combined.num_states(), plain.stats().dfa_states);
+
+    let mut cd = CombinedDetector::new(combined);
+    let mut pd = Detector::new(plain);
+    cd.activate(&EmptyEnv).unwrap();
+    pd.activate(&EmptyEnv).unwrap();
+    for m in ["a", "b", "c", "a", "c", "b", "b"] {
+        let ev = BasicEvent::after_method(m);
+        let cm = cd.post(&ev, &[], &EmptyEnv).unwrap();
+        let pf = pd.post(&ev, &[], &EmptyEnv).unwrap();
+        assert_eq!(cm == 1, pf, "at {m}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Parser robustness: malformed input must produce errors, never panics;
+//! valid input parses deterministically.
+
+use ode_core::{parse_event, parse_mask};
+use proptest::prelude::*;
+
+#[test]
+fn garbage_inputs_error_cleanly() {
+    for src in [
+        "",
+        "   ",
+        "(",
+        ")",
+        "|",
+        "&&",
+        "after",
+        "before",
+        "relative",
+        "relative(",
+        "relative()",
+        "choose (after a)",
+        "choose x (after a)",
+        "fa(after a)",
+        "fa(after a, after b)",
+        "fa(after a, after b, after c, after d)",
+        "after a |",
+        "after a &",
+        "after a ;",
+        "!",
+        "after a after b",
+        "time(HR=9)",
+        "at time(HR=)",
+        "at time(HR)",
+        "at time(HR=-1)",
+        "after withdraw(",
+        "after withdraw(,)",
+        "after withdraw(1)",
+        "after a && ",
+        "after a && >",
+        "\"unterminated",
+        "after a & & after b",
+        "every (after a)",
+        "relative + (after a) extra",
+        "state()",
+        "state(1 +)",
+        "sequence 0 (after a)",
+        "प after", // non-ASCII start
+    ] {
+        let r = parse_event(src);
+        assert!(r.is_err(), "`{src}` should fail to parse, got {r:?}");
+    }
+}
+
+#[test]
+fn masks_error_cleanly() {
+    for src in ["", "(", "1 +", "a .", "f(", "a ++ b", "== 3"] {
+        assert!(parse_mask(src).is_err(), "`{src}` should fail");
+    }
+}
+
+#[test]
+fn deeply_nested_input_parses_up_to_the_limit() {
+    // 30 levels of parentheses parse fine (each level costs two depth
+    // units: the event rule plus the unary rule)…
+    let src = format!("{}after a{}", "(".repeat(30), ")".repeat(30));
+    parse_event(&src).unwrap();
+    // …but pathological nesting errors cleanly instead of blowing the
+    // stack.
+    let src = format!("{}after a{}", "(".repeat(5_000), ")".repeat(5_000));
+    let err = parse_event(&src).unwrap_err();
+    assert!(err.to_string().contains("depth"), "{err}");
+}
+
+#[test]
+fn long_negation_chains_error_cleanly() {
+    let src = format!("{}after a", "!".repeat(10_000));
+    assert!(parse_event(&src).is_err());
+    let src = format!("{}x > 1", "!".repeat(10_000));
+    assert!(parse_mask(&src).is_err());
+}
+
+#[test]
+fn long_curried_lists_parse() {
+    let items = vec!["after a"; 100].join(", ");
+    let e = parse_event(&format!("prior({items})")).unwrap();
+    assert_eq!(e.size(), 101);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Random byte soup never panics the parser.
+    #[test]
+    fn random_strings_never_panic(s in "\\PC{0,80}") {
+        let _ = parse_event(&s);
+        let _ = parse_mask(&s);
+    }
+
+    /// Random token soup from the language's own vocabulary never panics
+    /// (hits deeper grammar paths than raw bytes do).
+    #[test]
+    fn token_soup_never_panics(toks in prop::collection::vec(
+        prop_oneof![
+            Just("after"), Just("before"), Just("relative"), Just("prior"),
+            Just("sequence"), Just("choose"), Just("every"), Just("fa"),
+            Just("faAbs"), Just("at"), Just("time"), Just("("), Just(")"),
+            Just(","), Just(";"), Just("|"), Just("&"), Just("&&"),
+            Just("!"), Just("+"), Just("5"), Just("a"), Just("withdraw"),
+            Just("q"), Just(">"), Just("=="), Just("HR"), Just("="),
+            Just("tcommit"), Just("tbegin"), Just("empty"),
+        ],
+        0..25,
+    )) {
+        let src = toks.join(" ");
+        let _ = parse_event(&src);
+    }
+}

@@ -1,0 +1,325 @@
+//! The virtual clock and timer queue for time events (Section 3.1
+//! item 3).
+//!
+//! Time events "are really global, but are considered events of interest
+//! and posted only to the 'relevant' objects" — those with an active
+//! trigger mentioning the time event. The engine registers timers when
+//! such a trigger is activated; [`crate::engine::Database::advance_clock_to`]
+//! drains due timers in timestamp order and posts the corresponding
+//! time events inside system transactions.
+//!
+//! Scoping: `at time(…)` patterns are absolute calendar happenings, so
+//! one posting per object serves every trigger listening to the same
+//! pattern; `every time(…)` and `after time(…)` are anchored at a
+//! specific trigger's activation instant, so their postings are scoped
+//! to that trigger instance alone.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ode_core::{TimeEvent, TimeSpec};
+
+use crate::ids::ObjectId;
+
+/// Who a time-event posting is visible to.
+#[cfg_attr(feature = "persistence", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimerScope {
+    /// Every trigger on the object (absolute `at` patterns).
+    Object,
+    /// Only the trigger instance with this index (activation-anchored
+    /// `every`/`after` durations).
+    Trigger(usize),
+}
+
+/// A registered timer.
+#[cfg_attr(feature = "persistence", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Timer {
+    /// The object the event will be posted to.
+    pub object: ObjectId,
+    /// Which triggers see the posting.
+    pub scope: TimerScope,
+    /// The time event to post.
+    pub event: TimeEvent,
+    /// Recurrence: `None` for one-shot (`after`), period for `every`,
+    /// pattern for `at`.
+    pub recurrence: Recurrence,
+}
+
+/// How a timer reschedules itself.
+#[cfg_attr(feature = "persistence", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Recurrence {
+    /// Fire once.
+    OneShot,
+    /// Fire every `period` ms.
+    Periodic(u64),
+    /// Fire at each match of the calendar pattern.
+    Pattern(TimeSpec),
+}
+
+/// The virtual clock: current time plus a due-ordered timer heap.
+#[derive(Debug, Default)]
+pub struct Clock {
+    now: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, Timer)>>,
+    counter: u64,
+}
+
+impl Clock {
+    /// Current virtual time (ms since epoch 0).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Register a timer due at `due`. Timers in the past are dropped.
+    pub fn schedule(&mut self, due: u64, timer: Timer) {
+        if due > self.now {
+            self.counter += 1;
+            self.heap.push(Reverse((due, self.counter, timer)));
+        }
+    }
+
+    /// Register a timer for a parsed time event, anchored at `anchor`
+    /// (the trigger activation instant). Returns `false` if the event can
+    /// never fire (empty pattern or zero period).
+    pub fn schedule_event(
+        &mut self,
+        object: ObjectId,
+        scope: TimerScope,
+        event: &TimeEvent,
+        anchor: u64,
+    ) -> bool {
+        match event {
+            TimeEvent::At(spec) => match spec.next_match_after(anchor) {
+                Some(due) => {
+                    self.schedule(
+                        due,
+                        Timer {
+                            object,
+                            scope: TimerScope::Object,
+                            event: event.clone(),
+                            recurrence: Recurrence::Pattern(*spec),
+                        },
+                    );
+                    true
+                }
+                None => false,
+            },
+            TimeEvent::Every(spec) => {
+                let period = spec.as_duration_ms();
+                if period == 0 {
+                    return false;
+                }
+                self.schedule(
+                    anchor + period,
+                    Timer {
+                        object,
+                        scope,
+                        event: event.clone(),
+                        recurrence: Recurrence::Periodic(period),
+                    },
+                );
+                true
+            }
+            TimeEvent::After(spec) => {
+                let delay = spec.as_duration_ms();
+                if delay == 0 {
+                    return false;
+                }
+                self.schedule(
+                    anchor + delay,
+                    Timer {
+                        object,
+                        scope,
+                        event: event.clone(),
+                        recurrence: Recurrence::OneShot,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Advance to `target`, returning the due timers in firing order.
+    /// Recurring timers are rescheduled; the clock ends at `target`.
+    pub fn advance_to(&mut self, target: u64) -> Vec<(u64, Timer)> {
+        let mut fired = Vec::new();
+        while let Some(Reverse((due, _, _))) = self.heap.peek() {
+            if *due > target {
+                break;
+            }
+            let Reverse((due, _, timer)) = self.heap.pop().expect("peeked");
+            self.now = due;
+            match &timer.recurrence {
+                Recurrence::OneShot => {}
+                Recurrence::Periodic(p) => {
+                    let next = due + p;
+                    self.counter += 1;
+                    self.heap.push(Reverse((next, self.counter, timer.clone())));
+                }
+                Recurrence::Pattern(spec) => {
+                    if let Some(next) = spec.next_match_after(due) {
+                        self.counter += 1;
+                        self.heap.push(Reverse((next, self.counter, timer.clone())));
+                    }
+                }
+            }
+            fired.push((due, timer));
+        }
+        self.now = self.now.max(target);
+        fired
+    }
+
+    /// Drop every timer belonging to `object` (object deletion).
+    pub fn cancel_object(&mut self, object: ObjectId) {
+        let kept: Vec<_> = self
+            .heap
+            .drain()
+            .filter(|Reverse((_, _, t))| t.object != object)
+            .collect();
+        self.heap = kept.into();
+    }
+
+    /// Number of pending timers.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// All pending timers as `(due, timer)`, in firing order
+    /// (persistence export).
+    pub fn export_timers(&self) -> Vec<(u64, Timer)> {
+        let mut v: Vec<(u64, u64, Timer)> = self
+            .heap
+            .iter()
+            .map(|Reverse((due, c, t))| (*due, *c, t.clone()))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(due, _, t)| (due, t)).collect()
+    }
+
+    /// Rebuild the clock from a persisted state.
+    pub fn import(&mut self, now: u64, timers: Vec<(u64, Timer)>) {
+        self.now = now;
+        self.heap.clear();
+        self.counter = 0;
+        for (due, t) in timers {
+            self.counter += 1;
+            self.heap.push(Reverse((due, self.counter, t)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_core::event::calendar;
+
+    fn obj() -> ObjectId {
+        ObjectId(1)
+    }
+
+    #[test]
+    fn at_pattern_recurs_daily() {
+        let mut c = Clock::default();
+        let nine = TimeEvent::At(TimeSpec::at_hour(9));
+        assert!(c.schedule_event(obj(), TimerScope::Object, &nine, 0));
+        let fired = c.advance_to(3 * calendar::DAY);
+        assert_eq!(fired.len(), 3);
+        assert_eq!(fired[0].0, 9 * calendar::HR);
+        assert_eq!(fired[1].0, calendar::DAY + 9 * calendar::HR);
+        assert_eq!(fired[2].0, 2 * calendar::DAY + 9 * calendar::HR);
+        assert_eq!(c.now(), 3 * calendar::DAY);
+    }
+
+    #[test]
+    fn every_is_periodic_from_anchor() {
+        let mut c = Clock::default();
+        c.advance_to(100);
+        let ev = TimeEvent::Every(TimeSpec {
+            sec: Some(2),
+            ..Default::default()
+        });
+        assert!(c.schedule_event(obj(), TimerScope::Trigger(0), &ev, 100));
+        let fired = c.advance_to(100 + 5 * calendar::SEC);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].0, 100 + 2 * calendar::SEC);
+        assert_eq!(fired[1].0, 100 + 4 * calendar::SEC);
+        assert_eq!(fired[0].1.scope, TimerScope::Trigger(0));
+    }
+
+    #[test]
+    fn after_fires_once() {
+        let mut c = Clock::default();
+        let ev = TimeEvent::After(TimeSpec {
+            hr: Some(2),
+            min: Some(30),
+            ..Default::default()
+        });
+        assert!(c.schedule_event(obj(), TimerScope::Trigger(3), &ev, 0));
+        let fired = c.advance_to(calendar::DAY);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 2 * calendar::HR + 30 * calendar::MIN);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn empty_specs_rejected() {
+        let mut c = Clock::default();
+        assert!(!c.schedule_event(
+            obj(),
+            TimerScope::Object,
+            &TimeEvent::Every(TimeSpec::default()),
+            0
+        ));
+        assert!(!c.schedule_event(
+            obj(),
+            TimerScope::Object,
+            &TimeEvent::At(TimeSpec::default()),
+            0
+        ));
+    }
+
+    #[test]
+    fn cancel_object_drops_timers() {
+        let mut c = Clock::default();
+        let ev = TimeEvent::Every(TimeSpec {
+            sec: Some(1),
+            ..Default::default()
+        });
+        c.schedule_event(ObjectId(1), TimerScope::Object, &ev, 0);
+        c.schedule_event(ObjectId(2), TimerScope::Object, &ev, 0);
+        assert_eq!(c.pending(), 2);
+        c.cancel_object(ObjectId(1));
+        assert_eq!(c.pending(), 1);
+        let fired = c.advance_to(calendar::SEC);
+        assert_eq!(fired[0].1.object, ObjectId(2));
+    }
+
+    #[test]
+    fn firing_order_is_chronological() {
+        let mut c = Clock::default();
+        c.schedule(
+            50,
+            Timer {
+                object: ObjectId(2),
+                scope: TimerScope::Object,
+                event: TimeEvent::After(TimeSpec::default()),
+                recurrence: Recurrence::OneShot,
+            },
+        );
+        c.schedule(
+            10,
+            Timer {
+                object: ObjectId(1),
+                scope: TimerScope::Object,
+                event: TimeEvent::After(TimeSpec::default()),
+                recurrence: Recurrence::OneShot,
+            },
+        );
+        let fired = c.advance_to(100);
+        assert_eq!(fired[0].0, 10);
+        assert_eq!(fired[1].0, 50);
+    }
+}

@@ -1,0 +1,183 @@
+//! The Section 7 coupling constructors: every E-C-A coupling mode,
+//! expressed as a plain E-A event expression.
+//!
+//! > "Given our powerful event specification facilities, it is not
+//! > necessary to define such a list of couplings. Any coupling desired
+//! > can be implemented by selecting an appropriate event specification,
+//! > incorporating the required transaction events."
+//!
+//! With `E` a composite event and `C` a condition (mask):
+//!
+//! | # | coupling                | encoding |
+//! |---|-------------------------|----------|
+//! | 1 | immediate–immediate     | `E && C ==> A` |
+//! | 2 | immediate–deferred      | `fa(E&&C, before tcomplete, after tbegin) ==> A` |
+//! | 3 | immediate–dependent     | `fa(E&&C, after tcommit, after tbegin) ==> A` |
+//! | 4 | immediate–independent   | `fa(E&&C, after tcommit \| after tabort, after tbegin) ==> A` |
+//! | 5 | deferred–immediate / deferred–deferred | `fa(E, before tcomplete, after tbegin) && C ==> A` |
+//! | 6 | deferred–dependent      | `fa(fa(E, before tcomplete, after tbegin) && C, after tcommit, after tbegin) ==> A` |
+//! | 7 | deferred–independent    | `fa(fa(E, before tcomplete, after tbegin) && C, after tcommit \| after tabort, after tbegin) ==> A` |
+//! | 8 | dependent–immediate     | `fa(E, after tcommit, after tbegin) && C ==> A` |
+//! | 9 | independent–immediate   | `fa(E, after tcommit \| after tabort, after tbegin) && C ==> A` |
+//!
+//! (Coupling terms: *immediate* = in the same transaction, right away;
+//! *deferred* = just before the triggering transaction commits;
+//! *dependent* = in a separate transaction, only after commit;
+//! *independent* = in a separate transaction after commit or abort.)
+
+use ode_core::{BasicEvent, EventExpr, EventKind, MaskExpr};
+
+fn after_tbegin() -> EventExpr {
+    EventExpr::basic(BasicEvent::after(EventKind::TBegin))
+}
+
+fn before_tcomplete() -> EventExpr {
+    EventExpr::basic(BasicEvent::before(EventKind::TComplete))
+}
+
+fn after_tcommit() -> EventExpr {
+    EventExpr::basic(BasicEvent::after(EventKind::TCommit))
+}
+
+fn after_tabort() -> EventExpr {
+    EventExpr::basic(BasicEvent::after(EventKind::TAbort))
+}
+
+fn commit_or_abort() -> EventExpr {
+    after_tcommit().or(after_tabort())
+}
+
+/// 1: evaluate `C` and run `A` at `E`'s occurrence, in the same
+/// transaction.
+pub fn immediate_immediate(e: EventExpr, c: MaskExpr) -> EventExpr {
+    e.masked(c)
+}
+
+/// 2: evaluate `C` at `E`, defer `A` to just before the transaction
+/// attempts to commit.
+pub fn immediate_deferred(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(e.masked(c), before_tcomplete(), after_tbegin())
+}
+
+/// 3: evaluate `C` at `E`, run `A` after the triggering transaction
+/// commits (commit-dependent).
+pub fn immediate_dependent(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(e.masked(c), after_tcommit(), after_tbegin())
+}
+
+/// 4: evaluate `C` at `E`, run `A` after the triggering transaction
+/// finishes either way (independent).
+pub fn immediate_independent(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(e.masked(c), commit_or_abort(), after_tbegin())
+}
+
+/// 5: defer both `C` and `A` to just before commit (the paper folds
+/// deferred–immediate and deferred–deferred together).
+pub fn deferred_immediate(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(e, before_tcomplete(), after_tbegin()).masked(c)
+}
+
+/// 6: evaluate `C` just before commit, run `A` after commit.
+pub fn deferred_dependent(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(
+        EventExpr::fa(e, before_tcomplete(), after_tbegin()).masked(c),
+        after_tcommit(),
+        after_tbegin(),
+    )
+}
+
+/// 7: evaluate `C` just before commit, run `A` after commit or abort.
+pub fn deferred_independent(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(
+        EventExpr::fa(e, before_tcomplete(), after_tbegin()).masked(c),
+        commit_or_abort(),
+        after_tbegin(),
+    )
+}
+
+/// 8: evaluate `C` (and run `A`) after the triggering transaction
+/// commits.
+pub fn dependent_immediate(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(e, after_tcommit(), after_tbegin()).masked(c)
+}
+
+/// 9: evaluate `C` (and run `A`) after the triggering transaction
+/// finishes either way.
+pub fn independent_immediate(e: EventExpr, c: MaskExpr) -> EventExpr {
+    EventExpr::fa(e, commit_or_abort(), after_tbegin()).masked(c)
+}
+
+/// A coupling constructor: `(E, C) -> encoded event expression`.
+pub type CouplingFn = fn(EventExpr, MaskExpr) -> EventExpr;
+
+/// All nine constructors with their paper names, for the E6 experiment
+/// and the coupling example.
+pub fn all_couplings() -> Vec<(&'static str, CouplingFn)> {
+    vec![
+        ("immediate-immediate", immediate_immediate),
+        ("immediate-deferred", immediate_deferred),
+        ("immediate-dependent", immediate_dependent),
+        ("immediate-independent", immediate_independent),
+        ("deferred-immediate", deferred_immediate),
+        ("deferred-dependent", deferred_dependent),
+        ("deferred-independent", deferred_independent),
+        ("dependent-immediate", dependent_immediate),
+        ("independent-immediate", independent_immediate),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_core::CompiledEvent;
+
+    fn e() -> EventExpr {
+        EventExpr::after_method("update_item")
+    }
+
+    fn c() -> MaskExpr {
+        MaskExpr::gt("qty", 10i64)
+    }
+
+    #[test]
+    fn all_nine_compile() {
+        for (name, f) in all_couplings() {
+            let expr = f(e(), c());
+            let compiled = CompiledEvent::compile(&expr)
+                .unwrap_or_else(|err| panic!("{name} failed to compile: {err}"));
+            assert!(!compiled.never_occurs(), "{name} can never occur");
+        }
+    }
+
+    #[test]
+    fn encodings_match_paper_shapes() {
+        let s = immediate_deferred(e(), c()).to_string();
+        assert!(s.contains("fa("), "{s}");
+        assert!(s.contains("before tcomplete"), "{s}");
+        assert!(s.contains("after tbegin"), "{s}");
+
+        let s = immediate_independent(e(), c()).to_string();
+        assert!(s.contains("after tcommit | after tabort"), "{s}");
+
+        let s = deferred_dependent(e(), c()).to_string();
+        assert_eq!(s.matches("fa(").count(), 2, "{s}");
+    }
+
+    #[test]
+    fn deferred_couplings_place_condition_outside_fa() {
+        // deferred-immediate: C is a composite mask on the fa result.
+        match deferred_immediate(e(), c()) {
+            EventExpr::Masked(inner, _) => {
+                assert!(matches!(*inner, EventExpr::Fa(_, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // immediate-deferred: C is attached to E inside the fa.
+        match immediate_deferred(e(), c()) {
+            EventExpr::Fa(inner, _, _) => {
+                assert!(matches!(*inner, EventExpr::Masked(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1436 @@
+//! The active-database engine: objects, transactions, event posting, and
+//! trigger firing — Sections 2, 5, 6 and 7 of the paper, operational.
+//!
+//! ## Posting model
+//!
+//! Every happening of interest is *posted* to an object as a basic
+//! event. A member-function call posts, in order:
+//!
+//! ```text
+//! after tbegin            (once, immediately before the txn's first access)
+//! before access
+//! before read|update      (per the method's kind)
+//! before <method>(args)
+//!     …body…
+//! after <method>(args)
+//! after read|update
+//! after access
+//! ```
+//!
+//! Each posting advances the automata of the active triggers whose
+//! alphabets contain the event ("for each active trigger for which a
+//! logical event has occurred, we move the automaton to the next state",
+//! Section 5); events outside a trigger's alphabet are invisible to it.
+//! When automata accept, the engine first deactivates every fired
+//! *ordinary* trigger ("an ordinary trigger is automatically deactivated
+//! the moment it fires"), then executes the fired actions immediately,
+//! within the same transaction — the E-A model (Section 7).
+//!
+//! ## Transactions
+//!
+//! Object-level locking (Section 6's assumption). `commit` runs the
+//! `before tcomplete` fixpoint: the event is posted to every accessed
+//! object, repeatedly, until no trigger fires (Section 6), then the
+//! transaction commits and a *system transaction* posts `after tcommit`
+//! ("the events must be posted by a special 'system' transaction, and if
+//! a trigger fires, the action part is executed as part of this 'system'
+//! transaction"). Aborts undo field writes, object creation/deletion,
+//! trigger activations — and, for triggers monitoring the *committed*
+//! history, the automaton state itself; full-history triggers keep their
+//! state (Section 6's two implementation options).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use ode_automata::StateId;
+use ode_core::{BasicEvent, EventKind, MaskEnv, Qualifier, Value};
+
+use crate::class::{Action, ActionCtx, ClassDef, MaskFnCtx, MethodCtx, MethodKind, Monitoring};
+use crate::clock::{Clock, TimerScope};
+use crate::error::{AbortReason, OdeError};
+use crate::ids::{ClassId, ObjectId, TxnId};
+use crate::object::{Object, PostStatus, PostedRecord, TriggerInstance};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum trigger-cascade depth before the transaction aborts.
+    pub max_cascade_depth: u32,
+    /// Maximum `before tcomplete` rounds before the commit aborts
+    /// (Section 6's fixpoint, bounded).
+    pub max_tcomplete_rounds: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_cascade_depth: 32,
+            max_tcomplete_rounds: 16,
+        }
+    }
+}
+
+/// Engine counters (used by the experiment harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Basic events posted to objects.
+    pub events_posted: u64,
+    /// Automaton steps taken (relevant classifications).
+    pub symbols_stepped: u64,
+    /// Trigger firings.
+    pub triggers_fired: u64,
+    /// Committed transactions (excluding system transactions).
+    pub txns_committed: u64,
+    /// Aborted transactions.
+    pub txns_aborted: u64,
+}
+
+#[derive(Debug)]
+enum UndoOp {
+    FieldSet {
+        obj: ObjectId,
+        field: String,
+        old: Option<Value>,
+    },
+    Created(ObjectId),
+    Deleted(ObjectId),
+    TriggerState {
+        obj: ObjectId,
+        idx: usize,
+        old: StateId,
+    },
+    TriggerSnapshot {
+        obj: ObjectId,
+        idx: usize,
+        old_active: bool,
+        old_state: StateId,
+        old_params: Vec<Value>,
+    },
+}
+
+#[derive(Debug)]
+struct TxnState {
+    user: Value,
+    is_system: bool,
+    accessed: Vec<ObjectId>,
+    undo: Vec<UndoOp>,
+    aborted: Option<AbortReason>,
+}
+
+/// The database: classes, objects, transactions, clock, triggers.
+pub struct Database {
+    classes: Vec<Arc<ClassDef>>,
+    class_index: HashMap<String, ClassId>,
+    objects: HashMap<u64, Object>,
+    next_object: u64,
+    next_txn: u64,
+    txns: HashMap<u64, TxnState>,
+    locks: HashMap<ObjectId, TxnId>,
+    clock: Clock,
+    seq: u64,
+    entry_depth: u32,
+    cascade_depth: u32,
+    config: Config,
+    output: Vec<String>,
+    stats: Stats,
+    at_timer_registry: HashSet<(ObjectId, ode_core::TimeEvent)>,
+    schema_triggers: Vec<crate::schema::SchemaTrigger>,
+    #[cfg(feature = "persistence")]
+    redo_log: Option<crate::wal::RedoLog>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A fresh database with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(Config::default())
+    }
+
+    /// A fresh database with explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        Database {
+            classes: Vec::new(),
+            class_index: HashMap::new(),
+            objects: HashMap::new(),
+            next_object: 1,
+            next_txn: 1,
+            txns: HashMap::new(),
+            locks: HashMap::new(),
+            clock: Clock::default(),
+            seq: 0,
+            entry_depth: 0,
+            cascade_depth: 0,
+            config,
+            output: Vec::new(),
+            stats: Stats::default(),
+            at_timer_registry: HashSet::new(),
+            schema_triggers: Vec::new(),
+            #[cfg(feature = "persistence")]
+            redo_log: None,
+        }
+    }
+
+    /// Start recording a logical redo log of application-level
+    /// operations (see [`crate::wal`]).
+    #[cfg(feature = "persistence")]
+    pub fn enable_logging(&mut self) {
+        if self.redo_log.is_none() {
+            self.redo_log = Some(crate::wal::RedoLog::default());
+        }
+    }
+
+    /// Stop logging and take the recorded log.
+    #[cfg(feature = "persistence")]
+    pub fn take_log(&mut self) -> Option<crate::wal::RedoLog> {
+        self.redo_log.take()
+    }
+
+    /// Append to the redo log — only outermost (application-level)
+    /// operations are recorded; nested trigger-action calls re-run
+    /// automatically during replay.
+    #[cfg(feature = "persistence")]
+    fn log_op(&mut self, op: impl FnOnce() -> crate::wal::LogOp) {
+        if self.entry_depth == 0 {
+            if let Some(log) = &mut self.redo_log {
+                log.ops.push(op());
+            }
+        }
+    }
+
+
+
+    // ------------------------------------------------------------ schema
+
+    /// Define a class. If the definition names a base class
+    /// ([`crate::class::ClassBuilder::extends`]), the base must already
+    /// be defined here; the new class is stored *flattened* — inherited
+    /// fields, methods, mask functions, triggers, and constructor
+    /// activations are materialized, with the subclass's methods and
+    /// mask functions overriding same-named inherited ones (triggers may
+    /// not be redefined).
+    pub fn define_class(&mut self, def: ClassDef) -> Result<ClassId, OdeError> {
+        if self.class_index.contains_key(&def.name) {
+            return Err(OdeError::ClassExists(def.name));
+        }
+        let def = match &def.parent {
+            None => def,
+            Some(parent_name) => {
+                let parent_id = self
+                    .class_id(parent_name)
+                    .ok_or_else(|| OdeError::UnknownClass(parent_name.clone()))?;
+                let parent = Arc::clone(self.class(parent_id));
+                flatten_inheritance(&parent, def)?
+            }
+        };
+        let id = ClassId(self.classes.len() as u32);
+        let name = def.name.clone();
+        self.class_index.insert(name.clone(), id);
+        self.classes.push(Arc::new(def));
+        // Database-scope event: schema modification (Section 3).
+        self.post_schema(&crate::schema::events::define_class(), &[Value::Str(name)]);
+        Ok(id)
+    }
+
+    /// Register a database-scope trigger (Section 3's database-scope
+    /// events: schema modification, object population changes).
+    pub fn define_schema_trigger(&mut self, trigger: crate::schema::SchemaTrigger) {
+        self.schema_triggers.push(trigger);
+    }
+
+    /// Post a schema event to the database-scope triggers.
+    fn post_schema(&mut self, basic: &ode_core::BasicEvent, args: &[Value]) {
+        use ode_core::EmptyEnv;
+        let mut fired = Vec::new();
+        for (i, t) in self.schema_triggers.iter_mut().enumerate() {
+            if !t.active {
+                continue;
+            }
+            match t.detector.post(basic, args, &EmptyEnv) {
+                Ok(true) => fired.push(i),
+                Ok(false) => {}
+                Err(e) => {
+                    self.output
+                        .push(format!("schema trigger `{}` mask error: {e}", t.name));
+                }
+            }
+        }
+        for i in fired {
+            if !self.schema_triggers[i].perpetual {
+                self.schema_triggers[i].active = false;
+            }
+            let action = Arc::clone(&self.schema_triggers[i].action);
+            let name = self.schema_triggers[i].name.clone();
+            self.stats.triggers_fired += 1;
+            let mut ctx = crate::schema::SchemaCtx {
+                db: self,
+                trigger: &name,
+                event: basic,
+                args,
+            };
+            if let Err(e) = action(&mut ctx) {
+                self.emit(format!("schema trigger `{name}` action failed: {e}"));
+            }
+        }
+    }
+
+    /// Look up a class id by name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_index.get(name).copied()
+    }
+
+    /// All defined class ids, in definition order.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// The class definition.
+    pub fn class(&self, id: ClassId) -> &Arc<ClassDef> {
+        &self.classes[id.0 as usize]
+    }
+
+    // -------------------------------------------------------- txn lifecycle
+
+    /// Begin a transaction (anonymous user).
+    pub fn begin(&mut self) -> TxnId {
+        self.begin_as(Value::Str("anonymous".into()))
+    }
+
+    /// Begin a transaction on behalf of `user` (readable through the
+    /// `user()` mask function, as in trigger T1).
+    pub fn begin_as(&mut self, user: Value) -> TxnId {
+        let id = TxnId(self.next_txn);
+        #[cfg(feature = "persistence")]
+        {
+            let u = user.clone();
+            self.log_op(|| crate::wal::LogOp::Begin { txn: id.0, user: u });
+        }
+        self.next_txn += 1;
+        self.txns.insert(
+            id.0,
+            TxnState {
+                user,
+                is_system: false,
+                accessed: Vec::new(),
+                undo: Vec::new(),
+                aborted: None,
+            },
+        );
+        id
+    }
+
+    fn begin_system(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(
+            id.0,
+            TxnState {
+                user: Value::Str("system".into()),
+                is_system: true,
+                accessed: Vec::new(),
+                undo: Vec::new(),
+                aborted: None,
+            },
+        );
+        id
+    }
+
+    /// Commit: run the `before tcomplete` fixpoint, make effects durable,
+    /// then post `after tcommit` from a system transaction.
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), OdeError> {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Commit { txn: txn.0 });
+        self.user_entry(txn, |db| db.commit_inner(txn))
+    }
+
+    /// Explicitly abort the transaction.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), OdeError> {
+        self.txn_state(txn)?;
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Abort { txn: txn.0 });
+        self.finish_abort(txn, AbortReason::Explicit);
+        Ok(())
+    }
+
+    /// Run `f` inside a fresh transaction, committing on `Ok` and
+    /// aborting on `Err`.
+    pub fn in_txn<T>(
+        &mut self,
+        f: impl FnOnce(&mut Database, TxnId) -> Result<T, OdeError>,
+    ) -> Result<T, OdeError> {
+        self.in_txn_as(Value::Str("anonymous".into()), f)
+    }
+
+    /// [`Database::in_txn`] with an explicit user.
+    pub fn in_txn_as<T>(
+        &mut self,
+        user: Value,
+        f: impl FnOnce(&mut Database, TxnId) -> Result<T, OdeError>,
+    ) -> Result<T, OdeError> {
+        let txn = self.begin_as(user);
+        match f(self, txn) {
+            Ok(v) => {
+                self.commit(txn)?;
+                Ok(v)
+            }
+            Err(e) => {
+                if self.txns.contains_key(&txn.0) {
+                    let _ = self.abort(txn);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_inner(&mut self, txn: TxnId) -> Result<(), OdeError> {
+        let is_system = self.txn_state(txn)?.is_system;
+        // Section 6: post `before tcomplete` until no triggers fire. The
+        // accessed set may grow between rounds if actions touch new
+        // objects. System transactions post only their payload events,
+        // so they skip the fixpoint.
+        if !is_system {
+            let mut rounds = 0u32;
+            loop {
+                let accessed = self.txn_state(txn)?.accessed.clone();
+                let mut fired = 0u32;
+                for obj in accessed {
+                    fired += self.post(
+                        txn,
+                        obj,
+                        &BasicEvent::before(EventKind::TComplete),
+                        &[],
+                        None,
+                    )?;
+                }
+                if fired == 0 {
+                    break;
+                }
+                rounds += 1;
+                if rounds > self.config.max_tcomplete_rounds {
+                    return self
+                        .request_abort(txn, AbortReason::TCompleteDivergence)
+                        .map(|_| ());
+                }
+            }
+        }
+
+        // Commit proper.
+        let state = self.txns.remove(&txn.0).expect("checked above");
+        for obj in &state.accessed {
+            if let Some(o) = self.objects.get_mut(&obj.0) {
+                for r in o.history.iter_mut().filter(|r| r.txn == txn) {
+                    r.status = PostStatus::Committed;
+                }
+                if o.deleted {
+                    self.clock.cancel_object(*obj);
+                }
+            }
+        }
+        self.locks.retain(|_, holder| *holder != txn);
+        if !state.is_system {
+            self.stats.txns_committed += 1;
+            // System transaction posts `after tcommit` to every object
+            // the committed transaction accessed.
+            self.system_round(&state.accessed, &BasicEvent::after(EventKind::TCommit));
+        }
+        Ok(())
+    }
+
+    /// Mark the transaction aborted and unwind with an error; the
+    /// outermost entry point performs the actual rollback.
+    pub(crate) fn request_abort(
+        &mut self,
+        txn: TxnId,
+        reason: AbortReason,
+    ) -> Result<(), OdeError> {
+        if let Some(state) = self.txns.get_mut(&txn.0) {
+            if state.aborted.is_none() {
+                state.aborted = Some(reason.clone());
+            }
+        }
+        Err(OdeError::Aborted(reason))
+    }
+
+    fn finish_abort(&mut self, txn: TxnId, reason: AbortReason) {
+        if !self.txns.contains_key(&txn.0) {
+            return;
+        }
+        // Post `before tabort` inside the aborting transaction (its
+        // effects — and, for committed-mode triggers, the automaton
+        // steps themselves — are undone below).
+        let accessed = self.txns[&txn.0].accessed.clone();
+        for obj in &accessed {
+            let _ = self.post(txn, *obj, &BasicEvent::before(EventKind::TAbort), &[], None);
+        }
+
+        let state = self.txns.remove(&txn.0).expect("checked above");
+        // Undo in reverse order.
+        for op in state.undo.into_iter().rev() {
+            match op {
+                UndoOp::FieldSet { obj, field, old } => {
+                    if let Some(o) = self.objects.get_mut(&obj.0) {
+                        match old {
+                            Some(v) => o.fields.insert(field, v),
+                            None => o.fields.remove(&field),
+                        };
+                    }
+                }
+                UndoOp::Created(obj) => {
+                    self.objects.remove(&obj.0);
+                    self.clock.cancel_object(obj);
+                    self.at_timer_registry.retain(|(o, _)| *o != obj);
+                }
+                UndoOp::Deleted(obj) => {
+                    if let Some(o) = self.objects.get_mut(&obj.0) {
+                        o.deleted = false;
+                    }
+                }
+                UndoOp::TriggerState { obj, idx, old } => {
+                    if let Some(o) = self.objects.get_mut(&obj.0) {
+                        if let Some(t) = o.triggers.get_mut(idx) {
+                            t.state = old;
+                        }
+                    }
+                }
+                UndoOp::TriggerSnapshot {
+                    obj,
+                    idx,
+                    old_active,
+                    old_state,
+                    old_params,
+                } => {
+                    if let Some(o) = self.objects.get_mut(&obj.0) {
+                        if let Some(t) = o.triggers.get_mut(idx) {
+                            t.active = old_active;
+                            t.state = old_state;
+                            t.params = old_params;
+                        }
+                    }
+                }
+            }
+        }
+        // Mark this transaction's history records aborted.
+        for obj in &accessed {
+            if let Some(o) = self.objects.get_mut(&obj.0) {
+                for r in o.history.iter_mut().filter(|r| r.txn == txn) {
+                    r.status = PostStatus::Aborted;
+                }
+            }
+        }
+        self.locks.retain(|_, holder| *holder != txn);
+        if !state.is_system {
+            self.stats.txns_aborted += 1;
+            self.emit(format!("{txn} aborted: {reason}"));
+            // System transaction posts `after tabort`.
+            self.system_round(&accessed, &BasicEvent::after(EventKind::TAbort));
+        }
+    }
+
+    /// Public entry wrapper: the outermost engine call finalizes a
+    /// requested abort (nested calls — trigger actions — just unwind).
+    fn user_entry<T>(
+        &mut self,
+        txn: TxnId,
+        f: impl FnOnce(&mut Database) -> Result<T, OdeError>,
+    ) -> Result<T, OdeError> {
+        if self.entry_depth > 0 {
+            return f(self);
+        }
+        self.entry_depth += 1;
+        let result = f(self);
+        self.entry_depth -= 1;
+        // Finalize a pending abort, whether it surfaced as an error or
+        // was swallowed by an action.
+        let pending = self.txns.get(&txn.0).and_then(|s| s.aborted.clone());
+        if let Some(reason) = pending {
+            self.finish_abort(txn, reason.clone());
+            return Err(OdeError::Aborted(reason));
+        }
+        result
+    }
+
+    fn txn_state(&self, txn: TxnId) -> Result<&TxnState, OdeError> {
+        let state = self.txns.get(&txn.0).ok_or(OdeError::UnknownTxn(txn))?;
+        if let Some(reason) = &state.aborted {
+            return Err(OdeError::Aborted(reason.clone()));
+        }
+        Ok(state)
+    }
+
+    // ---------------------------------------------------------- objects
+
+    /// Create an object of `class_name`, overriding field defaults,
+    /// auto-activating the class's constructor triggers, and posting
+    /// `after create`.
+    pub fn create_object(
+        &mut self,
+        txn: TxnId,
+        class_name: &str,
+        overrides: &[(&str, Value)],
+    ) -> Result<ObjectId, OdeError> {
+        let result = self.user_entry(txn, |db| db.create_object_inner(txn, class_name, overrides));
+        #[cfg(feature = "persistence")]
+        {
+            let obj = result.as_ref().map(|id| id.0).unwrap_or(0);
+            self.log_op(|| crate::wal::LogOp::Create {
+                txn: txn.0,
+                obj,
+                class: class_name.to_string(),
+                overrides: overrides
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+        result
+    }
+
+    fn create_object_inner(
+        &mut self,
+        txn: TxnId,
+        class_name: &str,
+        overrides: &[(&str, Value)],
+    ) -> Result<ObjectId, OdeError> {
+        self.txn_state(txn)?;
+        let class_id = self
+            .class_id(class_name)
+            .ok_or_else(|| OdeError::UnknownClass(class_name.to_string()))?;
+        let class = Arc::clone(self.class(class_id));
+        let id = ObjectId(self.next_object);
+        self.next_object += 1;
+
+        let mut fields = class.fields.clone();
+        for (k, v) in overrides {
+            fields.insert((*k).to_string(), v.clone());
+        }
+        let triggers = class
+            .triggers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TriggerInstance {
+                def_index: i,
+                active: false,
+                state: t.event.dfa().start(),
+                params: Vec::new(),
+                fired: 0,
+                captured: Vec::new(),
+            })
+            .collect();
+        self.objects.insert(
+            id.0,
+            Object {
+                id,
+                class: class_id,
+                fields,
+                deleted: false,
+                triggers,
+                history: Vec::new(),
+            },
+        );
+        if let Some(state) = self.txns.get_mut(&txn.0) {
+            state.undo.push(UndoOp::Created(id));
+        }
+        // Creation is this transaction's first access to the object.
+        self.ensure_locked(txn, id)?;
+        // Constructor body: activate the declared triggers, then the
+        // `after create` event is posted.
+        let auto = class.auto_activate.clone();
+        for t in &auto {
+            self.activate_trigger_inner(txn, id, t, &[])?;
+        }
+        self.post(txn, id, &BasicEvent::after(EventKind::Create), &[], None)?;
+        self.post_schema(
+            &crate::schema::events::create_object(),
+            &[Value::Str(class.name.clone())],
+        );
+        Ok(id)
+    }
+
+    /// Delete an object: posts `before delete`, then tombstones it.
+    pub fn delete_object(&mut self, txn: TxnId, obj: ObjectId) -> Result<(), OdeError> {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Delete {
+            txn: txn.0,
+            obj: obj.0,
+        });
+        self.user_entry(txn, |db| {
+            db.txn_state(txn)?;
+            db.ensure_locked(txn, obj)?;
+            let class_name = {
+                let o = db.live_object(obj)?;
+                db.class(o.class).name.clone()
+            };
+            db.post_schema(
+                &crate::schema::events::delete_object(),
+                &[Value::Str(class_name)],
+            );
+            db.post(txn, obj, &BasicEvent::before(EventKind::Delete), &[], None)?;
+            let o = db
+                .objects
+                .get_mut(&obj.0)
+                .ok_or(OdeError::UnknownObject(obj))?;
+            o.deleted = true;
+            if let Some(state) = db.txns.get_mut(&txn.0) {
+                state.undo.push(UndoOp::Deleted(obj));
+            }
+            Ok(())
+        })
+    }
+
+    fn live_object(&self, obj: ObjectId) -> Result<&Object, OdeError> {
+        let o = self
+            .objects
+            .get(&obj.0)
+            .ok_or(OdeError::UnknownObject(obj))?;
+        if o.deleted {
+            return Err(OdeError::ObjectDeleted(obj));
+        }
+        Ok(o)
+    }
+
+    /// Inspect a field without locking or posting events (tooling only —
+    /// real access goes through member functions).
+    pub fn peek_field(&self, obj: ObjectId, name: &str) -> Option<Value> {
+        self.objects.get(&obj.0)?.fields.get(name).cloned()
+    }
+
+    /// Inspect an object (tests, baselines, examples).
+    pub fn object(&self, obj: ObjectId) -> Option<&Object> {
+        self.objects.get(&obj.0)
+    }
+
+    /// Iterate over all live objects.
+    pub fn objects(&self) -> impl Iterator<Item = &Object> {
+        self.objects.values().filter(|o| !o.deleted)
+    }
+
+    // ---------------------------------------------------------- methods
+
+    /// Invoke a public member function: the paper's object access path,
+    /// posting the full before/after event envelope and firing triggers.
+    pub fn call(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, OdeError> {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Call {
+            txn: txn.0,
+            obj: obj.0,
+            method: method.to_string(),
+            args: args.to_vec(),
+        });
+        self.user_entry(txn, |db| db.call_inner(txn, obj, method, args))
+    }
+
+    fn call_inner(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, OdeError> {
+        self.txn_state(txn)?;
+        let o = self.live_object(obj)?;
+        let class = Arc::clone(self.class(o.class));
+        let mdef = class
+            .methods
+            .get(method)
+            .ok_or_else(|| OdeError::UnknownMethod {
+                class: class.name.clone(),
+                method: method.to_string(),
+            })?
+            .clone();
+        if mdef.params.len() != args.len() {
+            return Err(OdeError::WrongArgCount {
+                method: method.to_string(),
+                expected: mdef.params.len(),
+                got: args.len(),
+            });
+        }
+        self.ensure_locked(txn, obj)?;
+
+        let kind_event = match mdef.kind {
+            MethodKind::Read => EventKind::Read,
+            MethodKind::Update => EventKind::Update,
+        };
+        // Before events: access, read|update, method.
+        self.post(txn, obj, &BasicEvent::before(EventKind::Access), args, None)?;
+        self.post(
+            txn,
+            obj,
+            &BasicEvent::before(kind_event.clone()),
+            args,
+            None,
+        )?;
+        self.post(txn, obj, &BasicEvent::before_method(method), args, None)?;
+
+        // Body, with undo-logged field writes.
+        let mut dirty: Vec<(String, Option<Value>)> = Vec::new();
+        let result = {
+            let o = self
+                .objects
+                .get_mut(&obj.0)
+                .ok_or(OdeError::UnknownObject(obj))?;
+            let mut ctx = MethodCtx {
+                object: obj,
+                fields: &mut o.fields,
+                dirty: &mut dirty,
+                args,
+                output: &mut self.output,
+            };
+            (mdef.body)(&mut ctx)
+        };
+        if let Some(state) = self.txns.get_mut(&txn.0) {
+            for (field, old) in dirty {
+                state.undo.push(UndoOp::FieldSet { obj, field, old });
+            }
+        }
+        let result = result?;
+
+        // After events: method, read|update, access.
+        self.post(txn, obj, &BasicEvent::after_method(method), args, None)?;
+        self.post(txn, obj, &BasicEvent::after(kind_event), args, None)?;
+        self.post(txn, obj, &BasicEvent::after(EventKind::Access), args, None)?;
+        Ok(result)
+    }
+
+    fn ensure_locked(&mut self, txn: TxnId, obj: ObjectId) -> Result<(), OdeError> {
+        match self.locks.get(&obj) {
+            Some(holder) if *holder != txn => {
+                return Err(OdeError::LockConflict {
+                    object: obj,
+                    holder: *holder,
+                })
+            }
+            Some(_) => return Ok(()),
+            None => {
+                self.locks.insert(obj, txn);
+            }
+        }
+        let state = self.txns.get_mut(&txn.0).ok_or(OdeError::UnknownTxn(txn))?;
+        let first_access = !state.accessed.contains(&obj);
+        let is_system = state.is_system;
+        if first_access {
+            state.accessed.push(obj);
+            // "the 'after tbegin' event is posted to an object only
+            // immediately before the object is first accessed by the
+            // transaction" (Section 3.1). System transactions post only
+            // their payload events.
+            if !is_system {
+                self.post(txn, obj, &BasicEvent::after(EventKind::TBegin), &[], None)?;
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------- triggers
+
+    /// Activate a trigger "by invoking its name, along with parameter
+    /// values, just as an ordinary member function is invoked"
+    /// (Section 2). Resets the monitor to the automaton start state and
+    /// feeds the distinguished `start` point.
+    pub fn activate_trigger(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        name: &str,
+        params: &[Value],
+    ) -> Result<(), OdeError> {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Activate {
+            txn: txn.0,
+            obj: obj.0,
+            trigger: name.to_string(),
+            params: params.to_vec(),
+        });
+        self.user_entry(txn, |db| db.activate_trigger_inner(txn, obj, name, params))
+    }
+
+    fn activate_trigger_inner(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        name: &str,
+        params: &[Value],
+    ) -> Result<(), OdeError> {
+        self.txn_state(txn)?;
+        self.ensure_locked(txn, obj)?;
+        let o = self.live_object(obj)?;
+        let class = Arc::clone(self.class(o.class));
+        let idx = class
+            .trigger_index(name)
+            .ok_or_else(|| OdeError::UnknownTrigger {
+                class: class.name.clone(),
+                trigger: name.to_string(),
+            })?;
+        let tdef = &class.triggers[idx];
+        let user = self.txns[&txn.0].user.clone();
+
+        // Snapshot for rollback, mutate, feed `start`.
+        {
+            let o = self
+                .objects
+                .get_mut(&obj.0)
+                .ok_or(OdeError::UnknownObject(obj))?;
+            let inst = &mut o.triggers[idx];
+            let snapshot = UndoOp::TriggerSnapshot {
+                obj,
+                idx,
+                old_active: inst.active,
+                old_state: inst.state,
+                old_params: inst.params.clone(),
+            };
+            inst.active = true;
+            inst.params = params.to_vec();
+            let env = EngineEnv {
+                fields: &o.fields,
+                class: class.as_ref(),
+                user: &user,
+                history: &o.history,
+            };
+            let start_sym = tdef.event.alphabet().start_symbol(&env)?;
+            inst.state = tdef.event.dfa().step(tdef.event.dfa().start(), start_sym);
+            if let Some(state) = self.txns.get_mut(&txn.0) {
+                state.undo.push(snapshot);
+            }
+        }
+
+        // Register timers for the time events in this trigger's alphabet.
+        let now = self.clock.now();
+        for group in tdef.event.alphabet().groups() {
+            if let BasicEvent::Time(te) = &group.basic {
+                let scope = match te {
+                    ode_core::TimeEvent::At(_) => {
+                        // Absolute patterns: one object-wide timer per
+                        // (object, pattern).
+                        if !self.at_timer_registry.insert((obj, te.clone())) {
+                            continue;
+                        }
+                        TimerScope::Object
+                    }
+                    _ => TimerScope::Trigger(idx),
+                };
+                self.clock.schedule_event(obj, scope, te, now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Explicitly deactivate a trigger.
+    pub fn deactivate_trigger(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        name: &str,
+    ) -> Result<(), OdeError> {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Deactivate {
+            txn: txn.0,
+            obj: obj.0,
+            trigger: name.to_string(),
+        });
+        self.user_entry(txn, |db| {
+            db.txn_state(txn)?;
+            db.ensure_locked(txn, obj)?;
+            let o = db.live_object(obj)?;
+            let class = Arc::clone(db.class(o.class));
+            let idx = class
+                .trigger_index(name)
+                .ok_or_else(|| OdeError::UnknownTrigger {
+                    class: class.name.clone(),
+                    trigger: name.to_string(),
+                })?;
+            let o = db
+                .objects
+                .get_mut(&obj.0)
+                .ok_or(OdeError::UnknownObject(obj))?;
+            let inst = &mut o.triggers[idx];
+            let snapshot = UndoOp::TriggerSnapshot {
+                obj,
+                idx,
+                old_active: inst.active,
+                old_state: inst.state,
+                old_params: inst.params.clone(),
+            };
+            inst.active = false;
+            if let Some(state) = db.txns.get_mut(&txn.0) {
+                state.undo.push(snapshot);
+            }
+            Ok(())
+        })
+    }
+
+    // ---------------------------------------------------------- posting
+
+    /// Post a basic event to an object: append to its history, advance
+    /// each relevant active trigger's automaton, then fire. Returns the
+    /// number of triggers fired.
+    fn post(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        basic: &BasicEvent,
+        args: &[Value],
+        scope: Option<usize>,
+    ) -> Result<u32, OdeError> {
+        let Some(o) = self.objects.get(&obj.0) else {
+            return Ok(0); // object vanished (aborted create) — drop
+        };
+        if o.deleted && !matches!(basic, BasicEvent::Db(Qualifier::Before, EventKind::Delete)) {
+            return Ok(0);
+        }
+        let class = Arc::clone(self.class(o.class));
+        let user = match self.txns.get(&txn.0) {
+            Some(s) => s.user.clone(),
+            None => Value::Str("system".into()),
+        };
+
+        self.seq += 1;
+        self.stats.events_posted += 1;
+        let seq = self.seq;
+
+        // Phase A+B under one object borrow: classify against the fields
+        // (split borrow) and step the automata, collecting firings.
+        let mut fired: Vec<usize> = Vec::new();
+        {
+            let o = self.objects.get_mut(&obj.0).expect("checked above");
+            o.history.push(PostedRecord {
+                seq,
+                txn,
+                basic: basic.clone(),
+                args: args.to_vec(),
+                status: if self.txns.get(&txn.0).map(|t| t.is_system).unwrap_or(true) {
+                    PostStatus::Committed
+                } else {
+                    PostStatus::Pending
+                },
+            });
+            let Object {
+                fields,
+                triggers,
+                history,
+                ..
+            } = o;
+            // the record just pushed is the event being classified;
+            // masks see the history *before* it.
+            let visible_history = &history[..history.len() - 1];
+            let env = EngineEnv {
+                fields,
+                class: class.as_ref(),
+                user: &user,
+                history: visible_history,
+            };
+            let txn_undo = self.txns.get_mut(&txn.0).map(|s| &mut s.undo);
+            let mut txn_undo = txn_undo;
+            for (idx, inst) in triggers.iter_mut().enumerate() {
+                if !inst.active {
+                    continue;
+                }
+                if let Some(only) = scope {
+                    if only != idx {
+                        continue;
+                    }
+                }
+                let tdef = &class.triggers[inst.def_index];
+                let Some(sym) = tdef.event.alphabet().classify(basic, args, &env)? else {
+                    continue;
+                };
+                // Committed-history monitoring: the automaton state is
+                // object data, undone on abort (Section 6).
+                if tdef.monitoring == Monitoring::Committed {
+                    if let Some(undo) = txn_undo.as_deref_mut() {
+                        undo.push(UndoOp::TriggerState {
+                            obj,
+                            idx,
+                            old: inst.state,
+                        });
+                    }
+                }
+                if tdef.capture {
+                    match inst.captured.iter_mut().find(|(b, _)| b == basic) {
+                        Some(slot) => slot.1 = args.to_vec(),
+                        None => inst.captured.push((basic.clone(), args.to_vec())),
+                    }
+                }
+                inst.state = tdef.event.dfa().step(inst.state, sym);
+                self.stats.symbols_stepped += 1;
+                if tdef.event.dfa().is_accepting(inst.state) && !matches!(basic, BasicEvent::Start)
+                {
+                    fired.push(idx);
+                }
+            }
+        }
+
+        if fired.is_empty() {
+            return Ok(0);
+        }
+
+        // "We determine all the trigger events that have occurred, and
+        // then we fire the triggers": first deactivate every fired
+        // ordinary trigger, then execute the actions in declaration
+        // order.
+        let fired_count = fired.len() as u32;
+        for &idx in &fired {
+            let tdef = &class.triggers[idx];
+            let o = self.objects.get_mut(&obj.0).expect("present");
+            let inst = &mut o.triggers[idx];
+            inst.fired += 1;
+            self.stats.triggers_fired += 1;
+            if !tdef.perpetual {
+                let snapshot = UndoOp::TriggerSnapshot {
+                    obj,
+                    idx,
+                    old_active: inst.active,
+                    old_state: inst.state,
+                    old_params: inst.params.clone(),
+                };
+                inst.active = false;
+                if tdef.monitoring == Monitoring::Committed {
+                    if let Some(state) = self.txns.get_mut(&txn.0) {
+                        state.undo.push(snapshot);
+                    }
+                }
+            }
+        }
+        for idx in fired {
+            self.run_action(txn, obj, &class, idx, basic, args)?;
+        }
+        Ok(fired_count)
+    }
+
+    fn run_action(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        class: &Arc<ClassDef>,
+        idx: usize,
+        basic: &BasicEvent,
+        args: &[Value],
+    ) -> Result<(), OdeError> {
+        if self.cascade_depth >= self.config.max_cascade_depth {
+            return self.request_abort(txn, AbortReason::CascadeOverflow);
+        }
+        self.cascade_depth += 1;
+        let tdef = &class.triggers[idx];
+        let action = tdef.action.clone();
+        let name = tdef.name.clone();
+        let result = match action {
+            Action::Abort => self.request_abort(
+                txn,
+                AbortReason::TriggerAbort {
+                    trigger: name.clone(),
+                },
+            ),
+            Action::Call(method) => self.call_inner(txn, obj, &method, &[]).map(|_| ()),
+            Action::Emit(line) => {
+                let rendered = format!("[{txn} {obj} {name}] {line}");
+                self.output.push(rendered);
+                Ok(())
+            }
+            Action::Native(f) => {
+                let mut ctx = ActionCtx {
+                    db: self,
+                    txn,
+                    object: obj,
+                    trigger: &name,
+                    event: basic,
+                    event_args: args,
+                };
+                f(&mut ctx)
+            }
+        };
+        self.cascade_depth -= 1;
+        result
+    }
+
+    /// Post events to a set of objects inside a fresh system transaction
+    /// (`after tcommit`, `after tabort`, time events).
+    fn system_round(&mut self, objects: &[ObjectId], basic: &BasicEvent) {
+        let sys = self.begin_system();
+        for obj in objects {
+            // Best effort: a failing trigger action in a system round is
+            // reported, not propagated.
+            if let Err(e) = self.post(sys, *obj, basic, &[], None) {
+                self.emit(format!("system posting failed on {obj}: {e}"));
+            }
+        }
+        let _ = self.commit_inner(sys);
+    }
+
+    // ------------------------------------------------------------ clock
+
+    /// Current virtual time (ms).
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advance the virtual clock, posting due time events inside system
+    /// transactions (time events are "posted only to the relevant
+    /// objects", Section 3.1).
+    pub fn advance_clock_to(&mut self, target: u64) {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::AdvanceClock { to: target });
+        let due = self.clock.advance_to(target);
+        for (_, timer) in due {
+            let alive = self
+                .objects
+                .get(&timer.object.0)
+                .map(|o| !o.deleted)
+                .unwrap_or(false);
+            if !alive {
+                continue;
+            }
+            let scope = match timer.scope {
+                TimerScope::Object => None,
+                TimerScope::Trigger(i) => Some(i),
+            };
+            let sys = self.begin_system();
+            if let Err(e) = self.post(
+                sys,
+                timer.object,
+                &BasicEvent::Time(timer.event.clone()),
+                &[],
+                scope,
+            ) {
+                self.emit(format!("time event failed on {}: {e}", timer.object));
+            }
+            let _ = self.commit_inner(sys);
+        }
+    }
+
+    /// Advance the clock by a delta.
+    pub fn advance_clock_by(&mut self, delta: u64) {
+        self.advance_clock_to(self.clock.now() + delta);
+    }
+
+    // ----------------------------------------------------- persistence
+
+    /// Capture a [`crate::persist::Snapshot`] of the object store.
+    /// Requires quiescence: no transactions may be in flight (Section 2's
+    /// persistent store outlives programs, not transactions).
+    #[cfg(feature = "persistence")]
+    pub fn snapshot(&self) -> Result<crate::persist::Snapshot, OdeError> {
+        if let Some(id) = self.txns.keys().next() {
+            return Err(OdeError::Aborted(AbortReason::Error(format!(
+                "cannot snapshot with transaction txn#{id} in flight"
+            ))));
+        }
+        let mut objects: Vec<crate::persist::ObjectSnapshot> = self
+            .objects
+            .values()
+            .map(|o| {
+                let class = self.class(o.class);
+                crate::persist::ObjectSnapshot {
+                    id: o.id.0,
+                    class: class.name.clone(),
+                    fields: o.fields.clone(),
+                    deleted: o.deleted,
+                    triggers: o
+                        .triggers
+                        .iter()
+                        .map(|t| crate::persist::TriggerSnapshot {
+                            name: class.triggers[t.def_index].name.clone(),
+                            active: t.active,
+                            state: t.state,
+                            params: t.params.clone(),
+                            fired: t.fired,
+                            captured: t.captured.clone(),
+                        })
+                        .collect(),
+                    history: o
+                        .history
+                        .iter()
+                        .map(crate::persist::record_to_snapshot)
+                        .collect(),
+                }
+            })
+            .collect();
+        objects.sort_by_key(|o| o.id);
+        Ok(crate::persist::Snapshot {
+            next_object: self.next_object,
+            next_txn: self.next_txn,
+            seq: self.seq,
+            clock_now: self.clock.now(),
+            timers: self.clock.export_timers(),
+            objects,
+        })
+    }
+
+    /// Restore a snapshot into this database. The store must be empty
+    /// and every class (with every trigger) named by the snapshot must
+    /// already be defined — classes are code and are re-linked, not
+    /// persisted.
+    #[cfg(feature = "persistence")]
+    pub fn restore(&mut self, snap: &crate::persist::Snapshot) -> Result<(), OdeError> {
+        if !self.objects.is_empty() {
+            return Err(OdeError::Method(
+                "restore requires an empty object store".into(),
+            ));
+        }
+        if !self.txns.is_empty() {
+            return Err(OdeError::Method(
+                "restore requires no transactions in flight".into(),
+            ));
+        }
+        for os in &snap.objects {
+            let class_id = self
+                .class_id(&os.class)
+                .ok_or_else(|| OdeError::UnknownClass(os.class.clone()))?;
+            let class = Arc::clone(self.class(class_id));
+            // Rebuild instances in class-trigger order, then apply the
+            // snapshot's per-name state.
+            let mut triggers: Vec<crate::object::TriggerInstance> = class
+                .triggers
+                .iter()
+                .enumerate()
+                .map(|(i, t)| crate::object::TriggerInstance {
+                    def_index: i,
+                    active: false,
+                    state: t.event.dfa().start(),
+                    params: Vec::new(),
+                    fired: 0,
+                    captured: Vec::new(),
+                })
+                .collect();
+            for ts in &os.triggers {
+                let idx = class
+                    .trigger_index(&ts.name)
+                    .ok_or_else(|| OdeError::UnknownTrigger {
+                        class: class.name.clone(),
+                        trigger: ts.name.clone(),
+                    })?;
+                let inst = &mut triggers[idx];
+                inst.active = ts.active;
+                inst.state = ts.state;
+                inst.params = ts.params.clone();
+                inst.fired = ts.fired;
+                inst.captured = ts.captured.clone();
+            }
+            self.objects.insert(
+                os.id,
+                Object {
+                    id: ObjectId(os.id),
+                    class: class_id,
+                    fields: os.fields.clone(),
+                    deleted: os.deleted,
+                    triggers,
+                    history: os
+                        .history
+                        .iter()
+                        .map(crate::persist::record_from_snapshot)
+                        .collect(),
+                },
+            );
+        }
+        self.next_object = snap.next_object;
+        self.next_txn = snap.next_txn.max(self.next_txn);
+        self.seq = snap.seq;
+        self.clock.import(snap.clock_now, snap.timers.clone());
+        // Rebuild the at-pattern dedup registry from the live timers.
+        self.at_timer_registry = snap
+            .timers
+            .iter()
+            .filter(|(_, t)| t.scope == crate::clock::TimerScope::Object)
+            .map(|(_, t)| (t.object, t.event.clone()))
+            .collect();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ misc
+
+    /// Append a line to the output log.
+    pub fn emit(&mut self, line: impl Into<String>) {
+        self.output.push(line.into());
+    }
+
+    /// The output log (method `emit`s, trigger `Emit` actions,
+    /// diagnostics).
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Drain the output log.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+}
+
+/// Merge a subclass definition over its (already flattened) parent.
+fn flatten_inheritance(parent: &ClassDef, child: ClassDef) -> Result<ClassDef, OdeError> {
+    let mut fields = parent.fields.clone();
+    fields.extend(child.fields);
+    let mut methods = parent.methods.clone();
+    methods.extend(child.methods); // child overrides by name
+    let mut mask_fns = parent.mask_fns.clone();
+    mask_fns.extend(child.mask_fns);
+    let mut triggers = parent.triggers.clone();
+    for t in child.triggers {
+        if triggers.iter().any(|p| p.name == t.name) {
+            return Err(OdeError::Method(format!(
+                "class `{}` redefines inherited trigger `{}`",
+                child.name, t.name
+            )));
+        }
+        triggers.push(t);
+    }
+    let mut auto_activate = parent.auto_activate.clone();
+    for a in child.auto_activate {
+        if !auto_activate.contains(&a) {
+            auto_activate.push(a);
+        }
+    }
+    Ok(ClassDef {
+        name: child.name,
+        parent: child.parent,
+        fields,
+        methods,
+        mask_fns,
+        triggers,
+        auto_activate,
+    })
+}
+
+/// Mask environment backed by an object's fields, the class's mask
+/// functions, and the transaction user. Event parameters are layered on
+/// top by the alphabet's classification (positional binding).
+struct EngineEnv<'a> {
+    fields: &'a BTreeMap<String, Value>,
+    class: &'a ClassDef,
+    user: &'a Value,
+    history: &'a [crate::object::PostedRecord],
+}
+
+impl MaskEnv for EngineEnv<'_> {
+    fn param(&self, _name: &str) -> Option<Value> {
+        None
+    }
+    fn field(&self, name: &str) -> Option<Value> {
+        self.fields.get(name).cloned()
+    }
+    fn call(&self, name: &str, args: &[Value]) -> Option<Value> {
+        if name == "user" && args.is_empty() {
+            return Some(self.user.clone());
+        }
+        let f = self.class.mask_fns.get(name)?;
+        f(
+            &MaskFnCtx {
+                fields: self.fields,
+                user: self.user,
+                history: self.history,
+            },
+            args,
+        )
+    }
+}

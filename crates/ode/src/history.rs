@@ -1,0 +1,340 @@
+//! History expressions — a §9 "future work" extension.
+//!
+//! > "Explicit manipulation of event histories to specify events. The
+//! > idea is to define 'history expressions' and to integrate them with
+//! > event expressions."
+//!
+//! This module provides the query half: a small, composable filter
+//! algebra over an object's event history ([`crate::object::PostedRecord`]s),
+//! with counting, selection, and existence predicates. Mask functions
+//! can be built over these queries, which closes the loop back into
+//! event expressions (a mask may call a registered function that runs a
+//! history query — see the tests).
+
+use ode_core::{BasicEvent, EventKind, Qualifier};
+
+use crate::ids::TxnId;
+use crate::object::{Object, PostStatus, PostedRecord};
+
+/// A declarative filter over history records. Filters compose with
+/// [`HistoryQuery::and`].
+#[derive(Clone, Debug, Default)]
+pub struct HistoryQuery {
+    kind: Option<EventKind>,
+    qualifier: Option<Qualifier>,
+    method: Option<String>,
+    txn: Option<TxnId>,
+    status: Option<PostStatus>,
+    seq_range: Option<(u64, u64)>,
+}
+
+impl HistoryQuery {
+    /// Match everything.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to a basic-event kind (e.g. `EventKind::Update`).
+    pub fn kind(mut self, kind: EventKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restrict to `before` or `after` events.
+    pub fn qualifier(mut self, q: Qualifier) -> Self {
+        self.qualifier = Some(q);
+        self
+    }
+
+    /// Restrict to executions of a named member function.
+    pub fn method(mut self, name: impl Into<String>) -> Self {
+        self.method = Some(name.into());
+        self
+    }
+
+    /// Restrict to one transaction's events.
+    pub fn txn(mut self, txn: TxnId) -> Self {
+        self.txn = Some(txn);
+        self
+    }
+
+    /// Restrict by commit status.
+    pub fn status(mut self, status: PostStatus) -> Self {
+        self.status = Some(status);
+        self
+    }
+
+    /// Restrict to committed events only (the §6 committed view).
+    pub fn committed(self) -> Self {
+        self.status(PostStatus::Committed)
+    }
+
+    /// Restrict to global sequence numbers in `lo..=hi`.
+    pub fn seq_between(mut self, lo: u64, hi: u64) -> Self {
+        self.seq_range = Some((lo, hi));
+        self
+    }
+
+    /// Conjoin two queries (fields set in `other` override).
+    pub fn and(mut self, other: HistoryQuery) -> Self {
+        if other.kind.is_some() {
+            self.kind = other.kind;
+        }
+        if other.qualifier.is_some() {
+            self.qualifier = other.qualifier;
+        }
+        if other.method.is_some() {
+            self.method = other.method;
+        }
+        if other.txn.is_some() {
+            self.txn = other.txn;
+        }
+        if other.status.is_some() {
+            self.status = other.status;
+        }
+        if other.seq_range.is_some() {
+            self.seq_range = other.seq_range;
+        }
+        self
+    }
+
+    /// Does `record` satisfy the filter?
+    pub fn matches(&self, record: &PostedRecord) -> bool {
+        if let Some((lo, hi)) = self.seq_range {
+            if record.seq < lo || record.seq > hi {
+                return false;
+            }
+        }
+        if let Some(txn) = self.txn {
+            if record.txn != txn {
+                return false;
+            }
+        }
+        if let Some(status) = self.status {
+            if record.status != status {
+                return false;
+            }
+        }
+        match &record.basic {
+            BasicEvent::Db(q, kind) => {
+                if let Some(want) = self.qualifier {
+                    if *q != want {
+                        return false;
+                    }
+                }
+                if let Some(want) = &self.kind {
+                    if kind != want {
+                        return false;
+                    }
+                }
+                if let Some(want) = &self.method {
+                    if !matches!(kind, EventKind::Method(m) if m == want) {
+                        return false;
+                    }
+                }
+                true
+            }
+            // Time/start points match only fully unconstrained
+            // kind/method/qualifier filters.
+            _ => self.kind.is_none() && self.method.is_none() && self.qualifier.is_none(),
+        }
+    }
+
+    /// All matching records of an object's history, in posting order.
+    pub fn select<'a>(&'a self, object: &'a Object) -> impl Iterator<Item = &'a PostedRecord> {
+        self.select_records(&object.history)
+    }
+
+    /// As [`HistoryQuery::select`], over a raw record slice (the form
+    /// mask functions receive through [`crate::class::MaskFnCtx`]).
+    pub fn select_records<'a>(
+        &'a self,
+        records: &'a [PostedRecord],
+    ) -> impl Iterator<Item = &'a PostedRecord> {
+        records.iter().filter(move |r| self.matches(r))
+    }
+
+    /// Count the matches.
+    pub fn count(&self, object: &Object) -> usize {
+        self.select(object).count()
+    }
+
+    /// Does any record match?
+    pub fn exists(&self, object: &Object) -> bool {
+        self.select(object).next().is_some()
+    }
+
+    /// The most recent matching record.
+    pub fn last<'a>(&self, object: &'a Object) -> Option<&'a PostedRecord> {
+        object.history.iter().rev().find(|r| self.matches(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{Action, ClassDef, MethodKind};
+    use crate::engine::Database;
+    use ode_core::Value;
+
+    fn setup() -> (Database, crate::ids::ObjectId) {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::builder("acct")
+                .field("balance", 0i64)
+                .method("dep", MethodKind::Update, &["amt"], |ctx| {
+                    let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+                    ctx.set("balance", b + ctx.arg(0)?.as_int().unwrap_or(0));
+                    Ok(Value::Null)
+                })
+                .read_method("peek", &[])
+                .trigger("t", true, "after dep", Action::Emit("dep".into()))
+                .activate_on_create(&["t"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let txn = db.begin();
+        let obj = db.create_object(txn, "acct", &[]).unwrap();
+        db.call(txn, obj, "dep", &[Value::Int(5)]).unwrap();
+        db.call(txn, obj, "peek", &[]).unwrap();
+        db.commit(txn).unwrap();
+        // one aborted deposit
+        let t2 = db.begin();
+        db.call(t2, obj, "dep", &[Value::Int(7)]).unwrap();
+        db.abort(t2).unwrap();
+        (db, obj)
+    }
+
+    #[test]
+    fn method_and_qualifier_filters() {
+        let (db, obj) = setup();
+        let o = db.object(obj).unwrap();
+        let deps = HistoryQuery::any()
+            .method("dep")
+            .qualifier(Qualifier::After);
+        assert_eq!(deps.count(o), 2); // one committed, one aborted
+        assert_eq!(deps.clone().committed().count(o), 1);
+        assert_eq!(deps.status(PostStatus::Aborted).count(o), 1);
+    }
+
+    #[test]
+    fn kind_filters_match_envelope_events() {
+        let (db, obj) = setup();
+        let o = db.object(obj).unwrap();
+        let updates = HistoryQuery::any()
+            .kind(EventKind::Update)
+            .qualifier(Qualifier::After);
+        assert_eq!(updates.count(o), 2);
+        let reads = HistoryQuery::any()
+            .kind(EventKind::Read)
+            .qualifier(Qualifier::After);
+        assert_eq!(reads.count(o), 1);
+    }
+
+    #[test]
+    fn last_returns_most_recent() {
+        let (db, obj) = setup();
+        let o = db.object(obj).unwrap();
+        let last_dep = HistoryQuery::any().method("dep").last(o).unwrap();
+        assert_eq!(last_dep.args[0], Value::Int(7)); // the aborted one
+        let last_committed = HistoryQuery::any()
+            .method("dep")
+            .committed()
+            .last(o)
+            .unwrap();
+        assert_eq!(last_committed.args[0], Value::Int(5));
+    }
+
+    #[test]
+    fn txn_filter_and_abort_ratio() {
+        let (db, obj) = setup();
+        let o = db.object(obj).unwrap();
+        // §6's motivating example: "if the ratio of aborts to commits
+        // exceeds q then reduce the number of concurrent transactions" —
+        // expressible as a history query.
+        let aborted = HistoryQuery::any()
+            .kind(EventKind::TAbort)
+            .qualifier(Qualifier::After)
+            .count(o);
+        let committed = HistoryQuery::any()
+            .kind(EventKind::TCommit)
+            .qualifier(Qualifier::After)
+            .count(o);
+        assert_eq!(aborted, 1);
+        assert_eq!(committed, 1);
+    }
+
+    #[test]
+    fn seq_range_scopes_queries() {
+        let (db, obj) = setup();
+        let o = db.object(obj).unwrap();
+        let all = HistoryQuery::any().count(o);
+        let first_half = HistoryQuery::any().seq_between(0, 5).count(o);
+        assert!(first_half < all);
+        assert!(first_half > 0);
+    }
+
+    /// Close the loop (§9 "history expressions"): a mask function backed
+    /// by a history query, used inside a trigger's event specification.
+    #[test]
+    fn history_query_inside_a_mask() {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::builder("audited")
+                .update_method("write", &[])
+                .mask_fn("writes_so_far", |ctx, _args| {
+                    let n = HistoryQuery::any()
+                        .method("write")
+                        .qualifier(Qualifier::After)
+                        .select_records(ctx.history)
+                        .count();
+                    Some(Value::Int(n as i64))
+                })
+                .trigger(
+                    "noisy",
+                    true,
+                    // fires on a write once 3 earlier writes happened
+                    "after write && writes_so_far() >= 3",
+                    Action::Emit("noisy object".into()),
+                )
+                .activate_on_create(&["noisy"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let txn = db.begin();
+        let obj = db.create_object(txn, "audited", &[]).unwrap();
+        for _ in 0..5 {
+            db.call(txn, obj, "write", &[]).unwrap();
+        }
+        db.commit(txn).unwrap();
+        // writes 4 and 5 see >= 3 earlier writes
+        let fired = db.output().iter().filter(|l| l.contains("noisy")).count();
+        assert_eq!(fired, 2);
+    }
+
+    /// A mask-fn error (unknown function) surfaces as a call error, not
+    /// a silent non-firing.
+    #[test]
+    fn unknown_mask_function_surfaces() {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDef::builder("audited")
+                .update_method("write", &[])
+                .trigger(
+                    "broken",
+                    true,
+                    "after write && no_such_fn() > 3",
+                    Action::Emit("?".into()),
+                )
+                .activate_on_create(&["broken"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let txn = db.begin();
+        let obj = db.create_object(txn, "audited", &[]).unwrap();
+        assert!(db.call(txn, obj, "write", &[]).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! # ode-db — an active object-oriented database in the style of Ode/O++
+//!
+//! The substrate the SIGMOD 1992 composite-event paper assumes: persistent
+//! objects with identity, classes with public member functions,
+//! transactions with object-level locking and rollback, and — the point
+//! of the exercise — **triggers** whose composite events are monitored by
+//! finite automata with one word of state per active trigger per object.
+//!
+//! ```
+//! use ode_db::{Action, ClassDef, Database, MethodKind};
+//! use ode_core::Value;
+//!
+//! let mut db = Database::new();
+//! db.define_class(
+//!     ClassDef::builder("account")
+//!         .field("balance", 0i64)
+//!         .method("depositCash", MethodKind::Update, &["amt"], |ctx| {
+//!             let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+//!             let amt = ctx.arg(0)?.as_int().unwrap_or(0);
+//!             ctx.set("balance", b + amt);
+//!             Ok(Value::Null)
+//!         })
+//!         // fire on every deposit that leaves the balance below 500
+//!         .trigger(
+//!             "low",
+//!             true,
+//!             "after depositCash && balance < 500",
+//!             Action::Emit("balance still low".into()),
+//!         )
+//!         .activate_on_create(&["low"])
+//!         .build()
+//!         .unwrap(),
+//! )
+//! .unwrap();
+//!
+//! let txn = db.begin();
+//! let acct = db.create_object(txn, "account", &[]).unwrap();
+//! db.call(txn, acct, "depositCash", &[Value::Int(100)]).unwrap();
+//! db.commit(txn).unwrap();
+//! assert!(db.output().iter().any(|l| l.contains("balance still low")));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod clock;
+pub mod coupling;
+pub mod demo;
+pub mod engine;
+pub mod error;
+pub mod history;
+pub mod ids;
+pub mod object;
+#[cfg(feature = "persistence")]
+pub mod persist;
+#[cfg(feature = "persistence")]
+pub mod wal;
+pub mod report;
+pub mod shared;
+pub mod schema;
+
+pub use class::{
+    Action, ActionCtx, ActionFn, ClassBuilder, ClassDef, MaskFn, MaskFnCtx, MethodBody, MethodCtx,
+    MethodDef, MethodKind, Monitoring, TriggerDef,
+};
+pub use clock::{Clock, Recurrence, Timer, TimerScope};
+pub use engine::{Config, Database, Stats};
+pub use error::{AbortReason, OdeError};
+pub use history::HistoryQuery;
+pub use ids::{ClassId, ObjectId, TxnId};
+pub use object::{Object, PostStatus, PostedRecord, TriggerInstance};
+#[cfg(feature = "persistence")]
+pub use persist::Snapshot;
+#[cfg(feature = "persistence")]
+pub use wal::{replay, LogOp, RedoLog};
+pub use report::describe;
+pub use shared::{SharedDatabase, SharedTxn};
+pub use schema::{SchemaAction, SchemaCtx, SchemaTrigger};

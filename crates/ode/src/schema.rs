@@ -1,0 +1,238 @@
+//! Database-scope events (Section 3):
+//!
+//! > "Events have a 'scope.' In an object-oriented system, most events
+//! > are local to a particular object. In some cases it may be
+//! > appropriate to define events over other scopes, such as the
+//! > database. An example of an event that applies to the database is
+//! > the creation of object type, i.e., schema modification."
+//!
+//! Schema triggers monitor the *database's* own event history: class
+//! definitions and object creations/deletions across all classes. The
+//! same composite-event machinery applies — the history is the sequence
+//! of schema happenings, the monitor is one word of state.
+//!
+//! Schema basic events (method-event syntax, database scope):
+//!
+//! * `after defineClass(name)` — a class was defined;
+//! * `after createObject(class)` — an object of `class` was created;
+//! * `before deleteObject(class)` — an object is about to be deleted.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ode_core::{BasicEvent, CompiledEvent, Detector, EmptyEnv, EventExpr, Value};
+
+use crate::error::OdeError;
+
+/// Context handed to a schema-trigger action.
+pub struct SchemaCtx<'a> {
+    pub(crate) db: &'a mut crate::engine::Database,
+    pub(crate) trigger: &'a str,
+    pub(crate) event: &'a BasicEvent,
+    pub(crate) args: &'a [Value],
+}
+
+impl SchemaCtx<'_> {
+    /// The firing trigger's name.
+    pub fn trigger(&self) -> &str {
+        self.trigger
+    }
+
+    /// The schema event that completed the composite.
+    pub fn event(&self) -> &BasicEvent {
+        self.event
+    }
+
+    /// Its arguments (class name, …).
+    pub fn args(&self) -> &[Value] {
+        self.args
+    }
+
+    /// Append to the database output log.
+    pub fn emit(&mut self, line: impl Into<String>) {
+        self.db.emit(line);
+    }
+}
+
+/// A schema-trigger action body.
+pub type SchemaAction = Arc<dyn Fn(&mut SchemaCtx<'_>) -> Result<(), OdeError> + Send + Sync>;
+
+/// A database-scope trigger.
+pub struct SchemaTrigger {
+    /// Trigger name.
+    pub name: String,
+    /// Perpetual (stays active after firing)?
+    pub perpetual: bool,
+    /// The compiled composite event.
+    pub(crate) detector: Detector,
+    pub(crate) active: bool,
+    pub(crate) action: SchemaAction,
+}
+
+impl fmt::Debug for SchemaTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemaTrigger")
+            .field("name", &self.name)
+            .field("perpetual", &self.perpetual)
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SchemaTrigger {
+    /// Build and arm a schema trigger from an event expression.
+    pub fn new(
+        name: impl Into<String>,
+        perpetual: bool,
+        expr: &EventExpr,
+        action: SchemaAction,
+    ) -> Result<Self, OdeError> {
+        let compiled = Arc::new(CompiledEvent::compile(expr)?);
+        if compiled.never_occurs() {
+            return Err(OdeError::ImpossibleEvent {
+                trigger: name.into(),
+            });
+        }
+        let mut detector = Detector::new(compiled);
+        detector.activate(&EmptyEnv).map_err(OdeError::Mask)?;
+        Ok(SchemaTrigger {
+            name: name.into(),
+            perpetual,
+            detector,
+            active: true,
+            action,
+        })
+    }
+}
+
+/// Names of the schema basic events.
+pub mod events {
+    use ode_core::BasicEvent;
+
+    /// `after defineClass(name)`.
+    pub fn define_class() -> BasicEvent {
+        BasicEvent::after_method("defineClass")
+    }
+
+    /// `after createObject(class)`.
+    pub fn create_object() -> BasicEvent {
+        BasicEvent::after_method("createObject")
+    }
+
+    /// `before deleteObject(class)`.
+    pub fn delete_object() -> BasicEvent {
+        BasicEvent::before_method("deleteObject")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+    use crate::engine::Database;
+    use ode_core::parse_event;
+
+    fn emit_action(line: &'static str) -> SchemaAction {
+        Arc::new(move |ctx| {
+            let arg = ctx.args().first().cloned().unwrap_or(Value::Null);
+            ctx.emit(format!("{line}: {arg}"));
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn schema_trigger_fires_on_class_definition() {
+        let mut db = Database::new();
+        db.define_schema_trigger(
+            SchemaTrigger::new(
+                "newType",
+                true,
+                &parse_event("after defineClass").unwrap(),
+                emit_action("schema changed"),
+            )
+            .unwrap(),
+        );
+        db.define_class(ClassDef::builder("a").build().unwrap())
+            .unwrap();
+        db.define_class(ClassDef::builder("b").build().unwrap())
+            .unwrap();
+        let fired: Vec<_> = db
+            .output()
+            .iter()
+            .filter(|l| l.contains("schema changed"))
+            .cloned()
+            .collect();
+        assert_eq!(fired.len(), 2);
+        assert!(fired[0].contains("\"a\""), "{fired:?}");
+        assert!(fired[1].contains("\"b\""), "{fired:?}");
+    }
+
+    #[test]
+    fn composite_schema_events() {
+        // fire on the 3rd object creation, database-wide
+        let mut db = Database::new();
+        db.define_class(ClassDef::builder("a").build().unwrap())
+            .unwrap();
+        db.define_schema_trigger(
+            SchemaTrigger::new(
+                "third",
+                true,
+                &parse_event("choose 3 (after createObject)").unwrap(),
+                emit_action("third object"),
+            )
+            .unwrap(),
+        );
+        let txn = db.begin();
+        for _ in 0..5 {
+            db.create_object(txn, "a", &[]).unwrap();
+        }
+        db.commit(txn).unwrap();
+        assert_eq!(
+            db.output()
+                .iter()
+                .filter(|l| l.contains("third object"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ordinary_schema_trigger_deactivates() {
+        let mut db = Database::new();
+        db.define_schema_trigger(
+            SchemaTrigger::new(
+                "once",
+                false,
+                &parse_event("after defineClass").unwrap(),
+                emit_action("once"),
+            )
+            .unwrap(),
+        );
+        db.define_class(ClassDef::builder("a").build().unwrap())
+            .unwrap();
+        db.define_class(ClassDef::builder("b").build().unwrap())
+            .unwrap();
+        assert_eq!(db.output().iter().filter(|l| l.contains("once")).count(), 1);
+    }
+
+    #[test]
+    fn deletion_posts_before_delete_object() {
+        let mut db = Database::new();
+        db.define_class(ClassDef::builder("a").build().unwrap())
+            .unwrap();
+        db.define_schema_trigger(
+            SchemaTrigger::new(
+                "gone",
+                true,
+                &parse_event("before deleteObject").unwrap(),
+                emit_action("deleting"),
+            )
+            .unwrap(),
+        );
+        let txn = db.begin();
+        let obj = db.create_object(txn, "a", &[]).unwrap();
+        db.delete_object(txn, obj).unwrap();
+        db.commit(txn).unwrap();
+        assert!(db.output().iter().any(|l| l.contains("deleting")));
+    }
+}

@@ -1,0 +1,218 @@
+//! Tests for the §9 "future work" extensions: parameter capture across
+//! composite events, and history queries feeding back into masks.
+
+use std::sync::Arc;
+
+use ode_core::{BasicEvent, Value};
+use ode_db::{Action, ClassDef, Database};
+
+/// §9: "The incorporation of arguments into composite event
+/// specification. Some events carry values with them which may be of use
+/// later on." — capture the quantity of the *deposit* when the composite
+/// `deposit; withdraw` completes at the withdrawal.
+#[test]
+fn capture_collects_constituent_arguments() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("acct")
+            .update_method("deposit", &["amt"])
+            .update_method("withdraw", &["amt"])
+            .trigger_expr(
+                "pair",
+                true,
+                ode_core::parse_event("after deposit; after withdraw").unwrap(),
+                Action::Native(Arc::new(|ctx| {
+                    let dep = ctx
+                        .captured(&BasicEvent::after_method("deposit"))
+                        .and_then(|a| a.first().cloned())
+                        .unwrap_or(Value::Null);
+                    let wd = ctx.event_args().first().cloned().unwrap_or(Value::Null);
+                    ctx.emit(format!("pair: deposited {dep}, withdrew {wd}"));
+                    Ok(())
+                })),
+            )
+            .capture_params()
+            .activate_on_create(&["pair"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    let txn = db.begin();
+    let obj = db.create_object(txn, "acct", &[]).unwrap();
+    db.call(txn, obj, "deposit", &[Value::Int(75)]).unwrap();
+    db.call(txn, obj, "withdraw", &[Value::Int(30)]).unwrap();
+    db.commit(txn).unwrap();
+
+    assert!(
+        db.output()
+            .iter()
+            .any(|l| l.contains("pair: deposited 75, withdrew 30")),
+        "output: {:?}",
+        db.output()
+    );
+}
+
+/// Capture keeps the *most recent* constituent values.
+#[test]
+fn capture_keeps_latest_values() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("acct")
+            .update_method("deposit", &["amt"])
+            .update_method("withdraw", &["amt"])
+            .trigger_expr(
+                "pair",
+                true,
+                ode_core::parse_event("after deposit; after withdraw").unwrap(),
+                Action::Native(Arc::new(|ctx| {
+                    let dep = ctx
+                        .captured(&BasicEvent::after_method("deposit"))
+                        .and_then(|a| a.first().cloned())
+                        .unwrap_or(Value::Null);
+                    ctx.emit(format!("saw deposit {dep}"));
+                    Ok(())
+                })),
+            )
+            .capture_params()
+            .activate_on_create(&["pair"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    let txn = db.begin();
+    let obj = db.create_object(txn, "acct", &[]).unwrap();
+    // two deposits; the adjacency trigger fires only for the second pair
+    db.call(txn, obj, "deposit", &[Value::Int(1)]).unwrap();
+    db.call(txn, obj, "deposit", &[Value::Int(2)]).unwrap();
+    db.call(txn, obj, "withdraw", &[Value::Int(9)]).unwrap();
+    db.commit(txn).unwrap();
+    assert!(
+        db.output().iter().any(|l| l.contains("saw deposit 2")),
+        "output: {:?}",
+        db.output()
+    );
+}
+
+/// Without `capture_params`, nothing is recorded (the one-word storage
+/// claim is preserved by default).
+#[test]
+fn capture_is_opt_in() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("acct")
+            .update_method("deposit", &["amt"])
+            .update_method("withdraw", &["amt"])
+            .trigger_expr(
+                "pair",
+                true,
+                ode_core::parse_event("after deposit; after withdraw").unwrap(),
+                Action::Native(Arc::new(|ctx| {
+                    assert!(
+                        ctx.captured(&BasicEvent::after_method("deposit")).is_none(),
+                        "capture must be opt-in"
+                    );
+                    ctx.emit("fired");
+                    Ok(())
+                })),
+            )
+            .activate_on_create(&["pair"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "acct", &[]).unwrap();
+    db.call(txn, obj, "deposit", &[Value::Int(1)]).unwrap();
+    db.call(txn, obj, "withdraw", &[Value::Int(2)]).unwrap();
+    db.commit(txn).unwrap();
+    assert!(db.output().iter().any(|l| l.contains("fired")));
+    // the instance recorded nothing
+    let o = db.object(obj).unwrap();
+    assert!(o.triggers[0].captured.is_empty());
+}
+
+/// Activation parameters are stored on the instance and visible in the
+/// trigger state (the paper activates triggers "along with parameter
+/// values, just as an ordinary member function is invoked").
+#[test]
+fn activation_parameters_are_kept() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("acct")
+            .update_method("poke", &[])
+            .trigger("t", true, "after poke", Action::Emit("x".into()))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "acct", &[]).unwrap();
+    db.activate_trigger(txn, obj, "t", &[Value::Int(42), Value::Str("hi".into())])
+        .unwrap();
+    db.commit(txn).unwrap();
+    let o = db.object(obj).unwrap();
+    assert_eq!(
+        o.triggers[0].params,
+        vec![Value::Int(42), Value::Str("hi".into())]
+    );
+}
+
+/// MethodKind::Read vs Update select different envelope events.
+#[test]
+fn read_and_update_envelopes_differ() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("acct")
+            .read_method("peek", &[])
+            .update_method("bump", &[])
+            .trigger("onRead", true, "after read", Action::Emit("read".into()))
+            .trigger(
+                "onUpdate",
+                true,
+                "after update",
+                Action::Emit("update".into()),
+            )
+            .activate_on_create(&["onRead", "onUpdate"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "acct", &[]).unwrap();
+    db.call(txn, obj, "peek", &[]).unwrap();
+    db.call(txn, obj, "bump", &[]).unwrap();
+    db.commit(txn).unwrap();
+    let reads = db.output().iter().filter(|l| l.contains("read")).count();
+    let updates = db.output().iter().filter(|l| l.contains("update")).count();
+    assert_eq!(reads, 1);
+    assert_eq!(updates, 1);
+}
+
+/// MethodKind shows up in the kind-level events but both post `access`.
+#[test]
+fn all_method_calls_post_access() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("acct")
+            .read_method("peek", &[])
+            .update_method("bump", &[])
+            .trigger(
+                "onAccess",
+                true,
+                "every 2 (after access)",
+                Action::Emit("two".into()),
+            )
+            .activate_on_create(&["onAccess"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "acct", &[]).unwrap();
+    db.call(txn, obj, "peek", &[]).unwrap();
+    db.call(txn, obj, "bump", &[]).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(db.output().iter().filter(|l| l.contains("two")).count(), 1);
+}

@@ -1,0 +1,136 @@
+//! Class inheritance: O++ classes are C++ classes, so subclasses inherit
+//! fields, methods, mask functions, triggers, and constructor
+//! activations, and may override methods.
+
+use ode_core::Value;
+use ode_db::{Action, ClassDef, Database, MethodKind, OdeError};
+
+fn base() -> ClassDef {
+    ClassDef::builder("account")
+        .field("balance", 0i64)
+        .field("kind", "plain")
+        .method("deposit", MethodKind::Update, &["amt"], |ctx| {
+            let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+            ctx.set("balance", b + ctx.arg(0)?.as_int().unwrap_or(0));
+            Ok(Value::Null)
+        })
+        .trigger(
+            "audit",
+            true,
+            "after deposit",
+            Action::Emit("audited".into()),
+        )
+        .activate_on_create(&["audit"])
+        .build()
+        .unwrap()
+}
+
+fn savings() -> ClassDef {
+    ClassDef::builder("savings")
+        .extends("account")
+        .field("kind", "savings") // overrides the default
+        .field("rate", 5i64)
+        // override deposit: add a bonus
+        .method("deposit", MethodKind::Update, &["amt"], |ctx| {
+            let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+            let amt = ctx.arg(0)?.as_int().unwrap_or(0);
+            ctx.set("balance", b + amt + 1);
+            Ok(Value::Null)
+        })
+        .trigger(
+            "bigDeposit",
+            true,
+            "after deposit(amt) && amt > 100",
+            Action::Emit("big".into()),
+        )
+        .activate_on_create(&["bigDeposit"])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn subclass_inherits_fields_methods_and_triggers() {
+    let mut db = Database::new();
+    db.define_class(base()).unwrap();
+    db.define_class(savings()).unwrap();
+
+    let txn = db.begin();
+    let acct = db.create_object(txn, "savings", &[]).unwrap();
+    db.call(txn, acct, "deposit", &[Value::Int(200)]).unwrap();
+    db.commit(txn).unwrap();
+
+    // overridden method: 200 + 1 bonus
+    assert_eq!(db.peek_field(acct, "balance"), Some(Value::Int(201)));
+    // overridden field default
+    assert_eq!(
+        db.peek_field(acct, "kind"),
+        Some(Value::Str("savings".into()))
+    );
+    // new field
+    assert_eq!(db.peek_field(acct, "rate"), Some(Value::Int(5)));
+    // both the inherited trigger and the new one fired
+    assert!(db.output().iter().any(|l| l.contains("audited")));
+    assert!(db.output().iter().any(|l| l.contains("big")));
+}
+
+#[test]
+fn base_class_objects_are_unaffected() {
+    let mut db = Database::new();
+    db.define_class(base()).unwrap();
+    db.define_class(savings()).unwrap();
+    let txn = db.begin();
+    let plain = db.create_object(txn, "account", &[]).unwrap();
+    db.call(txn, plain, "deposit", &[Value::Int(200)]).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(db.peek_field(plain, "balance"), Some(Value::Int(200)));
+    assert!(!db.output().iter().any(|l| l.contains("big")));
+}
+
+#[test]
+fn unknown_parent_is_rejected() {
+    let mut db = Database::new();
+    let r = db.define_class(
+        ClassDef::builder("orphan")
+            .extends("nowhere")
+            .build()
+            .unwrap(),
+    );
+    assert!(matches!(r, Err(OdeError::UnknownClass(_))));
+}
+
+#[test]
+fn redefining_inherited_trigger_is_rejected() {
+    let mut db = Database::new();
+    db.define_class(base()).unwrap();
+    let r = db.define_class(
+        ClassDef::builder("bad")
+            .extends("account")
+            .trigger("audit", true, "after deposit", Action::Emit("x".into()))
+            .build()
+            .unwrap(),
+    );
+    assert!(r.is_err());
+}
+
+#[test]
+fn grandchild_inherits_transitively() {
+    let mut db = Database::new();
+    db.define_class(base()).unwrap();
+    db.define_class(savings()).unwrap();
+    db.define_class(
+        ClassDef::builder("premium")
+            .extends("savings")
+            .field("rate", 9i64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let acct = db.create_object(txn, "premium", &[]).unwrap();
+    db.call(txn, acct, "deposit", &[Value::Int(300)]).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(db.peek_field(acct, "balance"), Some(Value::Int(301))); // savings override
+    assert_eq!(db.peek_field(acct, "rate"), Some(Value::Int(9)));
+    assert!(db.output().iter().any(|l| l.contains("audited"))); // from base
+    assert!(db.output().iter().any(|l| l.contains("big"))); // from savings
+}

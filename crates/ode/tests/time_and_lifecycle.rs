@@ -1,0 +1,180 @@
+//! Time-event scoping and trigger-lifecycle edge cases.
+
+use ode_core::event::calendar;
+use ode_db::{Action, ClassDef, Database};
+
+/// Two triggers on the same object listening to the same `at` pattern:
+/// the pattern is one calendar happening, so each trigger fires once per
+/// match (no double-posting from duplicate timers).
+#[test]
+fn shared_at_pattern_posts_once() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("daily")
+            .trigger("morning1", true, "at time(HR=9)", Action::Emit("m1".into()))
+            .trigger("morning2", true, "at time(HR=9)", Action::Emit("m2".into()))
+            // a two-occurrence composite over the same pattern: fires on
+            // the SECOND morning, which is only correct if each morning
+            // posts exactly once
+            .trigger(
+                "secondMorning",
+                true,
+                "relative(at time(HR=9), at time(HR=9))",
+                Action::Emit("second".into()),
+            )
+            .activate_on_create(&["morning1", "morning2", "secondMorning"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    db.create_object(txn, "daily", &[]).unwrap();
+    db.commit(txn).unwrap();
+
+    db.advance_clock_to(12 * calendar::HR); // one morning passed
+    assert_eq!(db.output().iter().filter(|l| l.contains("m1")).count(), 1);
+    assert_eq!(db.output().iter().filter(|l| l.contains("m2")).count(), 1);
+    assert_eq!(
+        db.output().iter().filter(|l| l.contains("second")).count(),
+        0
+    );
+
+    db.advance_clock_to(calendar::DAY + 12 * calendar::HR); // second morning
+    assert_eq!(db.output().iter().filter(|l| l.contains("m1")).count(), 2);
+    assert_eq!(
+        db.output().iter().filter(|l| l.contains("second")).count(),
+        1,
+        "the composite must see exactly two morning points"
+    );
+}
+
+/// `every time(…)` periods are anchored per activation: two instances
+/// activated at different times tick on their own schedules without
+/// cross-talk.
+#[test]
+fn every_timers_are_per_trigger_scoped()  {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("periodic")
+            .trigger("tickA", true, "every time(HR=1)", Action::Emit("A".into()))
+            .trigger("tickB", true, "every time(HR=1)", Action::Emit("B".into()))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "periodic", &[]).unwrap();
+    db.activate_trigger(txn, obj, "tickA", &[]).unwrap();
+    db.commit(txn).unwrap();
+
+    // activate B half an hour later
+    db.advance_clock_by(30 * calendar::MIN);
+    let txn = db.begin();
+    db.activate_trigger(txn, obj, "tickB", &[]).unwrap();
+    db.commit(txn).unwrap();
+
+    // At t=1h, only A's timer is due; B's fires at 1h30.
+    db.advance_clock_to(calendar::HR + 10 * calendar::MIN);
+    assert_eq!(db.output().iter().filter(|l| l.contains("A")).count(), 1);
+    assert_eq!(db.output().iter().filter(|l| l.contains("B")).count(), 0);
+    db.advance_clock_to(calendar::HR + 40 * calendar::MIN);
+    assert_eq!(db.output().iter().filter(|l| l.contains("B")).count(), 1);
+}
+
+/// Deactivation stops monitoring; reactivation restarts from `start`
+/// (older events are forgotten).
+#[test]
+fn deactivation_freezes_and_reactivation_restarts() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("w")
+            .update_method("poke", &[])
+            .trigger(
+                "two",
+                true,
+                "relative(after poke, after poke)",
+                Action::Emit("pair".into()),
+            )
+            .activate_on_create(&["two"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "w", &[]).unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap(); // first poke counted
+    db.deactivate_trigger(txn, obj, "two").unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap(); // invisible
+    db.call(txn, obj, "poke", &[]).unwrap(); // invisible
+    assert!(db.output().iter().all(|l| !l.contains("pair")));
+
+    // Reactivate: monitoring restarts; one poke is not enough…
+    db.activate_trigger(txn, obj, "two", &[]).unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap();
+    assert!(db.output().iter().all(|l| !l.contains("pair")));
+    // …two are.
+    db.call(txn, obj, "poke", &[]).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(db.output().iter().filter(|l| l.contains("pair")).count(), 1);
+}
+
+/// Activating a trigger twice resets its progress (the paper's
+/// activation is "just as an ordinary member function is invoked").
+#[test]
+fn reactivation_resets_progress() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("w")
+            .update_method("poke", &[])
+            .trigger(
+                "three",
+                true,
+                "relative 3 (after poke)",
+                Action::Emit("third".into()),
+            )
+            .activate_on_create(&["three"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "w", &[]).unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap();
+    // reset just before the third poke
+    db.activate_trigger(txn, obj, "three", &[]).unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap();
+    assert!(db.output().iter().all(|l| !l.contains("third")));
+    db.call(txn, obj, "poke", &[]).unwrap();
+    db.call(txn, obj, "poke", &[]).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(db.output().iter().filter(|l| l.contains("third")).count(), 1);
+}
+
+/// The `after time(…)` one-shot is measured from activation, not object
+/// creation.
+#[test]
+fn after_time_anchors_at_activation() {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("delayed")
+            .trigger("later", true, "after time(HR=1)", Action::Emit("ding".into()))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "delayed", &[]).unwrap();
+    db.commit(txn).unwrap();
+
+    db.advance_clock_by(2 * calendar::HR); // trigger not yet activated
+    assert!(db.output().iter().all(|l| !l.contains("ding")));
+
+    let txn = db.begin();
+    db.activate_trigger(txn, obj, "later", &[]).unwrap();
+    db.commit(txn).unwrap();
+    db.advance_clock_by(30 * calendar::MIN);
+    assert!(db.output().iter().all(|l| !l.contains("ding")));
+    db.advance_clock_by(31 * calendar::MIN);
+    assert_eq!(db.output().iter().filter(|l| l.contains("ding")).count(), 1);
+}

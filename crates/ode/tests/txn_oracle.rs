@@ -1,0 +1,137 @@
+//! Transactional integrity under random operation scripts: the engine's
+//! committed state must always equal a shadow oracle that applies only
+//! committed writes.
+
+use ode_core::Value;
+use ode_db::{ClassDef, Database, MethodKind, ObjectId, OdeError};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Begin,
+    /// Write `value` to cell `obj` within the open transaction.
+    Set { obj: usize, value: i64 },
+    /// Increment cell `obj`.
+    Incr { obj: usize },
+    Commit,
+    Abort,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Begin),
+        4 => (0usize..3, -100i64..100).prop_map(|(obj, value)| Op::Set { obj, value }),
+        4 => (0usize..3).prop_map(|obj| Op::Incr { obj }),
+        2 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+    ]
+}
+
+fn cell_class() -> ClassDef {
+    ClassDef::builder("cell")
+        .field("v", 0i64)
+        .method("set", MethodKind::Update, &["x"], |ctx| {
+            let x = ctx.arg(0)?;
+            ctx.set("v", x);
+            Ok(Value::Null)
+        })
+        .method("incr", MethodKind::Update, &[], |ctx| {
+            let v = ctx.get_required("v")?.as_int().unwrap_or(0);
+            ctx.set("v", v + 1);
+            Ok(Value::Null)
+        })
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn committed_state_matches_shadow_oracle(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut db = Database::new();
+        db.define_class(cell_class()).unwrap();
+        let setup = db.begin();
+        let objs: Vec<ObjectId> = (0..3)
+            .map(|_| db.create_object(setup, "cell", &[]).unwrap())
+            .collect();
+        db.commit(setup).unwrap();
+
+        // Shadow state: committed values, plus the open txn's overlay.
+        let mut committed = [0i64; 3];
+        let mut overlay: Option<[i64; 3]> = None;
+        let mut txn = None;
+
+        for op in &ops {
+            match op {
+                Op::Begin => {
+                    if txn.is_none() {
+                        txn = Some(db.begin());
+                        overlay = Some(committed);
+                    }
+                }
+                Op::Set { obj, value } => {
+                    if let (Some(t), Some(ov)) = (txn, overlay.as_mut()) {
+                        db.call(t, objs[*obj], "set", &[Value::Int(*value)]).unwrap();
+                        ov[*obj] = *value;
+                    }
+                }
+                Op::Incr { obj } => {
+                    if let (Some(t), Some(ov)) = (txn, overlay.as_mut()) {
+                        db.call(t, objs[*obj], "incr", &[]).unwrap();
+                        ov[*obj] += 1;
+                    }
+                }
+                Op::Commit => {
+                    if let Some(t) = txn.take() {
+                        db.commit(t).unwrap();
+                        committed = overlay.take().unwrap();
+                    }
+                }
+                Op::Abort => {
+                    if let Some(t) = txn.take() {
+                        db.abort(t).unwrap();
+                        overlay = None;
+                    }
+                }
+            }
+        }
+        // Abandon any still-open transaction.
+        if let Some(t) = txn {
+            db.abort(t).unwrap();
+        }
+
+        for (i, obj) in objs.iter().enumerate() {
+            prop_assert_eq!(
+                db.peek_field(*obj, "v"),
+                Some(Value::Int(committed[i])),
+                "cell {} diverged after {:?}", i, ops
+            );
+        }
+    }
+
+    /// Nested engine misuse never panics: operations without an open
+    /// transaction return clean errors.
+    #[test]
+    fn misuse_errors_cleanly(ops in prop::collection::vec(op_strategy(), 0..30)) {
+        let mut db = Database::new();
+        db.define_class(cell_class()).unwrap();
+        let setup = db.begin();
+        let obj = db.create_object(setup, "cell", &[]).unwrap();
+        db.commit(setup).unwrap();
+
+        // Replay the script against a single possibly-finished txn id,
+        // accepting errors but never panics.
+        let t = db.begin();
+        for op in &ops {
+            let r: Result<_, OdeError> = match op {
+                Op::Begin => Ok(Value::Null),
+                Op::Set { value, .. } => db.call(t, obj, "set", &[Value::Int(*value)]),
+                Op::Incr { .. } => db.call(t, obj, "incr", &[]),
+                Op::Commit => db.commit(t).map(|_| Value::Null),
+                Op::Abort => db.abort(t).map(|_| Value::Null),
+            };
+            let _ = r; // errors are fine; panics are not
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Persistence: Ode objects "continue to exist after the program
+//! creating them has terminated" (Section 2) — and so does their
+//! trigger-monitoring state, because it is exactly one word per active
+//! trigger per object (Section 5).
+//!
+//! This example runs "two programs": the first half-matches a composite
+//! event and snapshots the database to JSON; the second re-defines the
+//! schema (classes are code, not data), restores the snapshot, and
+//! completes the composite — the trigger fires, proving the automaton
+//! state crossed the restart.
+//!
+//! Run with `cargo run --example persistence`.
+
+use ode_core::Value;
+use ode_db::{Action, ClassDef, Database, MethodKind, Snapshot};
+
+/// The schema — both "programs" link the same class definition.
+fn machine_class() -> ClassDef {
+    ClassDef::builder("machine")
+        .field("cycles", 0i64)
+        .method("powerOn", MethodKind::Update, &[], |ctx| {
+            ctx.emit("power on");
+            Ok(Value::Null)
+        })
+        .method("powerOff", MethodKind::Update, &[], |ctx| {
+            let c = ctx.get_required("cycles")?.as_int().unwrap_or(0);
+            ctx.set("cycles", c + 1);
+            ctx.emit("power off");
+            Ok(Value::Null)
+        })
+        // the composite: a full power cycle
+        .trigger(
+            "cycle",
+            true,
+            "relative(after powerOn, after powerOff)",
+            Action::Emit("full power cycle completed".into()),
+        )
+        .activate_on_create(&["cycle"])
+        .build()
+        .expect("machine class builds")
+}
+
+fn main() {
+    let path = std::env::temp_dir().join("ode_events_persistence_demo.json");
+
+    // ---------------------------------------------------- program 1
+    println!("== program 1: power on, then exit ==");
+    let json = {
+        let mut db = Database::new();
+        db.define_class(machine_class()).unwrap();
+        let txn = db.begin();
+        let m = db.create_object(txn, "machine", &[]).unwrap();
+        db.call(txn, m, "powerOn", &[]).unwrap(); // half of the composite
+        db.commit(txn).unwrap();
+        println!(
+            "  trigger state after powerOn: {} (mid-composite)",
+            db.object(m).unwrap().triggers[0].state
+        );
+        assert!(!db.output().iter().any(|l| l.contains("full power cycle")));
+
+        let snapshot = db.snapshot().expect("quiescent database");
+        snapshot.to_json().expect("serializes")
+        // db dropped here — "the program terminates"
+    };
+    std::fs::write(&path, &json).expect("writes snapshot");
+    println!(
+        "  snapshot written to {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+
+    // ---------------------------------------------------- program 2
+    println!("\n== program 2: restore, power off ==");
+    let json = std::fs::read_to_string(&path).expect("reads snapshot");
+    let snapshot = Snapshot::from_json(&json).expect("parses");
+
+    let mut db = Database::new();
+    db.define_class(machine_class()).unwrap(); // re-link the schema
+    db.restore(&snapshot).expect("restores");
+
+    let m = db.objects().next().expect("the machine survived").id;
+    println!(
+        "  restored machine {m}, trigger state = {} (still mid-composite)",
+        db.object(m).unwrap().triggers[0].state
+    );
+
+    let txn = db.begin();
+    db.call(txn, m, "powerOff", &[]).unwrap(); // completes the composite
+    db.commit(txn).unwrap();
+
+    println!("\n  output after completing the cycle:");
+    for line in db.output() {
+        println!("    {line}");
+    }
+    assert!(db
+        .output()
+        .iter()
+        .any(|l| l.contains("full power cycle completed")));
+    println!("\nthe half-matched composite event survived the restart.");
+
+    let _ = std::fs::remove_file(&path);
+}

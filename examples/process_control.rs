@@ -1,0 +1,140 @@
+//! The paper's second Section 3.5 example, from process control: a
+//! pressure vessel where a *pressure drop* followed by a *valve open*
+//! must trigger a pressure check.
+//!
+//! ```text
+//! #define pDrop     (pressure < low_limit)
+//! #define valveOpen relative(after motorStart, after motorStop)
+//!
+//! class vessel {
+//!     float low_limit;
+//! public:
+//!     float pressure;
+//!     motorStart(); motorStop();
+//! trigger:
+//!     T(): relative(pDrop, valveOpen) ==> check_pressure;
+//! };
+//! ```
+//!
+//! `pDrop` is the object-state shorthand: it stands for
+//! `(after update | after create) && pressure < low_limit`. The
+//! composite `relative(pDrop, valveOpen)` requires the *whole* valve
+//! cycle (motorStart then motorStop) to happen after the drop.
+//!
+//! Run with `cargo run --example process_control`.
+
+use ode_core::Value;
+use ode_db::{Action, ClassDef, Database, MethodKind, ObjectId};
+
+fn vessel_class() -> ClassDef {
+    ClassDef::builder("vessel")
+        .field("pressure", 10.0)
+        .field("low_limit", 3.0)
+        .method("setPressure", MethodKind::Update, &["p"], |ctx| {
+            let p = ctx.arg(0)?;
+            ctx.set("pressure", p);
+            Ok(Value::Null)
+        })
+        .method("motorStart", MethodKind::Update, &[], |ctx| {
+            ctx.emit("motor started".to_string());
+            Ok(Value::Null)
+        })
+        .method("motorStop", MethodKind::Update, &[], |ctx| {
+            ctx.emit("motor stopped".to_string());
+            Ok(Value::Null)
+        })
+        .method("check_pressure", MethodKind::Read, &[], |ctx| {
+            let p = ctx.get_required("pressure")?;
+            ctx.emit(format!("CHECK PRESSURE: now at {p}"));
+            Ok(Value::Null)
+        })
+        .trigger(
+            "T",
+            // ordinary, as in the paper (no `perpetual` keyword): it
+            // deactivates after firing and must be reactivated.
+            false,
+            // relative(pDrop, valveOpen), with the #defines expanded:
+            "relative(pressure < low_limit, \
+                      relative(after motorStart, after motorStop))",
+            Action::Call("check_pressure".into()),
+        )
+        .activate_on_create(&["T"])
+        .build()
+        .expect("vessel class builds")
+}
+
+fn run(db: &mut Database, vessel: ObjectId, script: &[(&str, Option<f64>)]) {
+    for (method, arg) in script {
+        let txn = db.begin();
+        let args: Vec<Value> = arg.map(Value::from).into_iter().collect();
+        db.call(txn, vessel, method, &args).unwrap();
+        db.commit(txn).unwrap();
+    }
+}
+
+fn main() {
+    let mut db = Database::new();
+    db.define_class(vessel_class()).unwrap();
+    let setup = db.begin();
+    let vessel = db.create_object(setup, "vessel", &[]).unwrap();
+    db.commit(setup).unwrap();
+
+    println!("scenario 1: valve cycle without a pressure drop -> no check");
+    run(
+        &mut db,
+        vessel,
+        &[("motorStart", None), ("motorStop", None)],
+    );
+    println!("  checks so far: {}", checks(&db));
+
+    println!("scenario 2: pressure drops below the limit, then the valve cycles -> check fires");
+    run(
+        &mut db,
+        vessel,
+        &[
+            ("setPressure", Some(2.5)), // pDrop occurs here
+            ("motorStart", None),
+            ("motorStop", None), // valveOpen completes: trigger fires
+        ],
+    );
+    println!("  checks so far: {}", checks(&db));
+
+    // The trigger is ordinary: it deactivated the moment it fired.
+    // Reactivate it ("a trigger is activated by invoking its name").
+    let txn = db.begin();
+    db.activate_trigger(txn, vessel, "T", &[]).unwrap();
+    db.commit(txn).unwrap();
+
+    println!("scenario 3: motorStart BEFORE the drop does not count (relative semantics)");
+    run(
+        &mut db,
+        vessel,
+        &[
+            ("setPressure", Some(9.0)), // back to normal
+            ("motorStart", None),       // starts before the next drop
+            ("setPressure", Some(1.0)), // drop
+            ("motorStop", None),        // stop alone is not a full cycle after the drop
+        ],
+    );
+    println!("  checks so far: {} (unchanged)", checks(&db));
+
+    println!("scenario 4: a full cycle after that drop fires again");
+    run(
+        &mut db,
+        vessel,
+        &[("motorStart", None), ("motorStop", None)],
+    );
+    println!("  checks so far: {}", checks(&db));
+
+    println!("\nfull output:");
+    for line in db.output() {
+        println!("  {line}");
+    }
+}
+
+fn checks(db: &Database) -> usize {
+    db.output()
+        .iter()
+        .filter(|l| l.contains("CHECK PRESSURE"))
+        .count()
+}

@@ -1,0 +1,104 @@
+//! Quickstart: the two layers of the library in five minutes.
+//!
+//! 1. The *detection* layer (`ode-core`): parse a composite event, compile
+//!    it to a finite automaton, post basic events, watch it occur.
+//! 2. The *database* layer (`ode-db`): the same event attached as a
+//!    trigger to an object, fired by real method calls inside a
+//!    transaction.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::Arc;
+
+use ode_core::{parse_event, BasicEvent, CompiledEvent, Detector, EmptyEnv, Value};
+use ode_db::{Action, ClassDef, Database, MethodKind};
+
+fn main() {
+    detection_layer();
+    database_layer();
+}
+
+/// Layer 1: compile and run a composite event by hand.
+fn detection_layer() {
+    println!("== detection layer ==");
+
+    // Trigger T8 of the paper: "print the log when a deposit is
+    // immediately followed by a withdrawal."
+    let expr = parse_event("after deposit; before withdraw; after withdraw")
+        .expect("valid event specification");
+    let compiled = Arc::new(CompiledEvent::compile(&expr).expect("compiles"));
+    println!(
+        "compiled `{expr}` -> {} DFA states over {} symbols",
+        compiled.stats().dfa_states,
+        compiled.stats().alphabet_len,
+    );
+
+    // One word of monitoring state:
+    let mut monitor = Detector::new(Arc::clone(&compiled));
+    monitor.activate(&EmptyEnv).unwrap();
+
+    let stream = [
+        BasicEvent::after_method("deposit"),
+        BasicEvent::before_method("withdraw"),
+        BasicEvent::after_method("withdraw"),
+    ];
+    for ev in &stream {
+        let occurred = monitor.post(ev, &[], &EmptyEnv).unwrap();
+        println!("  posted {ev:<18} -> occurred = {occurred}");
+    }
+}
+
+/// Layer 2: the same event as a database trigger.
+fn database_layer() {
+    println!("\n== database layer ==");
+
+    let mut db = Database::new();
+    db.define_class(
+        ClassDef::builder("account")
+            .field("balance", 0i64)
+            .method("deposit", MethodKind::Update, &["amt"], |ctx| {
+                let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+                let amt = ctx.arg(0)?.as_int().unwrap_or(0);
+                ctx.set("balance", b + amt);
+                Ok(Value::Null)
+            })
+            .method("withdraw", MethodKind::Update, &["amt"], |ctx| {
+                let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+                let amt = ctx.arg(0)?.as_int().unwrap_or(0);
+                ctx.set("balance", b - amt);
+                Ok(Value::Null)
+            })
+            // T8, verbatim from the paper's trigger section:
+            .trigger(
+                "T8",
+                true,
+                "after deposit; before withdraw; after withdraw",
+                Action::Emit("printLog()".into()),
+            )
+            // the classic pre-paper Ode event: an object-state predicate
+            .trigger(
+                "lowBalance",
+                true,
+                "balance < 50",
+                Action::Emit("balance fell below 50!".into()),
+            )
+            .activate_on_create(&["T8", "lowBalance"])
+            .build()
+            .expect("class builds"),
+    )
+    .expect("class defined");
+
+    let txn = db.begin_as(Value::Str("alice".into()));
+    let acct = db
+        .create_object(txn, "account", &[("balance", Value::Int(100))])
+        .unwrap();
+    db.call(txn, acct, "deposit", &[Value::Int(25)]).unwrap();
+    db.call(txn, acct, "withdraw", &[Value::Int(90)]).unwrap(); // T8 + lowBalance fire
+    db.commit(txn).unwrap();
+
+    println!("final balance: {}", db.peek_field(acct, "balance").unwrap());
+    println!("trigger output:");
+    for line in db.output() {
+        println!("  {line}");
+    }
+}

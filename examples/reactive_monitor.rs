@@ -1,0 +1,157 @@
+//! A reactive system built on the detection layer alone — the paper's
+//! §9 direction: "understanding the utility of event expressions and
+//! triggers to specify and construct reactive systems."
+//!
+//! Scenario: a security monitor watching a synthetic authentication log.
+//! Composite events over the stream:
+//!
+//! * brute force — three failed logins with no success in between;
+//! * privilege escalation pattern — a success immediately following a
+//!   failure, then a sudo;
+//! * exfiltration heuristic — after any sudo, the first large download
+//!   with no logout in between (`fa`);
+//! * periodic audit — every 10th connection.
+//!
+//! All four run as ONE product automaton (`CombinedEvent`, the paper's
+//! footnote-5 optimization): one u32 of state for the whole monitor, one
+//! table lookup per log line.
+//!
+//! Run with `cargo run --example reactive_monitor`.
+
+use std::sync::Arc;
+
+use ode_core::{
+    parse_event, BasicEvent, CombinedDetector, CombinedEvent, EventExpr, MaskEnv, Value,
+};
+
+/// One synthetic log line.
+#[derive(Clone, Copy, Debug)]
+enum LogLine {
+    Connect,
+    LoginFail,
+    LoginOk,
+    Sudo,
+    Download(i64), // megabytes
+    Logout,
+}
+
+impl LogLine {
+    fn event(&self) -> (BasicEvent, Vec<Value>) {
+        match self {
+            LogLine::Connect => (BasicEvent::after_method("connect"), vec![]),
+            LogLine::LoginFail => (BasicEvent::after_method("loginFail"), vec![]),
+            LogLine::LoginOk => (BasicEvent::after_method("loginOk"), vec![]),
+            LogLine::Sudo => (BasicEvent::after_method("sudo"), vec![]),
+            LogLine::Download(mb) => (
+                BasicEvent::after_method("download"),
+                vec![Value::Int(*mb)],
+            ),
+            LogLine::Logout => (BasicEvent::after_method("logout"), vec![]),
+        }
+    }
+}
+
+struct NoEnv;
+impl MaskEnv for NoEnv {
+    fn param(&self, _: &str) -> Option<Value> {
+        None
+    }
+    fn field(&self, _: &str) -> Option<Value> {
+        None
+    }
+    fn call(&self, _: &str, _: &[Value]) -> Option<Value> {
+        None
+    }
+}
+
+fn rules() -> Vec<(&'static str, EventExpr)> {
+    vec![
+        (
+            "BRUTE-FORCE",
+            // three fails, chained, with no successful login wiping the
+            // slate: fa from each fail to the third subsequent fail,
+            // guarded by loginOk
+            parse_event(
+                "fa(after loginFail, \
+                    relative(after loginFail, after loginFail), \
+                    after loginOk)",
+            )
+            .unwrap(),
+        ),
+        (
+            "FAIL-THEN-OK-THEN-SUDO",
+            parse_event("after loginFail; after loginOk; after sudo").unwrap(),
+        ),
+        (
+            "EXFILTRATION?",
+            parse_event(
+                "fa(after sudo, after download(mb) && mb > 500, after logout)",
+            )
+            .unwrap(),
+        ),
+        (
+            "AUDIT",
+            parse_event("every 10 (after connect)").unwrap(),
+        ),
+    ]
+}
+
+fn main() {
+    let rules = rules();
+    let exprs: Vec<EventExpr> = rules.iter().map(|(_, e)| e.clone()).collect();
+    let combined = Arc::new(CombinedEvent::compile(&exprs).expect("rules compile"));
+    println!(
+        "monitor: {} rules -> one product automaton with {} states over {} symbols \
+         (one u32 of state total)\n",
+        rules.len(),
+        combined.num_states(),
+        combined.alphabet().len(),
+    );
+
+    let mut monitor = CombinedDetector::new(Arc::clone(&combined));
+    monitor.activate(&NoEnv).unwrap();
+
+    use LogLine::*;
+    let log = [
+        Connect,
+        LoginFail,
+        LoginFail,
+        LoginOk, // success wipes the brute-force window
+        Sudo,    // fail; ok; sudo were adjacent -> escalation pattern
+        Download(20),
+        Download(900), // after sudo, no logout yet -> exfiltration
+        Logout,
+        Connect,
+        LoginFail,
+        LoginFail,
+        LoginFail, // three fails, no success in between -> brute force
+        Connect,
+        Connect,
+        Connect,
+        Connect,
+        Connect,
+        Connect,
+        Connect,
+        Connect, // 10th connect -> audit
+    ];
+
+    for (i, line) in log.iter().enumerate() {
+        let (ev, args) = line.event();
+        let fired = monitor.post(&ev, &args, &NoEnv).unwrap();
+        let mut annotations = Vec::new();
+        for (bit, (name, _)) in rules.iter().enumerate() {
+            if fired & (1 << bit) != 0 {
+                annotations.push(*name);
+            }
+        }
+        println!(
+            "{i:>3}  {:<16} {}",
+            format!("{line:?}"),
+            if annotations.is_empty() {
+                String::new()
+            } else {
+                format!("<== ALERT: {}", annotations.join(", "))
+            }
+        );
+    }
+}

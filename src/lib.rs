@@ -1,0 +1,34 @@
+//! # ode-events
+//!
+//! A full reproduction of **Gehani, Jagadish & Shmueli, "Event
+//! Specification in an Active Object-Oriented Database" (SIGMOD 1992)**:
+//! composite trigger events for an Ode/O++-style active object-oriented
+//! database, specified in the paper's algebra, given the paper's formal
+//! point-set semantics, and detected by finite automata with one word of
+//! monitoring state per active trigger per object.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`ode_automata`] (re-exported as [`automata`]) — NFA/DFA toolkit:
+//!   subset construction, Hopcroft minimization, counting products, the
+//!   Section 6 committed-history pair construction, regex equivalence.
+//! * [`ode_core`] (re-exported as [`core`]) — the paper's contribution:
+//!   basic events, masks, the composite-event algebra and parser, the
+//!   Section 4 reference semantics, the compiler, and the one-word
+//!   [`ode_core::Detector`].
+//! * [`ode_db`] (re-exported as [`db`]) — the active-OODB substrate:
+//!   classes, objects, transactions with object-level locking and
+//!   rollback, trigger firing, the `before tcomplete` fixpoint, system
+//!   transactions, time events, and the Section 7 coupling constructors.
+//! * [`ode_baselines`] (re-exported as [`baselines`]) — the naive
+//!   history-replay detector and an operational E-C-A engine, used by
+//!   the experiment harness.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! experiment results; `examples/` contains runnable scenarios including
+//! the paper's complete Section 3.5 stockroom.
+
+pub use ode_automata as automata;
+pub use ode_baselines as baselines;
+pub use ode_core as core;
+pub use ode_db as db;

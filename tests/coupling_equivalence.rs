@@ -1,0 +1,256 @@
+//! Section 7 equivalence: the paper's E-A *event encodings* of the
+//! E-C-A coupling modes fire at exactly the phases an operational
+//! E-C-A engine schedules — over committing transactions, aborting
+//! transactions, and conditions that change value mid-transaction.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use ode_baselines::{Coupling, EcaEngine, EcaRule, Phase};
+use ode_core::{
+    BasicEvent, CompiledEvent, Detector, EventExpr, EventKind, MaskEnv, MaskExpr, Value,
+};
+use ode_db::coupling;
+
+/// A mutable single-flag environment: the condition `armed`.
+struct ArmedEnv {
+    armed: Cell<bool>,
+}
+
+impl MaskEnv for ArmedEnv {
+    fn param(&self, _: &str) -> Option<Value> {
+        None
+    }
+    fn field(&self, name: &str) -> Option<Value> {
+        (name == "armed").then(|| Value::Bool(self.armed.get()))
+    }
+    fn call(&self, _: &str, _: &[Value]) -> Option<Value> {
+        None
+    }
+}
+
+/// One step of a transaction script.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Begin,
+    Poke,
+    /// Change the condition's value.
+    SetArmed(bool),
+    Commit,
+    Abort,
+}
+
+use Step::*;
+
+/// Drive an E-A detector over the script; record the phases at which the
+/// compiled coupling event occurs.
+fn run_ea(expr: &EventExpr, script: &[Step]) -> Vec<Phase> {
+    let env = ArmedEnv {
+        armed: Cell::new(true),
+    };
+    let compiled = Arc::new(CompiledEvent::compile(expr).expect("compiles"));
+    let mut d = Detector::new(compiled);
+    d.activate(&env).unwrap();
+    let mut phases = Vec::new();
+    let mut post = |d: &mut Detector, ev: BasicEvent, phase: Phase| {
+        if d.post(&ev, &[], &env).unwrap() {
+            phases.push(phase);
+        }
+    };
+    for step in script {
+        match step {
+            Begin => post(&mut d, BasicEvent::after(EventKind::TBegin), Phase::During),
+            Poke => post(&mut d, BasicEvent::after_method("poke"), Phase::During),
+            SetArmed(v) => env.armed.set(*v),
+            Commit => {
+                post(
+                    &mut d,
+                    BasicEvent::before(EventKind::TComplete),
+                    Phase::BeforeCommit,
+                );
+                post(
+                    &mut d,
+                    BasicEvent::after(EventKind::TCommit),
+                    Phase::AfterCommit,
+                );
+            }
+            Abort => {
+                post(
+                    &mut d,
+                    BasicEvent::after(EventKind::TAbort),
+                    Phase::AfterAbort,
+                );
+            }
+        }
+    }
+    phases.sort();
+    phases.dedup();
+    phases
+}
+
+/// Drive the operational E-C-A engine over the same script.
+fn run_eca(ec: Coupling, ca: Coupling, script: &[Step]) -> Vec<Phase> {
+    let env = ArmedEnv {
+        armed: Cell::new(true),
+    };
+    let mut eng = EcaEngine::new(vec![EcaRule {
+        name: "r".into(),
+        event: EventExpr::after_method("poke"),
+        condition: MaskExpr::name("armed"),
+        ec,
+        ca,
+    }])
+    .unwrap();
+    eng.activate(&env).unwrap();
+    for step in script {
+        match step {
+            Begin => {
+                eng.begin();
+                eng.post(&BasicEvent::after(EventKind::TBegin), &[], &env)
+                    .unwrap();
+            }
+            Poke => eng
+                .post(&BasicEvent::after_method("poke"), &[], &env)
+                .unwrap(),
+            SetArmed(v) => env.armed.set(*v),
+            Commit => {
+                eng.complete(&env).unwrap();
+                eng.commit(&env).unwrap();
+            }
+            Abort => eng.abort(&env).unwrap(),
+        }
+    }
+    let mut phases: Vec<Phase> = eng.firing_set().into_iter().map(|f| f.phase).collect();
+    phases.sort();
+    phases.dedup();
+    phases
+}
+
+/// The mode-pair → encoding table from Section 7.
+fn encodings() -> Vec<(Coupling, Coupling, ode_db::coupling::CouplingFn)> {
+    vec![
+        (
+            Coupling::Immediate,
+            Coupling::Immediate,
+            coupling::immediate_immediate,
+        ),
+        (
+            Coupling::Immediate,
+            Coupling::Deferred,
+            coupling::immediate_deferred,
+        ),
+        (
+            Coupling::Immediate,
+            Coupling::SeparateDependent,
+            coupling::immediate_dependent,
+        ),
+        (
+            Coupling::Immediate,
+            Coupling::SeparateIndependent,
+            coupling::immediate_independent,
+        ),
+        (
+            Coupling::Deferred,
+            Coupling::Immediate,
+            coupling::deferred_immediate,
+        ),
+        (
+            Coupling::Deferred,
+            Coupling::Deferred,
+            coupling::deferred_immediate, // the paper folds these together
+        ),
+        (
+            Coupling::Deferred,
+            Coupling::SeparateDependent,
+            coupling::deferred_dependent,
+        ),
+        (
+            Coupling::Deferred,
+            Coupling::SeparateIndependent,
+            coupling::deferred_independent,
+        ),
+        (
+            Coupling::SeparateDependent,
+            Coupling::Immediate,
+            coupling::dependent_immediate,
+        ),
+        (
+            Coupling::SeparateIndependent,
+            Coupling::Immediate,
+            coupling::independent_immediate,
+        ),
+    ]
+}
+
+fn scripts() -> Vec<(&'static str, Vec<Step>)> {
+    vec![
+        ("commit", vec![Begin, Poke, Commit]),
+        ("abort", vec![Begin, Poke, Abort]),
+        ("no-event-commit", vec![Begin, Commit]),
+        (
+            "disarm-before-commit",
+            vec![Begin, Poke, SetArmed(false), Commit],
+        ),
+        (
+            "disarm-before-abort",
+            vec![Begin, Poke, SetArmed(false), Abort],
+        ),
+        ("two-txns", vec![Begin, Poke, Commit, Begin, Poke, Abort]),
+        (
+            "rearm-mid-txn",
+            vec![Begin, SetArmed(false), Poke, SetArmed(true), Commit],
+        ),
+    ]
+}
+
+#[test]
+fn ea_encodings_match_operational_eca_engine() {
+    for (ec, ca, encode) in encodings() {
+        for (label, script) in scripts() {
+            // reset armed per run (scripts may end disarmed)
+            let ea = run_ea(
+                &encode(EventExpr::after_method("poke"), MaskExpr::name("armed")),
+                &script,
+            );
+            let eca = run_eca(ec, ca, &script);
+            assert_eq!(
+                ea, eca,
+                "coupling ({ec:?}, {ca:?}) diverges on script `{label}`:\n  E-A  fired {ea:?}\n  E-C-A fired {eca:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn condition_evaluation_time_differs_between_couplings() {
+    // immediate EC: C read at the poke (armed) -> fires even though the
+    // txn later disarms.
+    let script = vec![Begin, Poke, SetArmed(false), Commit];
+    let ea = run_ea(
+        &coupling::immediate_deferred(EventExpr::after_method("poke"), MaskExpr::name("armed")),
+        &script,
+    );
+    assert_eq!(ea, vec![Phase::BeforeCommit]);
+
+    // deferred EC: C read at the commit point (disarmed) -> no firing.
+    let ea = run_ea(
+        &coupling::deferred_immediate(EventExpr::after_method("poke"), MaskExpr::name("armed")),
+        &script,
+    );
+    assert!(ea.is_empty(), "{ea:?}");
+}
+
+#[test]
+fn dependent_vs_independent_on_abort() {
+    let script = vec![Begin, Poke, Abort];
+    let dep = run_ea(
+        &coupling::immediate_dependent(EventExpr::after_method("poke"), MaskExpr::name("armed")),
+        &script,
+    );
+    assert!(dep.is_empty(), "dependent must not fire on abort: {dep:?}");
+    let ind = run_ea(
+        &coupling::immediate_independent(EventExpr::after_method("poke"), MaskExpr::name("armed")),
+        &script,
+    );
+    assert_eq!(ind, vec![Phase::AfterAbort]);
+}

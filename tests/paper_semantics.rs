@@ -1,0 +1,259 @@
+//! The paper's own worked semantic examples, checked end to end through
+//! parse → compile → detect.
+
+use std::sync::Arc;
+
+use ode_core::{parse_event, BasicEvent, CompiledEvent, Detector, EmptyEnv, Value};
+
+/// Run a spec over a stream of `(method, Option<q>)` postings; return
+/// the 0-based indices at which the composite event occurred.
+fn occurrences_of(spec: &str, stream: &[(&str, Option<i64>)]) -> Vec<usize> {
+    let expr = parse_event(spec).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+    let compiled = Arc::new(CompiledEvent::compile(&expr).unwrap());
+    let mut d = Detector::new(compiled);
+    d.activate(&EmptyEnv).unwrap();
+    let mut out = Vec::new();
+    for (i, (m, q)) in stream.iter().enumerate() {
+        use ode_core::EventKind;
+        let kind_of = |name: &str| match name {
+            "update" => EventKind::Update,
+            "read" => EventKind::Read,
+            "access" => EventKind::Access,
+            other => EventKind::Method(other.to_string()),
+        };
+        let (ev, args) = match *m {
+            "tbegin" => (BasicEvent::after(EventKind::TBegin), vec![]),
+            "tcommit" => (BasicEvent::after(EventKind::TCommit), vec![]),
+            "tabort" => (BasicEvent::after(EventKind::TAbort), vec![]),
+            "tcomplete" => (BasicEvent::before(EventKind::TComplete), vec![]),
+            name if name.starts_with("before ") => (
+                BasicEvent::before(kind_of(name.trim_start_matches("before "))),
+                vec![],
+            ),
+            name => {
+                let args = q
+                    .map(|v| vec![Value::Null, Value::Int(v)])
+                    .unwrap_or_default();
+                (BasicEvent::after(kind_of(name)), args)
+            }
+        };
+        if d.post(&ev, &args, &EmptyEnv).unwrap() {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// §3.4: the discriminating example for `prior` vs `relative` over the
+/// history `F1 E1 E2 F2` with `E = relative(E1, E2)`, `F = relative(F1,
+/// F2)`: `prior(E, F)` occurs at F2 but `relative(E, F)` does not.
+#[test]
+fn prior_vs_relative_paper_example() {
+    let stream = [("f1", None), ("e1", None), ("e2", None), ("f2", None)];
+    let prior = "prior(relative(after e1, after e2), relative(after f1, after f2))";
+    assert_eq!(occurrences_of(prior, &stream), vec![3]);
+    let relative = "relative(relative(after e1, after e2), relative(after f1, after f2))";
+    assert_eq!(occurrences_of(relative, &stream), Vec::<usize>::new());
+    // …and when the sequence is E1 E2 F1 F2, both occur.
+    let stream2 = [("e1", None), ("e2", None), ("f1", None), ("f2", None)];
+    assert_eq!(occurrences_of(prior, &stream2), vec![3]);
+    assert_eq!(occurrences_of(relative, &stream2), vec![3]);
+}
+
+/// §3.4: `relative 5 (after deposit)` — the fifth and any subsequent
+/// deposits.
+#[test]
+fn relative_five_deposits() {
+    let stream: Vec<(&str, Option<i64>)> = (0..8).map(|_| ("deposit", None)).collect();
+    assert_eq!(
+        occurrences_of("relative 5 (after deposit)", &stream),
+        vec![4, 5, 6, 7]
+    );
+}
+
+/// §3.4: `choose 5 (after tcommit)` — posted by the commit of the fifth
+/// transaction, and only that one.
+#[test]
+fn choose_five_commits() {
+    let stream: Vec<(&str, Option<i64>)> = (0..8).map(|_| ("tcommit", None)).collect();
+    assert_eq!(occurrences_of("choose 5 (after tcommit)", &stream), vec![4]);
+}
+
+/// §3.4: `every 5 (after tcommit)` — the 5th, 10th, 15th, ….
+#[test]
+fn every_five_commits() {
+    let stream: Vec<(&str, Option<i64>)> = (0..15).map(|_| ("tcommit", None)).collect();
+    assert_eq!(
+        occurrences_of("every 5 (after tcommit)", &stream),
+        vec![4, 9, 14]
+    );
+}
+
+/// §3.4: the fa example — "the commit of a transaction that updated an
+/// object, since there are no intervening aborts or commits after the
+/// tbegin".
+#[test]
+fn fa_commit_of_updating_transaction() {
+    let spec = "fa(after tbegin, prior(after update, after tcommit), \
+                (after tcommit | after tabort))";
+    // txn that updates and commits: fires at the tcommit.
+    let s1 = [("tbegin", None), ("update", None), ("tcommit", None)];
+    assert_eq!(occurrences_of(spec, &s1), vec![2]);
+    // txn that updates and aborts: no commit, no firing.
+    let s2 = [("tbegin", None), ("update", None), ("tabort", None)];
+    assert_eq!(occurrences_of(spec, &s2), Vec::<usize>::new());
+    // txn that commits WITHOUT updating: prior(update, tcommit) never
+    // holds, no firing.
+    let s3 = [("tbegin", None), ("tcommit", None)];
+    assert_eq!(occurrences_of(spec, &s3), Vec::<usize>::new());
+}
+
+/// §3.3: the sequence example — "a transaction attempting to commit
+/// after accessing an object, and causing no other events to be posted
+/// to the object".
+#[test]
+fn sequence_of_transaction_envelope() {
+    let spec = "sequence(after tbegin, before access, after access, before tcomplete)";
+    let expr_alt = "after tbegin; before access; after access; before tcomplete";
+    for s in [spec, expr_alt] {
+        let fires = occurrences_of(
+            s,
+            &[
+                ("tbegin", None),
+                ("before access", None),
+                ("access", None),
+                ("tcomplete", None),
+            ],
+        );
+        assert_eq!(fires, vec![3], "{s}");
+        // a second access in between breaks the adjacency
+        let no = occurrences_of(
+            s,
+            &[
+                ("tbegin", None),
+                ("before access", None),
+                ("access", None),
+                ("before access", None),
+                ("access", None),
+                ("tcomplete", None),
+            ],
+        );
+        assert_eq!(no, Vec::<usize>::new(), "{s}");
+    }
+}
+
+/// §3.2: the "large withdrawal" mask.
+#[test]
+fn large_withdrawal_mask() {
+    let spec = "after withdraw(Item i, int q) && q > 1000";
+    let stream = [
+        ("withdraw", Some(500)),
+        ("withdraw", Some(1500)),
+        ("withdraw", Some(1000)),
+        ("withdraw", Some(1001)),
+    ];
+    assert_eq!(occurrences_of(spec, &stream), vec![1, 3]);
+}
+
+/// §3.3: `!deposit` is shorthand for `!(before deposit | after deposit)`.
+/// Complement is judged against the trigger's own alphabet ("for each
+/// active trigger for which a logical event has occurred, we move the
+/// automaton" — §5), so the expression must mention the other events
+/// for them to be visible points.
+#[test]
+fn method_shorthand_negation() {
+    let a = parse_event("!deposit").unwrap();
+    let b = parse_event("!(before deposit | after deposit)").unwrap();
+    assert_eq!(a, b);
+    // with `after audit` in the alphabet, !deposit labels the audit point
+    let stream = [("deposit", None), ("audit", None), ("deposit", None)];
+    assert_eq!(
+        occurrences_of("!deposit & (after audit | after deposit)", &stream),
+        vec![1]
+    );
+    // alone, every visible point IS a deposit event: never occurs
+    assert_eq!(occurrences_of("!deposit", &stream), Vec::<usize>::new());
+}
+
+/// Footnote 3/§5: disjointness — two masked variants of the same basic
+/// event land on disjoint minterm symbols, so a single posting advances
+/// the automaton exactly once.
+#[test]
+fn overlapping_masks_are_rewritten_disjointly() {
+    let spec = "sequence(after withdraw(i, q) && q > 10, after withdraw(i, q) && q > 100)";
+    // q=500 satisfies both masks at once — but it is ONE point; the
+    // sequence needs two separate withdrawals.
+    let one = occurrences_of(spec, &[("withdraw", Some(500))]);
+    assert_eq!(one, Vec::<usize>::new());
+    let two = occurrences_of(spec, &[("withdraw", Some(50)), ("withdraw", Some(500))]);
+    assert_eq!(two, vec![1]);
+}
+
+/// Footnote 4: `relative(E, E)` for the self-referential
+/// `E = F & !prior(F, F)` occurs at the second F but not the first.
+#[test]
+fn footnote_four_self_reference() {
+    let spec = "relative(after f & !prior(after f, after f), \
+                after f & !prior(after f, after f))";
+    let stream = [("f", None), ("f", None)];
+    assert_eq!(occurrences_of(spec, &stream), vec![1]);
+    let inner = "after f & !prior(after f, after f)";
+    assert_eq!(occurrences_of(inner, &stream), vec![0]);
+}
+
+/// §4: `prior(E)` ≡ `relative(E)` ≡ `sequence(E)` ≡ `E` for singleton
+/// argument lists.
+#[test]
+fn singleton_operator_identity() {
+    let base = CompiledEvent::compile(&parse_event("after a").unwrap()).unwrap();
+    for wrapped in ["prior(after a)", "relative(after a)", "sequence(after a)"] {
+        let c = CompiledEvent::compile(&parse_event(wrapped).unwrap()).unwrap();
+        assert!(c.dfa().equivalent(base.dfa()), "{wrapped}");
+    }
+}
+
+/// §3.4: curried operators — `prior(E, F, G)` ≡ `prior(prior(E, F), G)`.
+#[test]
+fn curried_operators_fold_left() {
+    for (curried, nested) in [
+        (
+            "prior(after a, after b, after c)",
+            "prior(prior(after a, after b), after c)",
+        ),
+        (
+            "relative(after a, after b, after c)",
+            "relative(relative(after a, after b), after c)",
+        ),
+    ] {
+        let c1 = CompiledEvent::compile(&parse_event(curried).unwrap()).unwrap();
+        let c2 = CompiledEvent::compile(&parse_event(nested).unwrap()).unwrap();
+        assert!(c1.dfa().equivalent(c2.dfa()), "{curried} vs {nested}");
+    }
+}
+
+/// §3.4: `prior+(E) ≡ E` and `sequence+(E) ≡ E` — which is why the
+/// parser rejects the forms; verify the law that justifies it.
+#[test]
+fn plus_laws_for_prior_and_sequence() {
+    let e_src = "relative(after a, after b)";
+    let e = CompiledEvent::compile(&parse_event(e_src).unwrap()).unwrap();
+    // prior(E, E) | E ≡ E (each further disjunct is a specialization)
+    let pe = CompiledEvent::compile(
+        &parse_event(&format!("prior({e_src}, {e_src}) | {e_src}")).unwrap(),
+    )
+    .unwrap();
+    assert!(pe.dfa().equivalent(e.dfa()));
+    let se = CompiledEvent::compile(
+        &parse_event(&format!("sequence({e_src}, {e_src}) | {e_src}")).unwrap(),
+    )
+    .unwrap();
+    assert!(se.dfa().equivalent(e.dfa()));
+    // relative+ genuinely adds power: for E = choose 1 (after a), E is
+    // "the first a" but relative+(E) is "every a".
+    let first = CompiledEvent::compile(&parse_event("choose 1 (after a)").unwrap()).unwrap();
+    let chained =
+        CompiledEvent::compile(&parse_event("relative+(choose 1 (after a))").unwrap()).unwrap();
+    assert!(!chained.dfa().equivalent(first.dfa()));
+    let every_a = CompiledEvent::compile(&parse_event("after a").unwrap()).unwrap();
+    assert!(chained.dfa().equivalent(every_a.dfa()));
+}

@@ -1,0 +1,212 @@
+//! Property-based tests over the whole specification→detection pipeline:
+//!
+//! * **Semantics ⟺ automaton** — for random event expressions and random
+//!   event streams (with masked, parameterized events and composite
+//!   masks over mutable state), the naive reference detector (full
+//!   Section 4 re-evaluation) and the compiled one-word automaton
+//!   detector agree at every point.
+//! * **Print/parse round trip** — `parse(display(e)) == e`.
+//! * **Compilation is total and minimal** — every generated expression
+//!   compiles; minimization is idempotent on the result.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use ode_baselines::NaiveDetector;
+use ode_core::{
+    parse_event, BasicEvent, CompiledEvent, Detector, EventExpr, LogicalEvent, MaskEnv, MaskExpr,
+    TimeSpec, Value,
+};
+use proptest::prelude::*;
+
+/// Leaf logical events: three plain methods, one masked/parameterized
+/// method, a time event.
+fn leaf() -> impl Strategy<Value = EventExpr> {
+    prop_oneof![
+        Just(EventExpr::after_method("a")),
+        Just(EventExpr::before_method("a")),
+        Just(EventExpr::after_method("b")),
+        Just(EventExpr::after_method("c")),
+        Just(EventExpr::Logical(
+            LogicalEvent::bare(BasicEvent::after_method("w"))
+                .with_params(["i", "q"])
+                .with_mask(MaskExpr::gt("q", 50i64)),
+        )),
+        Just(EventExpr::Logical(
+            LogicalEvent::bare(BasicEvent::after_method("w"))
+                .with_params(["i", "q"])
+                .with_mask(MaskExpr::gt("q", 100i64)),
+        )),
+        Just(EventExpr::basic(BasicEvent::Time(ode_core::TimeEvent::At(
+            TimeSpec::at_hour(9)
+        )))),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = EventExpr> {
+    leaf().prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            inner.clone().prop_map(EventExpr::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Relative),
+            inner.clone().prop_map(EventExpr::relative_plus),
+            (1u32..4, inner.clone()).prop_map(|(n, e)| e.relative_n(n)),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Prior),
+            (1u32..4, inner.clone()).prop_map(|(n, e)| e.prior_n(n)),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Sequence),
+            (1u32..4, inner.clone()).prop_map(|(n, e)| e.sequence_n(n)),
+            (1u32..5, inner.clone()).prop_map(|(n, e)| e.choose(n)),
+            (1u32..5, inner.clone()).prop_map(|(n, e)| e.every(n)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| EventExpr::fa(a, b, c)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| EventExpr::fa_abs(a, b, c)),
+            inner
+                .clone()
+                .prop_map(|e| e.masked(MaskExpr::lt("level", 3i64))),
+        ]
+    })
+}
+
+/// A posted step in the simulated stream.
+#[derive(Clone, Debug)]
+enum Op {
+    A(bool), // after/before a
+    B,
+    C,
+    W(i64),     // withdraw with quantity (drives the q-masks)
+    Level(i64), // change the field the composite mask reads
+    Nine,       // the 9 o'clock time event
+    Unrelated,  // an event outside every alphabet
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<bool>().prop_map(Op::A),
+        Just(Op::B),
+        Just(Op::C),
+        (0i64..200).prop_map(Op::W),
+        (0i64..6).prop_map(Op::Level),
+        Just(Op::Nine),
+        Just(Op::Unrelated),
+    ]
+}
+
+struct LevelEnv {
+    level: Cell<i64>,
+}
+
+impl MaskEnv for LevelEnv {
+    fn param(&self, _: &str) -> Option<Value> {
+        None
+    }
+    fn field(&self, name: &str) -> Option<Value> {
+        (name == "level").then(|| Value::Int(self.level.get()))
+    }
+    fn call(&self, _: &str, _: &[Value]) -> Option<Value> {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The central pipeline property: reference semantics == automaton.
+    #[test]
+    fn naive_and_automaton_detectors_agree(
+        expr in expr_strategy(),
+        ops in prop::collection::vec(op_strategy(), 0..30),
+    ) {
+        let compiled = match CompiledEvent::compile(&expr) {
+            Ok(c) => Arc::new(c),
+            Err(e) => return Err(TestCaseError::fail(format!("compile failed: {e}"))),
+        };
+        let env = LevelEnv { level: Cell::new(0) };
+        let mut naive = NaiveDetector::from_compiled(Arc::clone(&compiled), &expr).unwrap();
+        let mut auto = Detector::new(compiled);
+        naive.activate(&env).unwrap();
+        auto.activate(&env).unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let (basic, args): (BasicEvent, Vec<Value>) = match op {
+                Op::A(true) => (BasicEvent::after_method("a"), vec![]),
+                Op::A(false) => (BasicEvent::before_method("a"), vec![]),
+                Op::B => (BasicEvent::after_method("b"), vec![]),
+                Op::C => (BasicEvent::after_method("c"), vec![]),
+                Op::W(q) => (
+                    BasicEvent::after_method("w"),
+                    vec![Value::Null, Value::Int(*q)],
+                ),
+                Op::Level(l) => {
+                    env.level.set(*l);
+                    continue;
+                }
+                Op::Nine => (
+                    BasicEvent::Time(ode_core::TimeEvent::At(TimeSpec::at_hour(9))),
+                    vec![],
+                ),
+                Op::Unrelated => (BasicEvent::after_method("zzz"), vec![]),
+            };
+            let n = naive.post(&basic, &args, &env).unwrap();
+            let a = auto.post(&basic, &args, &env).unwrap();
+            prop_assert_eq!(
+                n, a,
+                "disagreement at step {} ({:?}) for `{}`", i, op, expr
+            );
+        }
+    }
+
+    /// Pretty-printing an expression and re-parsing it yields the same
+    /// AST.
+    #[test]
+    fn print_parse_round_trip(expr in expr_strategy()) {
+        let printed = expr.to_string();
+        let reparsed = parse_event(&printed)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{printed}` failed: {e}")))?;
+        prop_assert_eq!(reparsed, expr, "round trip changed `{}`", printed);
+    }
+
+    /// Compilation is total on validated expressions and minimization is
+    /// a fixpoint.
+    #[test]
+    fn compilation_is_total_and_minimal(expr in expr_strategy()) {
+        let compiled = CompiledEvent::compile(&expr)
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        let dfa = compiled.dfa();
+        let re_min = ode_automata::minimize(dfa);
+        prop_assert_eq!(re_min.num_states(), dfa.num_states());
+        prop_assert!(re_min.equivalent(dfa));
+    }
+
+    /// The algebraic simplifier preserves the occurrence language on
+    /// arbitrary expressions.
+    #[test]
+    fn simplify_preserves_language(expr in expr_strategy()) {
+        let simplified = ode_core::simplify(&expr);
+        prop_assert!(simplified.size() <= expr.size());
+        let alphabet = ode_core::Alphabet::build(&expr)
+            .map_err(|e| TestCaseError::fail(format!("alphabet failed: {e}")))?;
+        let c1 = CompiledEvent::compile_with_alphabet(&expr, alphabet.clone())
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        let c2 = CompiledEvent::compile_with_alphabet(&simplified, alphabet)
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        prop_assert!(
+            c1.dfa().equivalent(c2.dfa()),
+            "simplify changed `{}` -> `{}`", expr, simplified
+        );
+    }
+
+    /// The automaton state is always a single word regardless of the
+    /// expression; only the shared table grows.
+    #[test]
+    fn monitoring_state_is_one_word(expr in expr_strategy()) {
+        let compiled = CompiledEvent::compile(&expr)
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        let d = Detector::new(Arc::new(compiled));
+        prop_assert_eq!(std::mem::size_of_val(&d.state()), 4);
+    }
+}
