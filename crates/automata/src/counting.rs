@@ -33,6 +33,15 @@ pub fn choose_product(inner: &Dfa, n: u32) -> Dfa {
 pub fn every_product(inner: &Dfa, n: u32) -> Dfa {
     assert!(n >= 1, "every requires a positive period");
     if n == 1 {
+        // Every occurrence fires — but ε is a prefix, not a point, so an
+        // ε-accepting inner DFA must still not accept the empty history.
+        if inner.is_accepting(inner.start()) {
+            return inner
+                .intersect(&crate::determinize(&crate::Nfa::sigma_plus(
+                    inner.alphabet_len(),
+                )))
+                .trim_unreachable();
+        }
         return inner.clone();
     }
     let k = inner.alphabet_len();
@@ -106,8 +115,12 @@ fn bounded_count(inner: &Dfa, n: u32, _mode: CountMode) -> Dfa {
             accepting[id(q, c) as usize] = inner.is_accepting(q) && c == nn;
         }
     }
-    let start_c = usize::from(inner.is_accepting(inner.start()));
-    let start = id(inner.start(), start_c.min(nn + 1));
+    // The counter starts at zero occurrences even when the inner DFA
+    // accepts ε: an occurrence is a *point* of the history (a non-empty
+    // prefix in the occurrence language), so ε-acceptance never counts.
+    // Occurrence languages proper never contain ε, but arbitrary inner
+    // DFAs (fuzzing, direct library use) can.
+    let start = id(inner.start(), 0);
     Dfa::from_parts(k, start, accepting, table).trim_unreachable()
 }
 
@@ -191,5 +204,32 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn choose_zero_panics() {
         let _ = choose_product(&atom(), 0);
+    }
+
+    /// DFA accepting ε and every word ending in `a` (ε-accepting inner:
+    /// legal for the library even though occurrence languages never
+    /// contain ε).
+    fn eps_atom() -> Dfa {
+        let mut n = Nfa::ends_with(2, &[0]);
+        n.set_accepting(n.start(), true);
+        determinize(&n)
+    }
+
+    #[test]
+    fn choose_ignores_epsilon_acceptance() {
+        // ε is a prefix, not a point: it must not count as occurrence #1.
+        let d = choose_product(&eps_atom(), 2);
+        assert!(!d.run([]));
+        assert!(!d.run([0]));
+        assert!(d.run([0, 0]));
+        assert!(!d.run([0, 0, 0]));
+    }
+
+    #[test]
+    fn every_one_ignores_epsilon_acceptance() {
+        let d = every_product(&eps_atom(), 1);
+        assert!(!d.run([]));
+        assert!(d.run([0]));
+        assert!(d.run([1, 0]));
     }
 }

@@ -1,6 +1,6 @@
 use ode_core::detector::CompiledEvent;
-use ode_core::expr::{EventExpr, LogicalEvent};
 use ode_core::event::BasicEvent;
+use ode_core::expr::{EventExpr, LogicalEvent};
 use ode_core::mask::MaskExpr;
 
 fn main() {
@@ -23,5 +23,12 @@ fn main() {
     // Also via compile_with_alphabet
     let alpha = ode_core::alphabet::Alphabet::build(&base).unwrap();
     let r2 = std::panic::catch_unwind(|| CompiledEvent::compile_with_alphabet(&masked, alpha));
-    println!("compile_with_alphabet: {}", match r2 { Ok(Ok(_)) => "ok".into(), Ok(Err(e)) => format!("error: {e}"), Err(_) => "PANICKED".into() });
+    println!(
+        "compile_with_alphabet: {}",
+        match r2 {
+            Ok(Ok(_)) => "ok".into(),
+            Ok(Err(e)) => format!("error: {e}"),
+            Err(_) => "PANICKED".into(),
+        }
+    );
 }

@@ -1,9 +1,11 @@
 // quick agreement check for PriorN / SequenceN
+use ode_core::compile::compile;
 use ode_core::lower::SymExpr;
 use ode_core::semantics::occurrences;
-use ode_core::compile::compile;
 
-fn atom(s: u32) -> SymExpr { SymExpr::Atom(vec![s]) }
+fn atom(s: u32) -> SymExpr {
+    SymExpr::Atom(vec![s])
+}
 
 fn agree(expr: &SymExpr, k: usize, max_len: usize) {
     let dfa = compile(expr, k).unwrap();
@@ -12,15 +14,20 @@ fn agree(expr: &SymExpr, k: usize, max_len: usize) {
         let mut next = Vec::new();
         for w in &frontier {
             for s in 0..k as u32 {
-                let mut w2 = w.clone(); w2.push(s); next.push(w2);
+                let mut w2 = w.clone();
+                w2.push(s);
+                next.push(w2);
             }
         }
         for w in &next {
             let occ = occurrences(expr, w);
-            let semantic = occ.contains(&(w.len()-1));
+            let semantic = occ.contains(&(w.len() - 1));
             let automaton = dfa.run(w.iter().copied());
             if semantic != automaton {
-                println!("DISAGREE expr {:?} word {:?} semantic={} automaton={}", expr, w, semantic, automaton);
+                println!(
+                    "DISAGREE expr {:?} word {:?} semantic={} automaton={}",
+                    expr, w, semantic, automaton
+                );
                 return;
             }
         }
@@ -37,7 +44,15 @@ fn main() {
         agree(&SymExpr::PriorN(n, Box::new(rel.clone())), 2, 6);
         agree(&SymExpr::SequenceN(n, Box::new(rel.clone())), 2, 6);
         // nested in relative (truncated context)
-        agree(&SymExpr::Relative(vec![atom(1), SymExpr::PriorN(n, Box::new(atom(0)))]), 2, 6);
-        agree(&SymExpr::Relative(vec![atom(1), SymExpr::SequenceN(n, Box::new(atom(0)))]), 2, 6);
+        agree(
+            &SymExpr::Relative(vec![atom(1), SymExpr::PriorN(n, Box::new(atom(0)))]),
+            2,
+            6,
+        );
+        agree(
+            &SymExpr::Relative(vec![atom(1), SymExpr::SequenceN(n, Box::new(atom(0)))]),
+            2,
+            6,
+        );
     }
 }

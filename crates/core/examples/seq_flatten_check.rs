@@ -1,12 +1,14 @@
+use ode_core::alphabet::Alphabet;
+use ode_core::compile::compile;
+use ode_core::detector::CompiledEvent;
+use ode_core::expr::EventExpr;
 use ode_core::lower::SymExpr;
 use ode_core::semantics::occurrences;
-use ode_core::compile::compile;
-use ode_core::expr::EventExpr;
 use ode_core::simplify::simplify;
-use ode_core::alphabet::Alphabet;
-use ode_core::detector::CompiledEvent;
 
-fn atom(s: u32) -> SymExpr { SymExpr::Atom(vec![s]) }
+fn atom(s: u32) -> SymExpr {
+    SymExpr::Atom(vec![s])
+}
 
 fn main() {
     // symbolic level: sequence(a, sequence(b,c)) vs sequence(a,b,c)
@@ -29,7 +31,10 @@ fn main() {
     let alphabet = Alphabet::build(&e).unwrap();
     let c1 = CompiledEvent::compile_with_alphabet(&e, alphabet.clone()).unwrap();
     let c2 = CompiledEvent::compile_with_alphabet(&s, alphabet).unwrap();
-    println!("simplify preserved language: {}", c1.dfa().equivalent(c2.dfa()));
+    println!(
+        "simplify preserved language: {}",
+        c1.dfa().equivalent(c2.dfa())
+    );
 
     // Also test relative for comparison
     let e2 = EventExpr::relative([a.clone(), EventExpr::relative([b.clone(), c.clone()])]);
@@ -37,5 +42,8 @@ fn main() {
     let alpha2 = Alphabet::build(&e2).unwrap();
     let r1 = CompiledEvent::compile_with_alphabet(&e2, alpha2.clone()).unwrap();
     let r2 = CompiledEvent::compile_with_alphabet(&s2, alpha2).unwrap();
-    println!("relative flatten preserved: {}", r1.dfa().equivalent(r2.dfa()));
+    println!(
+        "relative flatten preserved: {}",
+        r1.dfa().equivalent(r2.dfa())
+    );
 }

@@ -59,6 +59,13 @@ impl Group {
     pub fn width(&self) -> usize {
         1 << self.masks.len()
     }
+
+    /// First raw symbol of this group's minterm block (before the
+    /// global-mask refinement shifts it left). Exposed so the class-level
+    /// router can rebuild symbols without re-hashing the basic event.
+    pub fn base_symbol(&self) -> usize {
+        self.base
+    }
 }
 
 /// The compiled alphabet of one trigger.
@@ -160,6 +167,13 @@ impl Alphabet {
     /// The groups (basic events with their mask blocks).
     pub fn groups(&self) -> &[Group] {
         &self.groups
+    }
+
+    /// Position of the group owning `basic`, if the event is in the
+    /// alphabet (one hash lookup — the index the router's dense
+    /// per-trigger capture slots are keyed by).
+    pub fn group_position(&self, basic: &BasicEvent) -> Option<usize> {
+        self.group_index.get(basic).copied()
     }
 
     /// The composite masks refining every symbol.
@@ -323,11 +337,13 @@ impl Alphabet {
 }
 
 /// Environment layering positional arguments under declared names on top
-/// of the engine's field/function environment.
-struct BoundEnv<'a> {
-    names: &'a [String],
-    args: &'a [Value],
-    inner: &'a dyn MaskEnv,
+/// of the engine's field/function environment. Shared with the router so
+/// memoized mask evaluation binds parameters exactly the way
+/// [`Alphabet::classify`] does.
+pub(crate) struct BoundEnv<'a> {
+    pub(crate) names: &'a [String],
+    pub(crate) args: &'a [Value],
+    pub(crate) inner: &'a dyn MaskEnv,
 }
 
 impl MaskEnv for BoundEnv<'_> {

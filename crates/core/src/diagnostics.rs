@@ -48,8 +48,7 @@ pub fn diagnose(compiled: &CompiledEvent) -> Diagnosis {
     let can_reoccur = {
         let n = ode_automata::Nfa::sigma_plus(dfa.alphabet_len());
         let l = dfa.to_nfa();
-        let l_then_more =
-            ode_automata::minimize(&ode_automata::determinize(&l.concat(&n)));
+        let l_then_more = ode_automata::minimize(&ode_automata::determinize(&l.concat(&n)));
         !dfa.intersect(&l_then_more).is_empty_language()
     };
 

@@ -62,6 +62,7 @@ pub mod expr;
 pub mod lower;
 pub mod mask;
 pub mod parser;
+pub mod router;
 pub mod semantics;
 pub mod simplify;
 pub mod value;
@@ -76,5 +77,6 @@ pub use expr::{EventExpr, LogicalEvent};
 pub use lower::SymExpr;
 pub use mask::{BinOp, EmptyEnv, MaskEnv, MaskExpr, UnOp};
 pub use parser::{parse_event, parse_mask};
+pub use router::{ClassRouter, EventCode, EventInterner, MaskMemo, Route};
 pub use simplify::simplify;
 pub use value::Value;

@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(simp("after a & empty"), EventExpr::Empty);
         assert_eq!(simp("relative(after a, empty)"), EventExpr::Empty);
         assert_eq!(simp("relative(after a)"), parse_event("after a").unwrap());
-        assert_eq!(simp("relative 1 (after a)"), parse_event("after a").unwrap());
+        assert_eq!(
+            simp("relative 1 (after a)"),
+            parse_event("after a").unwrap()
+        );
         assert_eq!(simp("every 1 (after a)"), parse_event("after a").unwrap());
         assert_eq!(simp("!!after a"), parse_event("after a").unwrap());
         assert_eq!(simp("after a | after a"), parse_event("after a").unwrap());
@@ -219,8 +222,7 @@ mod tests {
             // Compile both against the ORIGINAL's alphabet so symbol
             // identities line up even when simplification drops events.
             let alphabet = crate::alphabet::Alphabet::build(&original).unwrap();
-            let c1 =
-                CompiledEvent::compile_with_alphabet(&original, alphabet.clone()).unwrap();
+            let c1 = CompiledEvent::compile_with_alphabet(&original, alphabet.clone()).unwrap();
             let c2 = CompiledEvent::compile_with_alphabet(&simplified, alphabet).unwrap();
             assert!(
                 c1.dfa().equivalent(c2.dfa()),

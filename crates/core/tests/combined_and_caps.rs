@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use ode_core::{
-    parse_event, BasicEvent, CombinedDetector, CombinedEvent, CompiledEvent, Detector,
-    EmptyEnv, EventError, EventExpr, LogicalEvent, MaskExpr, Value,
+    parse_event, BasicEvent, CombinedDetector, CombinedEvent, CompiledEvent, Detector, EmptyEnv,
+    EventError, EventExpr, LogicalEvent, MaskExpr, Value,
 };
 
 /// Combined monitoring with masked, parameterized events: the shared

@@ -200,12 +200,12 @@ impl ActionCtx<'_> {
     pub fn captured(&self, basic: &ode_core::BasicEvent) -> Option<Vec<Value>> {
         let o = self.db.object(self.object)?;
         let class = self.db.class(o.class);
-        let idx = class.trigger_index(self.trigger)?;
-        o.triggers[idx]
-            .captured
-            .iter()
-            .find(|(b, _)| b == basic)
-            .map(|(_, args)| args.clone())
+        let def_index = class.trigger_index(self.trigger)?;
+        let slot = class.triggers[def_index]
+            .event
+            .alphabet()
+            .group_position(basic)?;
+        o.trigger_instance(def_index)?.captured.get(slot)?.clone()
     }
 
     /// Invoke a member function on the trigger's own object (posts the
@@ -340,6 +340,110 @@ impl fmt::Debug for ClassDef {
                 &self.triggers.iter().map(|t| &t.name).collect::<Vec<_>>(),
             )
             .finish_non_exhaustive()
+    }
+}
+
+/// Number of non-method [`ode_core::EventKind`] variants (the fixed,
+/// string-free kinds a posting can carry).
+const FIXED_KINDS: usize = 9;
+
+fn fixed_kind_index(kind: &ode_core::EventKind) -> Option<usize> {
+    use ode_core::EventKind::*;
+    match kind {
+        Create => Some(0),
+        Delete => Some(1),
+        Update => Some(2),
+        Read => Some(3),
+        Access => Some(4),
+        TBegin => Some(5),
+        TComplete => Some(6),
+        TCommit => Some(7),
+        TAbort => Some(8),
+        Method(_) => None,
+    }
+}
+
+fn qualifier_index(q: &ode_core::Qualifier) -> usize {
+    match q {
+        ode_core::Qualifier::Before => 0,
+        ode_core::Qualifier::After => 1,
+    }
+}
+
+/// Registration-time runtime artifacts of one class: the event router
+/// plus dense resolve tables, built once when the class is defined so
+/// the posting hot path does no per-trigger hashing.
+pub(crate) struct ClassRuntime {
+    /// The class-level router: relevance index, mask dedup, and symbol
+    /// remaps over all the class's trigger alphabets.
+    pub(crate) router: ode_core::ClassRouter,
+    /// Whether postings to objects of this class must be recorded in
+    /// the per-object history: true iff the class has committed-history
+    /// monitors or mask functions (the only readers of the history).
+    /// History-free classes skip the per-post record allocation.
+    pub(crate) needs_history: bool,
+    /// Event codes for the fixed (string-free) kinds, by qualifier ×
+    /// kind — resolved with two array indexes, no hashing at all.
+    fixed: [[Option<ode_core::EventCode>; FIXED_KINDS]; 2],
+    /// Event codes for method events, by name then qualifier.
+    methods: std::collections::HashMap<String, [Option<ode_core::EventCode>; 2]>,
+}
+
+impl ClassRuntime {
+    /// Build the runtime for a (flattened) class definition.
+    pub(crate) fn build(class: &ClassDef) -> ClassRuntime {
+        let router = ode_core::ClassRouter::build(
+            class
+                .triggers
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, t.event.alphabet())),
+        );
+        let mut fixed = [[None; FIXED_KINDS]; 2];
+        let mut methods: std::collections::HashMap<String, [Option<ode_core::EventCode>; 2]> =
+            std::collections::HashMap::new();
+        for (code, ev) in router.interner().iter() {
+            if let ode_core::BasicEvent::Db(q, kind) = ev {
+                match kind {
+                    ode_core::EventKind::Method(name) => {
+                        methods.entry(name.clone()).or_default()[qualifier_index(q)] = Some(code);
+                    }
+                    other => {
+                        if let Some(ki) = fixed_kind_index(other) {
+                            fixed[qualifier_index(q)][ki] = Some(code);
+                        }
+                    }
+                }
+            }
+        }
+        let needs_history = !class.mask_fns.is_empty()
+            || class
+                .triggers
+                .iter()
+                .any(|t| t.monitoring == Monitoring::Committed);
+        ClassRuntime {
+            router,
+            needs_history,
+            fixed,
+            methods,
+        }
+    }
+
+    /// Resolve a posted basic event to its class-level code — `None`
+    /// means no trigger of the class mentions it. Fixed kinds resolve
+    /// with two array indexes; method events with one string hash; time
+    /// events fall back to the interner.
+    pub(crate) fn resolve(&self, basic: &ode_core::BasicEvent) -> Option<ode_core::EventCode> {
+        match basic {
+            ode_core::BasicEvent::Db(q, ode_core::EventKind::Method(name)) => self
+                .methods
+                .get(name)
+                .and_then(|codes| codes[qualifier_index(q)]),
+            ode_core::BasicEvent::Db(q, kind) => {
+                self.fixed[qualifier_index(q)][fixed_kind_index(kind)?]
+            }
+            other => self.router.code(other),
+        }
     }
 }
 

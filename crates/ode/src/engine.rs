@@ -43,9 +43,11 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use ode_automata::StateId;
-use ode_core::{BasicEvent, EventKind, MaskEnv, Qualifier, Value};
+use ode_core::{BasicEvent, ClassRouter, EventKind, MaskEnv, MaskMemo, Qualifier, Value};
 
-use crate::class::{Action, ActionCtx, ClassDef, MaskFnCtx, MethodCtx, MethodKind, Monitoring};
+use crate::class::{
+    Action, ActionCtx, ClassDef, ClassRuntime, MaskFnCtx, MethodCtx, MethodKind, Monitoring,
+};
 use crate::clock::{Clock, TimerScope};
 use crate::error::{AbortReason, OdeError};
 use crate::ids::{ClassId, ObjectId, TxnId};
@@ -120,6 +122,8 @@ struct TxnState {
 /// The database: classes, objects, transactions, clock, triggers.
 pub struct Database {
     classes: Vec<Arc<ClassDef>>,
+    /// Per-class routers and resolve tables, parallel to `classes`.
+    runtimes: Vec<Arc<ClassRuntime>>,
     class_index: HashMap<String, ClassId>,
     objects: HashMap<u64, Object>,
     next_object: u64,
@@ -135,6 +139,14 @@ pub struct Database {
     stats: Stats,
     at_timer_registry: HashSet<(ObjectId, ode_core::TimeEvent)>,
     schema_triggers: Vec<crate::schema::SchemaTrigger>,
+    /// Router over the schema triggers' alphabets (rebuilt when one is
+    /// defined — rare).
+    schema_router: ClassRouter,
+    /// Mask-memo scratch for object postings (epoch-stamped; reused
+    /// across postings without clearing).
+    router_memo: MaskMemo,
+    /// Mask-memo scratch for schema postings.
+    schema_memo: MaskMemo,
     #[cfg(feature = "persistence")]
     redo_log: Option<crate::wal::RedoLog>,
 }
@@ -155,6 +167,7 @@ impl Database {
     pub fn with_config(config: Config) -> Self {
         Database {
             classes: Vec::new(),
+            runtimes: Vec::new(),
             class_index: HashMap::new(),
             objects: HashMap::new(),
             next_object: 1,
@@ -170,6 +183,9 @@ impl Database {
             stats: Stats::default(),
             at_timer_registry: HashSet::new(),
             schema_triggers: Vec::new(),
+            schema_router: ClassRouter::default(),
+            router_memo: MaskMemo::default(),
+            schema_memo: MaskMemo::default(),
             #[cfg(feature = "persistence")]
             redo_log: None,
         }
@@ -202,8 +218,6 @@ impl Database {
         }
     }
 
-
-
     // ------------------------------------------------------------ schema
 
     /// Define a class. If the definition names a base class
@@ -230,6 +244,10 @@ impl Database {
         let id = ClassId(self.classes.len() as u32);
         let name = def.name.clone();
         self.class_index.insert(name.clone(), id);
+        // Registration-time routing: intern the class's events, dedup
+        // its masks, and index trigger relevance — the posting hot path
+        // classifies once per posting against these tables.
+        self.runtimes.push(Arc::new(ClassRuntime::build(&def)));
         self.classes.push(Arc::new(def));
         // Database-scope event: schema modification (Section 3).
         self.post_schema(&crate::schema::events::define_class(), &[Value::Str(name)]);
@@ -240,19 +258,37 @@ impl Database {
     /// events: schema modification, object population changes).
     pub fn define_schema_trigger(&mut self, trigger: crate::schema::SchemaTrigger) {
         self.schema_triggers.push(trigger);
+        self.schema_router = ClassRouter::build(
+            self.schema_triggers
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, t.detector.compiled().alphabet())),
+        );
     }
 
-    /// Post a schema event to the database-scope triggers.
+    /// Post a schema event to the database-scope triggers: resolve the
+    /// event once, fan out to the triggers that mention it.
     fn post_schema(&mut self, basic: &ode_core::BasicEvent, args: &[Value]) {
         use ode_core::EmptyEnv;
+        let Some(code) = self.schema_router.code(basic) else {
+            return; // invisible to every schema trigger
+        };
+        self.schema_memo.begin(&self.schema_router);
         let mut fired = Vec::new();
-        for (i, t) in self.schema_triggers.iter_mut().enumerate() {
+        for route in self.schema_router.routes(code) {
+            let t = &mut self.schema_triggers[route.trigger];
             if !t.active {
                 continue;
             }
-            match t.detector.post(basic, args, &EmptyEnv) {
-                Ok(true) => fired.push(i),
-                Ok(false) => {}
+            match self
+                .schema_router
+                .symbol(route, args, &EmptyEnv, &mut self.schema_memo)
+            {
+                Ok(sym) => {
+                    if t.detector.step_symbol(sym) {
+                        fired.push(route.trigger);
+                    }
+                }
                 Err(e) => {
                     self.output
                         .push(format!("schema trigger `{}` mask error: {e}", t.name));
@@ -879,10 +915,16 @@ impl Database {
                 .objects
                 .get_mut(&obj.0)
                 .ok_or(OdeError::UnknownObject(obj))?;
-            let inst = &mut o.triggers[idx];
+            let pos = crate::object::instance_position(&o.triggers, idx).ok_or_else(|| {
+                OdeError::UnknownTrigger {
+                    class: class.name.clone(),
+                    trigger: name.to_string(),
+                }
+            })?;
+            let inst = &mut o.triggers[pos];
             let snapshot = UndoOp::TriggerSnapshot {
                 obj,
-                idx,
+                idx: pos,
                 old_active: inst.active,
                 old_state: inst.state,
                 old_params: inst.params.clone(),
@@ -951,10 +993,16 @@ impl Database {
                 .objects
                 .get_mut(&obj.0)
                 .ok_or(OdeError::UnknownObject(obj))?;
-            let inst = &mut o.triggers[idx];
+            let pos = crate::object::instance_position(&o.triggers, idx).ok_or_else(|| {
+                OdeError::UnknownTrigger {
+                    class: class.name.clone(),
+                    trigger: name.to_string(),
+                }
+            })?;
+            let inst = &mut o.triggers[pos];
             let snapshot = UndoOp::TriggerSnapshot {
                 obj,
-                idx,
+                idx: pos,
                 old_active: inst.active,
                 old_state: inst.state,
                 old_params: inst.params.clone(),
@@ -969,9 +1017,10 @@ impl Database {
 
     // ---------------------------------------------------------- posting
 
-    /// Post a basic event to an object: append to its history, advance
-    /// each relevant active trigger's automaton, then fire. Returns the
-    /// number of triggers fired.
+    /// Post a basic event to an object: append to its history (when the
+    /// class reads it), resolve the event's class-level code **once**,
+    /// fan the routed symbols out to the relevant active triggers, then
+    /// fire. Returns the number of triggers fired.
     fn post(
         &mut self,
         txn: TxnId,
@@ -987,6 +1036,7 @@ impl Database {
             return Ok(0);
         }
         let class = Arc::clone(self.class(o.class));
+        let runtime = Arc::clone(&self.runtimes[o.class.0 as usize]);
         let user = match self.txns.get(&txn.0) {
             Some(s) => s.user.clone(),
             None => Value::Str("system".into()),
@@ -996,22 +1046,30 @@ impl Database {
         self.stats.events_posted += 1;
         let seq = self.seq;
 
-        // Phase A+B under one object borrow: classify against the fields
-        // (split borrow) and step the automata, collecting firings.
-        let mut fired: Vec<usize> = Vec::new();
+        // Phase A+B under one object borrow: record the posting, route
+        // the symbols against the fields (split borrow) and step the
+        // automata, collecting firings as (instance position, def
+        // index) pairs — actions and deactivation go by definition,
+        // rollback by store position.
+        let mut fired: Vec<(usize, usize)> = Vec::new();
         {
             let o = self.objects.get_mut(&obj.0).expect("checked above");
-            o.history.push(PostedRecord {
-                seq,
-                txn,
-                basic: basic.clone(),
-                args: args.to_vec(),
-                status: if self.txns.get(&txn.0).map(|t| t.is_system).unwrap_or(true) {
-                    PostStatus::Committed
-                } else {
-                    PostStatus::Pending
-                },
-            });
+            if runtime.needs_history {
+                o.history.push(PostedRecord {
+                    seq,
+                    txn,
+                    basic: basic.clone(),
+                    args: args.to_vec(),
+                    status: if self.txns.get(&txn.0).map(|t| t.is_system).unwrap_or(true) {
+                        PostStatus::Committed
+                    } else {
+                        PostStatus::Pending
+                    },
+                });
+            }
+            let Some(code) = runtime.resolve(basic) else {
+                return Ok(0); // invisible to every trigger of the class
+            };
             let Object {
                 fields,
                 triggers,
@@ -1020,50 +1078,58 @@ impl Database {
             } = o;
             // the record just pushed is the event being classified;
             // masks see the history *before* it.
-            let visible_history = &history[..history.len() - 1];
+            let visible_history = if runtime.needs_history {
+                &history[..history.len() - 1]
+            } else {
+                &history[..]
+            };
             let env = EngineEnv {
                 fields,
                 class: class.as_ref(),
                 user: &user,
                 history: visible_history,
             };
-            let txn_undo = self.txns.get_mut(&txn.0).map(|s| &mut s.undo);
-            let mut txn_undo = txn_undo;
-            for (idx, inst) in triggers.iter_mut().enumerate() {
-                if !inst.active {
-                    continue;
-                }
+            let mut txn_undo = self.txns.get_mut(&txn.0).map(|s| &mut s.undo);
+            self.router_memo.begin(&runtime.router);
+            for route in runtime.router.routes(code) {
                 if let Some(only) = scope {
-                    if only != idx {
+                    if only != route.trigger {
                         continue;
                     }
                 }
-                let tdef = &class.triggers[inst.def_index];
-                let Some(sym) = tdef.event.alphabet().classify(basic, args, &env)? else {
+                let Some(pos) = crate::object::instance_position(triggers, route.trigger) else {
                     continue;
                 };
+                let inst = &mut triggers[pos];
+                if !inst.active {
+                    continue;
+                }
+                let tdef = &class.triggers[route.trigger];
+                let sym = runtime
+                    .router
+                    .symbol(route, args, &env, &mut self.router_memo)?;
                 // Committed-history monitoring: the automaton state is
                 // object data, undone on abort (Section 6).
                 if tdef.monitoring == Monitoring::Committed {
                     if let Some(undo) = txn_undo.as_deref_mut() {
                         undo.push(UndoOp::TriggerState {
                             obj,
-                            idx,
+                            idx: pos,
                             old: inst.state,
                         });
                     }
                 }
                 if tdef.capture {
-                    match inst.captured.iter_mut().find(|(b, _)| b == basic) {
-                        Some(slot) => slot.1 = args.to_vec(),
-                        None => inst.captured.push((basic.clone(), args.to_vec())),
+                    if inst.captured.len() <= route.slot {
+                        inst.captured.resize(route.slot + 1, None);
                     }
+                    inst.captured[route.slot] = Some(args.to_vec());
                 }
                 inst.state = tdef.event.dfa().step(inst.state, sym);
                 self.stats.symbols_stepped += 1;
                 if tdef.event.dfa().is_accepting(inst.state) && !matches!(basic, BasicEvent::Start)
                 {
-                    fired.push(idx);
+                    fired.push((pos, route.trigger));
                 }
             }
         }
@@ -1077,16 +1143,16 @@ impl Database {
         // ordinary trigger, then execute the actions in declaration
         // order.
         let fired_count = fired.len() as u32;
-        for &idx in &fired {
-            let tdef = &class.triggers[idx];
+        for &(pos, def) in &fired {
+            let tdef = &class.triggers[def];
             let o = self.objects.get_mut(&obj.0).expect("present");
-            let inst = &mut o.triggers[idx];
+            let inst = &mut o.triggers[pos];
             inst.fired += 1;
             self.stats.triggers_fired += 1;
             if !tdef.perpetual {
                 let snapshot = UndoOp::TriggerSnapshot {
                     obj,
-                    idx,
+                    idx: pos,
                     old_active: inst.active,
                     old_state: inst.state,
                     old_params: inst.params.clone(),
@@ -1099,8 +1165,8 @@ impl Database {
                 }
             }
         }
-        for idx in fired {
-            self.run_action(txn, obj, &class, idx, basic, args)?;
+        for (_, def) in fired {
+            self.run_action(txn, obj, &class, def, basic, args)?;
         }
         Ok(fired_count)
     }
@@ -1235,13 +1301,29 @@ impl Database {
                     triggers: o
                         .triggers
                         .iter()
-                        .map(|t| crate::persist::TriggerSnapshot {
-                            name: class.triggers[t.def_index].name.clone(),
-                            active: t.active,
-                            state: t.state,
-                            params: t.params.clone(),
-                            fired: t.fired,
-                            captured: t.captured.clone(),
+                        .map(|t| {
+                            // Capture slots are keyed by the trigger
+                            // alphabet's group positions in memory; the
+                            // snapshot format keeps the self-describing
+                            // (event, args) pairs.
+                            let alphabet = class.triggers[t.def_index].event.alphabet();
+                            crate::persist::TriggerSnapshot {
+                                name: class.triggers[t.def_index].name.clone(),
+                                active: t.active,
+                                state: t.state,
+                                params: t.params.clone(),
+                                fired: t.fired,
+                                captured: t
+                                    .captured
+                                    .iter()
+                                    .enumerate()
+                                    .filter_map(|(slot, v)| {
+                                        let args = v.as_ref()?;
+                                        let basic = alphabet.groups().get(slot)?.basic.clone();
+                                        Some((basic, args.clone()))
+                                    })
+                                    .collect(),
+                            }
                         })
                         .collect(),
                     history: o
@@ -1300,18 +1382,28 @@ impl Database {
                 })
                 .collect();
             for ts in &os.triggers {
-                let idx = class
-                    .trigger_index(&ts.name)
-                    .ok_or_else(|| OdeError::UnknownTrigger {
-                        class: class.name.clone(),
-                        trigger: ts.name.clone(),
-                    })?;
+                let idx =
+                    class
+                        .trigger_index(&ts.name)
+                        .ok_or_else(|| OdeError::UnknownTrigger {
+                            class: class.name.clone(),
+                            trigger: ts.name.clone(),
+                        })?;
+                let alphabet = class.triggers[idx].event.alphabet();
                 let inst = &mut triggers[idx];
                 inst.active = ts.active;
                 inst.state = ts.state;
                 inst.params = ts.params.clone();
                 inst.fired = ts.fired;
-                inst.captured = ts.captured.clone();
+                inst.captured = Vec::new();
+                for (basic, cargs) in &ts.captured {
+                    if let Some(slot) = alphabet.group_position(basic) {
+                        if inst.captured.len() <= slot {
+                            inst.captured.resize(slot + 1, None);
+                        }
+                        inst.captured[slot] = Some(cargs.clone());
+                    }
+                }
             }
             self.objects.insert(
                 os.id,
@@ -1432,5 +1524,145 @@ impl MaskEnv for EngineEnv<'_> {
             },
             args,
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Regression for a latent index inconsistency: classification went
+    /// by an instance's `def_index` while the fire loop indexed the
+    /// class's trigger list by the instance's *store position*. With a
+    /// store whose instance order differs from definition order, the
+    /// wrong trigger's action ran.
+    #[test]
+    fn firing_goes_by_definition_index_not_store_position() {
+        let mut db = Database::new();
+        let class = ClassDef::builder("c")
+            .update_method("a", &[])
+            .update_method("b", &[])
+            .trigger("TA", true, "after a", Action::Emit("A fired".into()))
+            .trigger("TB", true, "after b", Action::Emit("B fired".into()))
+            .activate_on_create(&["TA", "TB"])
+            .build()
+            .unwrap();
+        db.define_class(class).unwrap();
+        let txn = db.begin();
+        let obj = db.create_object(txn, "c", &[]).unwrap();
+        db.commit(txn).unwrap();
+
+        // Adversarial store layout: instance order ≠ definition order.
+        db.objects.get_mut(&obj.0).unwrap().triggers.reverse();
+
+        let txn = db.begin();
+        db.call(txn, obj, "b", &[]).unwrap();
+        db.commit(txn).unwrap();
+        let out = db.take_output().join("\n");
+        assert!(out.contains("B fired"), "{out}");
+        assert!(!out.contains("A fired"), "{out}");
+
+        // Activation and deactivation also resolve by definition.
+        let txn = db.begin();
+        db.deactivate_trigger(txn, obj, "TB").unwrap();
+        db.call(txn, obj, "b", &[]).unwrap();
+        db.call(txn, obj, "a", &[]).unwrap();
+        db.commit(txn).unwrap();
+        let out = db.take_output().join("\n");
+        assert!(!out.contains("B fired"), "{out}");
+        assert!(out.contains("A fired"), "{out}");
+    }
+
+    /// Five triggers sharing one mask: the router memoizes the outcome,
+    /// so the mask function runs exactly once per posting.
+    #[test]
+    fn shared_mask_evaluated_once_per_posting() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&calls);
+        let mut builder =
+            ClassDef::builder("c")
+                .update_method("m", &[])
+                .mask_fn("probe", move |_, _| {
+                    probe.fetch_add(1, Ordering::SeqCst);
+                    Some(Value::Bool(true))
+                });
+        let names: Vec<String> = (0..5).map(|i| format!("T{i}")).collect();
+        for name in &names {
+            builder = builder.trigger(
+                name.clone(),
+                true,
+                "after m && probe()",
+                Action::Emit("hit".into()),
+            );
+        }
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let class = builder.activate_on_create(&name_refs).build().unwrap();
+        let mut db = Database::new();
+        db.define_class(class).unwrap();
+        let txn = db.begin();
+        let obj = db.create_object(txn, "c", &[]).unwrap();
+
+        calls.store(0, Ordering::SeqCst);
+        db.call(txn, obj, "m", &[]).unwrap();
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "one distinct mask, one posting of `after m` — one evaluation"
+        );
+        db.commit(txn).unwrap();
+        // All five triggers still fired on that one evaluation.
+        let hits = db.output().iter().filter(|l| l.contains("hit")).count();
+        assert_eq!(hits, 5);
+    }
+
+    /// Classes with no committed-history monitors and no mask functions
+    /// never read their posted history — the engine skips recording it.
+    #[test]
+    fn history_skipped_when_no_reader_exists() {
+        let mut db = Database::new();
+        // No triggers, no mask fns: nothing can read the history.
+        db.define_class(
+            ClassDef::builder("plain")
+                .update_method("m", &[])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // A full-history trigger rolls nothing back and reads no
+        // records either (its state lives outside the object data).
+        let fh = ClassDef::builder("fh")
+            .update_method("m", &[])
+            .trigger("T", true, "after m", Action::Emit("fh fired".into()))
+            .full_history()
+            .activate_on_create(&["T"])
+            .build()
+            .unwrap();
+        db.define_class(fh).unwrap();
+        // The default (committed monitoring) keeps recording.
+        let committed = ClassDef::builder("cm")
+            .update_method("m", &[])
+            .trigger("T", true, "after m", Action::Emit("cm fired".into()))
+            .activate_on_create(&["T"])
+            .build()
+            .unwrap();
+        db.define_class(committed).unwrap();
+
+        let txn = db.begin();
+        let plain = db.create_object(txn, "plain", &[]).unwrap();
+        let fh = db.create_object(txn, "fh", &[]).unwrap();
+        let cm = db.create_object(txn, "cm", &[]).unwrap();
+        for obj in [plain, fh, cm] {
+            db.call(txn, obj, "m", &[]).unwrap();
+        }
+        db.commit(txn).unwrap();
+
+        assert!(db.object(plain).unwrap().history.is_empty());
+        assert!(db.object(fh).unwrap().history.is_empty());
+        assert!(!db.object(cm).unwrap().history.is_empty());
+        // Detection itself is unaffected by skipping the records.
+        let out = db.output().join("\n");
+        assert!(out.contains("fh fired"), "{out}");
+        assert!(out.contains("cm fired"), "{out}");
     }
 }

@@ -53,11 +53,11 @@ pub mod ids;
 pub mod object;
 #[cfg(feature = "persistence")]
 pub mod persist;
+pub mod report;
+pub mod schema;
+pub mod shared;
 #[cfg(feature = "persistence")]
 pub mod wal;
-pub mod report;
-pub mod shared;
-pub mod schema;
 
 pub use class::{
     Action, ActionCtx, ActionFn, ClassBuilder, ClassDef, MaskFn, MaskFnCtx, MethodBody, MethodCtx,
@@ -71,8 +71,8 @@ pub use ids::{ClassId, ObjectId, TxnId};
 pub use object::{Object, PostStatus, PostedRecord, TriggerInstance};
 #[cfg(feature = "persistence")]
 pub use persist::Snapshot;
+pub use report::describe;
+pub use schema::{SchemaAction, SchemaCtx, SchemaTrigger};
+pub use shared::{SharedDatabase, SharedTxn};
 #[cfg(feature = "persistence")]
 pub use wal::{replay, LogOp, RedoLog};
-pub use report::describe;
-pub use shared::{SharedDatabase, SharedTxn};
-pub use schema::{SchemaAction, SchemaCtx, SchemaTrigger};

@@ -53,9 +53,21 @@ pub struct TriggerInstance {
     pub params: Vec<Value>,
     /// How many times this trigger has fired (diagnostic).
     pub fired: u64,
-    /// Last-seen arguments per constituent basic event (only populated
-    /// for triggers built with `capture_params`).
-    pub captured: Vec<(BasicEvent, Vec<Value>)>,
+    /// Last-seen arguments per constituent basic event, indexed by the
+    /// trigger alphabet's group position (only populated for triggers
+    /// built with `capture_params`; `None` = constituent not yet seen).
+    pub captured: Vec<Option<Vec<Value>>>,
+}
+
+/// Position in `triggers` of the instance monitoring definition
+/// `def_index`. Instances are created in definition order, so the fast
+/// path is a direct index; a linear scan covers stores where the orders
+/// diverge (e.g. a permuted restore).
+pub(crate) fn instance_position(triggers: &[TriggerInstance], def_index: usize) -> Option<usize> {
+    match triggers.get(def_index) {
+        Some(t) if t.def_index == def_index => Some(def_index),
+        _ => triggers.iter().position(|t| t.def_index == def_index),
+    }
 }
 
 /// A persistent object.
@@ -81,6 +93,12 @@ impl Object {
     /// instance.
     pub fn monitoring_bytes(&self) -> usize {
         self.triggers.iter().filter(|t| t.active).count() * std::mem::size_of::<StateId>()
+    }
+
+    /// The instance monitoring trigger definition `def_index`, wherever
+    /// it sits in the store.
+    pub fn trigger_instance(&self, def_index: usize) -> Option<&TriggerInstance> {
+        instance_position(&self.triggers, def_index).map(|pos| &self.triggers[pos])
     }
 
     /// The committed sub-history of this object (plus events of the given

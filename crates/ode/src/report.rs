@@ -15,7 +15,12 @@ pub fn describe(db: &Database) -> String {
     // Classes and their trigger automata.
     for id in db.class_ids() {
         let class = db.class(id);
-        let _ = writeln!(out, "\nclass `{}` ({} fields)", class.name, class.fields.len());
+        let _ = writeln!(
+            out,
+            "\nclass `{}` ({} fields)",
+            class.name,
+            class.fields.len()
+        );
         if let Some(parent) = &class.parent {
             let _ = writeln!(out, "  extends `{parent}`");
         }

@@ -151,7 +151,9 @@ pub fn replay(db: &mut Database, log: &RedoLog) -> Result<(), OdeError> {
         m.get(&t).copied().ok_or(OdeError::UnknownTxn(TxnId(t)))
     };
     let map_obj = |m: &HashMap<u64, ObjectId>, o: u64| -> Result<ObjectId, OdeError> {
-        m.get(&o).copied().ok_or(OdeError::UnknownObject(ObjectId(o)))
+        m.get(&o)
+            .copied()
+            .ok_or(OdeError::UnknownObject(ObjectId(o)))
     };
 
     for op in &log.ops {
@@ -253,10 +255,7 @@ mod tests {
         assert_eq!(room2, room, "demo setup is deterministic");
         replay(&mut db2, &RedoLog::from_json(&json).unwrap()).unwrap();
 
-        assert_eq!(
-            db.peek_field(room, "items"),
-            db2.peek_field(room, "items")
-        );
+        assert_eq!(db.peek_field(room, "items"), db2.peek_field(room, "items"));
         assert_eq!(db.output(), db2.output(), "firing output must match");
         assert_eq!(
             db.object(room).unwrap().history.len(),
@@ -268,8 +267,20 @@ mod tests {
         assert_eq!(s1.triggers_fired, s2.triggers_fired);
         assert_eq!(s1.txns_aborted, s2.txns_aborted);
         // trigger automaton states match word for word
-        let t1: Vec<u32> = db.object(room).unwrap().triggers.iter().map(|t| t.state).collect();
-        let t2: Vec<u32> = db2.object(room).unwrap().triggers.iter().map(|t| t.state).collect();
+        let t1: Vec<u32> = db
+            .object(room)
+            .unwrap()
+            .triggers
+            .iter()
+            .map(|t| t.state)
+            .collect();
+        let t2: Vec<u32> = db2
+            .object(room)
+            .unwrap()
+            .triggers
+            .iter()
+            .map(|t| t.state)
+            .collect();
         assert_eq!(t1, t2);
     }
 
@@ -292,8 +303,20 @@ mod tests {
         replay(&mut db2, &tail).unwrap();
 
         assert_eq!(db.peek_field(room, "items"), db2.peek_field(room, "items"));
-        let t1: Vec<u32> = db.object(room).unwrap().triggers.iter().map(|t| t.state).collect();
-        let t2: Vec<u32> = db2.object(room).unwrap().triggers.iter().map(|t| t.state).collect();
+        let t1: Vec<u32> = db
+            .object(room)
+            .unwrap()
+            .triggers
+            .iter()
+            .map(|t| t.state)
+            .collect();
+        let t2: Vec<u32> = db2
+            .object(room)
+            .unwrap()
+            .triggers
+            .iter()
+            .map(|t| t.state)
+            .collect();
         assert_eq!(t1, t2);
     }
 

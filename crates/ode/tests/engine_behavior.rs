@@ -37,6 +37,35 @@ fn db_with_account() -> (Database, TxnId, ObjectId) {
     (db, txn, obj)
 }
 
+/// The account class plus a committed-history monitor. The engine
+/// records an object's posted history only when the class can read it
+/// (committed monitors or mask functions); tests that observe the
+/// history directly go through this variant.
+fn db_with_monitored_account() -> (Database, TxnId, ObjectId) {
+    let class = ClassDef::builder("account")
+        .field("balance", 0i64)
+        .method("depositCash", MethodKind::Update, &["amt"], |ctx| {
+            let b = ctx.get_required("balance")?.as_int().unwrap_or(0);
+            let amt = ctx.arg(0)?.as_int().unwrap_or(0);
+            ctx.set("balance", b + amt);
+            Ok(Value::Null)
+        })
+        .trigger(
+            "audit",
+            true,
+            "after tcommit",
+            Action::Emit("committed".into()),
+        )
+        .activate_on_create(&["audit"])
+        .build()
+        .unwrap();
+    let mut db = Database::new();
+    db.define_class(class).unwrap();
+    let txn = db.begin();
+    let obj = db.create_object(txn, "account", &[]).unwrap();
+    (db, txn, obj)
+}
+
 #[test]
 fn method_calls_mutate_fields() {
     let (mut db, txn, obj) = db_with_account();
@@ -90,7 +119,7 @@ fn abort_restores_deleted_objects() {
 
 #[test]
 fn posting_order_within_a_call() {
-    let (mut db, txn, obj) = db_with_account();
+    let (mut db, txn, obj) = db_with_monitored_account();
     db.call(txn, obj, "depositCash", &[Value::Int(1)]).unwrap();
     db.commit(txn).unwrap();
     let events: Vec<String> = db
@@ -120,7 +149,7 @@ fn posting_order_within_a_call() {
 
 #[test]
 fn commit_marks_history_committed_abort_marks_aborted() {
-    let (mut db, txn, obj) = db_with_account();
+    let (mut db, txn, obj) = db_with_monitored_account();
     db.commit(txn).unwrap();
     assert!(db
         .object(obj)

@@ -10,7 +10,12 @@ use ode_db::{Action, ClassDef, Database, MethodKind, ObjectId, OdeError};
 fn timed_class() -> ClassDef {
     ClassDef::builder("timed")
         .update_method("poke", &[])
-        .trigger("tick", true, "every time(M=10)", Action::Emit("tick".into()))
+        .trigger(
+            "tick",
+            true,
+            "every time(M=10)",
+            Action::Emit("tick".into()),
+        )
         .activate_on_create(&["tick"])
         .build()
         .unwrap()
@@ -81,7 +86,12 @@ fn trigger_action_touching_a_second_object() {
     db.define_class(
         ClassDef::builder("mirror")
             .update_method("reflect", &[])
-            .trigger("seen", true, "after reflect", Action::Emit("reflected".into()))
+            .trigger(
+                "seen",
+                true,
+                "after reflect",
+                Action::Emit("reflected".into()),
+            )
             .activate_on_create(&["seen"])
             .build()
             .unwrap(),
@@ -191,8 +201,11 @@ fn method_errors_do_not_poison_the_txn() {
     .unwrap();
     let txn = db.begin();
     let obj = db.create_object(txn, "picky", &[]).unwrap();
-    assert!(db.call(txn, obj, "must_be_positive", &[Value::Int(-1)]).is_err());
-    db.call(txn, obj, "must_be_positive", &[Value::Int(7)]).unwrap();
+    assert!(db
+        .call(txn, obj, "must_be_positive", &[Value::Int(-1)])
+        .is_err());
+    db.call(txn, obj, "must_be_positive", &[Value::Int(7)])
+        .unwrap();
     db.commit(txn).unwrap();
     assert_eq!(db.peek_field(obj, "n"), Some(Value::Int(7)));
 }

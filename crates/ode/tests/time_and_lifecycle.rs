@@ -52,7 +52,7 @@ fn shared_at_pattern_posts_once() {
 /// activated at different times tick on their own schedules without
 /// cross-talk.
 #[test]
-fn every_timers_are_per_trigger_scoped()  {
+fn every_timers_are_per_trigger_scoped() {
     let mut db = Database::new();
     db.define_class(
         ClassDef::builder("periodic")
@@ -148,7 +148,10 @@ fn reactivation_resets_progress() {
     db.call(txn, obj, "poke", &[]).unwrap();
     db.call(txn, obj, "poke", &[]).unwrap();
     db.commit(txn).unwrap();
-    assert_eq!(db.output().iter().filter(|l| l.contains("third")).count(), 1);
+    assert_eq!(
+        db.output().iter().filter(|l| l.contains("third")).count(),
+        1
+    );
 }
 
 /// The `after time(…)` one-shot is measured from activation, not object
@@ -158,7 +161,12 @@ fn after_time_anchors_at_activation() {
     let mut db = Database::new();
     db.define_class(
         ClassDef::builder("delayed")
-            .trigger("later", true, "after time(HR=1)", Action::Emit("ding".into()))
+            .trigger(
+                "later",
+                true,
+                "after time(HR=1)",
+                Action::Emit("ding".into()),
+            )
             .build()
             .unwrap(),
     )

@@ -10,9 +10,14 @@ use proptest::prelude::*;
 enum Op {
     Begin,
     /// Write `value` to cell `obj` within the open transaction.
-    Set { obj: usize, value: i64 },
+    Set {
+        obj: usize,
+        value: i64,
+    },
     /// Increment cell `obj`.
-    Incr { obj: usize },
+    Incr {
+        obj: usize,
+    },
     Commit,
     Abort,
 }

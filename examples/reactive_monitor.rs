@@ -42,10 +42,7 @@ impl LogLine {
             LogLine::LoginFail => (BasicEvent::after_method("loginFail"), vec![]),
             LogLine::LoginOk => (BasicEvent::after_method("loginOk"), vec![]),
             LogLine::Sudo => (BasicEvent::after_method("sudo"), vec![]),
-            LogLine::Download(mb) => (
-                BasicEvent::after_method("download"),
-                vec![Value::Int(*mb)],
-            ),
+            LogLine::Download(mb) => (BasicEvent::after_method("download"), vec![Value::Int(*mb)]),
             LogLine::Logout => (BasicEvent::after_method("logout"), vec![]),
         }
     }
@@ -84,15 +81,9 @@ fn rules() -> Vec<(&'static str, EventExpr)> {
         ),
         (
             "EXFILTRATION?",
-            parse_event(
-                "fa(after sudo, after download(mb) && mb > 500, after logout)",
-            )
-            .unwrap(),
+            parse_event("fa(after sudo, after download(mb) && mb > 500, after logout)").unwrap(),
         ),
-        (
-            "AUDIT",
-            parse_event("every 10 (after connect)").unwrap(),
-        ),
+        ("AUDIT", parse_event("every 10 (after connect)").unwrap()),
     ]
 }
 

@@ -231,9 +231,13 @@ fn committed_and_full_history_modes_diverge_exactly_on_aborts() {
 #[test]
 fn object_history_statuses_reflect_txn_outcomes() {
     let mut db = Database::new();
+    // A committed-history monitor keeps the engine recording the posted
+    // history (classes with no reader skip the records entirely).
     db.define_class(
         ClassDef::builder("w")
             .update_method("poke", &[])
+            .trigger("audit", true, "after tcommit", Action::Emit("c".into()))
+            .activate_on_create(&["audit"])
             .build()
             .unwrap(),
     )

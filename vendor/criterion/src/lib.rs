@@ -1,0 +1,384 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the criterion 0.8
+//! API surface this workspace's benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `throughput`), `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Results (mean ns/iter over timed samples)
+//! print to stdout; there is no statistical analysis, plotting, or
+//! baseline store.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter (rendered under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Throughput annotation for a group (reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup output; many per batch.
+    SmallInput,
+    /// Large setup output; one per batch.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    measurement: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64, measurement: Duration) -> Bencher {
+        Bencher {
+            samples,
+            measurement,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One calibration pass, untimed budget-wise but counted.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        self.elapsed += first;
+        self.iters += 1;
+
+        let per_iter = first.max(Duration::from_nanos(1));
+        let budget_iters = (self.measurement.as_nanos() / per_iter.as_nanos()).max(1);
+        let total = budget_iters.min(1_000_000).max(self.samples as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..total {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += total;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; only `routine`
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with one run.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let first = start.elapsed();
+        self.elapsed += first;
+        self.iters += 1;
+
+        let per_iter = first.max(Duration::from_nanos(1));
+        let budget_iters = (self.measurement.as_nanos() / per_iter.as_nanos()).max(1);
+        let total = budget_iters.min(100_000).max(self.samples as u128) as u64;
+        for _ in 0..total {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += total;
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{label}: no iterations recorded");
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("{label}: {ns_per_iter:.1} ns/iter ({} iters)", self.iters);
+        match throughput {
+            Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+                let rate = n as f64 / (ns_per_iter / 1e9);
+                line.push_str(&format!(", {rate:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+                let rate = n as f64 / (ns_per_iter / 1e9);
+                line.push_str(&format!(", {rate:.0} B/s"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    samples: u64,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            samples: 10,
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            config: Config::default(),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line configuration (`cargo bench -- <filter>`);
+    /// recognizes a positional substring filter and ignores
+    /// criterion-specific flags.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" || a.starts_with("--") {
+                // Flag (possibly with a value we don't interpret).
+                if a == "--measurement-time" || a == "--warm-up-time" || a == "--sample-size" {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.filter = Some(a);
+        }
+        self
+    }
+
+    /// Default sample count for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.samples = n as u64;
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            throughput: None,
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(id, self.config, None, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Print the run footer (invoked by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("criterion stand-in: run complete");
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.samples = n as u64;
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Total timing budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().name);
+        run_one(&label, self.config, self.throughput, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Run one benchmark that borrows a shared input.
+    pub fn bench_with_input<I, In: ?Sized, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let label = format!("{}/{}", self.name, id.into().name);
+        run_one(
+            &label,
+            self.config,
+            self.throughput,
+            self.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    config: Config,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !label.contains(pat) {
+            return;
+        }
+    }
+    // Warm-up pass: run the closure once with a tiny budget.
+    let mut warm = Bencher::new(1, config.warm_up);
+    f(&mut warm);
+    // Timed pass.
+    let mut b = Bencher::new(config.samples, config.measurement);
+    f(&mut b);
+    b.report(label, throughput);
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| black_box(2u64 + 2));
+        });
+        group.bench_with_input(BenchmarkId::new("g", 2), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::LargeInput);
+        });
+        group.finish();
+    }
+}

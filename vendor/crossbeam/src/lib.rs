@@ -1,0 +1,88 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` (scoped threads that may borrow from the
+//! enclosing stack frame) implemented on `std::thread::scope`, matching
+//! the crossbeam 0.8 call shape `scope(|s| { s.spawn(|_| ...); })` —
+//! the only crossbeam API this workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub use self::thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped-thread API (crossbeam_utils::thread).
+pub mod thread {
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result
+        /// (`Err` carries the panic payload).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing `scope` call. The
+        /// closure receives the scope again so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Unlike crossbeam, a panic in an unjoined spawned
+    /// thread propagates as a panic (via std) rather than an `Err`, which
+    /// is equivalent for test usage (`.unwrap()` at every call site).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        crate::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        crate::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

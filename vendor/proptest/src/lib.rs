@@ -1,0 +1,299 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a compact property-testing harness with proptest's API
+//! shape: the `proptest!` macro (with `#![proptest_config]` headers and
+//! `pattern in strategy` arguments), `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, `prop_oneof!` (weighted and unweighted),
+//! `Just`, integer-range and tuple strategies, `prop::collection::vec`,
+//! `prop::option::of`, `any::<T>()`, simple string-pattern strategies,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: generation is deterministic per test
+//! (seeded from the test path), there is **no shrinking** (the first
+//! failing input is reported verbatim), and string strategies support
+//! only the small pattern subset this workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::option` — strategies for `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// `None` about a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `prop::sample` — sampling helpers.
+pub mod sample {
+    use crate::strategy::{Select, Strategy};
+
+    /// Uniformly select one of the given values.
+    pub fn select<T: Clone + std::fmt::Debug + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + std::fmt::Debug + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// `proptest::arbitrary` — canonical strategies per type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Clone + std::fmt::Debug + Sized + 'static {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII, occasionally any scalar value.
+            if rng.below(10) < 8 {
+                (0x20 + rng.below(0x5F) as u32) as u8 as char
+            } else {
+                char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __config.cases {
+                __attempts += 1;
+                if __attempts > __config.cases.saturating_mul(20).saturating_add(100) {
+                    panic!(
+                        "proptest: too many rejected cases ({} attempts for {} passes)",
+                        __attempts, __config.cases
+                    );
+                }
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempts,
+                );
+                let __values = ( $( $crate::strategy::Strategy::gen_value(&($strat), &mut __rng) ,)+ );
+                let __repr = ::std::format!("{:#?}", __values);
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ($($arg,)+) = __values;
+                    (move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                }));
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    )) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    )) => {
+                        panic!(
+                            "proptest property failed: {}\ninput: {}",
+                            __msg, __repr
+                        );
+                    }
+                    ::std::result::Result::Err(__payload) => {
+                        panic!(
+                            "proptest case panicked: {}\ninput: {}",
+                            $crate::test_runner::panic_message(&__payload),
+                            __repr
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `a == b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($a), stringify!($b), __a, __b, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `a != b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($a), stringify!($b), __a, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Test execution support: configuration, case errors, and the
+//! deterministic RNG that drives value generation.
+
+use std::fmt;
+
+/// Per-test configuration (`proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Unused (no shrinking in the stand-in); kept for struct-update
+    /// compatibility.
+    pub max_shrink_iters: u32,
+    /// Unused; kept for struct-update compatibility.
+    pub max_local_rejects: u32,
+    /// Unused; kept for struct-update compatibility.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1_024,
+        }
+    }
+}
+
+impl Config {
+    /// `Config` with the given case count.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The inputs were rejected (`prop_assume!`); the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Render a `catch_unwind` payload as a message.
+pub fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Deterministic generation RNG (SplitMix64 over a seed derived from
+/// the test path and attempt number, plus `PROPTEST_SEED` if set).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one attempt of one named test.
+    pub fn deterministic(test_path: &str, attempt: u32) -> TestRng {
+        let mut seed = 0xcbf29ce484222325u64; // FNV offset basis
+        for b in test_path.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            for b in extra.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+        }
+        seed ^= (attempt as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = TestRng { state: seed };
+        // Discard a few outputs to decorrelate nearby seeds.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`), debiased by rejection.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}

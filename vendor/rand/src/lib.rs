@@ -1,0 +1,294 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, dependency-free implementation of the subset of the
+//! rand 0.10 API it actually uses: `rngs::StdRng`, `SeedableRng`
+//! (`seed_from_u64`), and the `RngExt` sampling helpers
+//! (`random_range`, `random_bool`). The generator is xoshiro256**
+//! seeded through SplitMix64 — deterministic across platforms, which is
+//! exactly what the seeded tests and benches rely on.
+
+#![forbid(unsafe_code)]
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build a generator from OS entropy. Offline stand-in: derives a
+    /// seed from the current time and address-space layout.
+    fn from_os_rng() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E3779B97F4A7C15);
+        Self::seed_from_u64(t)
+    }
+}
+
+/// A type that can describe a sampling range for [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+    /// Whether the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+/// Types uniformly sampleable from half-open / inclusive ranges. The
+/// `SampleRange` impls below are *blanket* impls over this trait — a
+/// single impl per range shape keeps integer-literal type inference
+/// working (e.g. `v[rng.random_range(0..3)]` infers `usize`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `start..end` (`start < end`).
+    fn sample_half_open(rng: &mut impl RngCore, start: Self, end: Self) -> Self;
+    /// Uniform sample from `start..=end` (`start <= end`).
+    fn sample_inclusive(rng: &mut impl RngCore, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut impl RngCore, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128;
+                let v = sample_below(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+            fn sample_inclusive(rng: &mut impl RngCore, start: Self, end: Self) -> Self {
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = sample_below(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut impl RngCore, start: Self, end: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+    fn sample_inclusive(rng: &mut impl RngCore, start: Self, end: Self) -> Self {
+        Self::sample_half_open(rng, start, end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+/// Debiased sampling of a value in `0..span` (`span > 0`) by rejection.
+fn sample_below(rng: &mut impl RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // Widening-multiply rejection sampling over 64 bits covers every
+    // span the workspace uses (all < 2^64).
+    let span64 = span as u64;
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+/// Sampling helpers over any [`RngCore`] (the rand 0.10 `Rng`/`RngExt`
+/// extension surface).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Alias kept for code written against the pre-0.9 trait name.
+pub use self::RngExt as Rng;
+
+/// Types with a canonical uniform distribution (stand-in for
+/// `distributions::Standard`).
+pub trait Standard {
+    /// Draw one value.
+    fn from_rng(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for u64 {
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for i64 {
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for f64 {
+    fn from_rng(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** (Blackman & Vigna), seeded
+    /// via SplitMix64. Deterministic for a given seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = Self::splitmix(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix of any seed
+            // cannot produce four zero words, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A convenience thread-local-style generator (time-seeded).
+pub fn rng() -> rngs::StdRng {
+    rngs::StdRng::from_os_rng()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u = r.random_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits={hits}");
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors a small serialization framework with serde's *shape*:
+//! `Serialize`/`Deserialize` traits, a `derive` feature re-exporting
+//! the derive macros, and impls for the std types this workspace
+//! persists. Instead of serde's visitor architecture it uses a
+//! self-describing intermediate [`Content`] tree; the companion
+//! `serde_json` stand-in renders that tree to and from JSON with the
+//! same externally-tagged enum representation real serde uses, so
+//! on-disk snapshots remain plain JSON.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model: every serializable value maps onto
+/// this tree, every deserializable value is rebuilt from it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// Null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (used when the value is negative).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map (ordered; keys are `Content` but JSON requires `Str`).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Construct from a message.
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError { msg: m.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Content {
+    /// Kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "signed integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Expect a map (struct body) and look up a field by name.
+    pub fn struct_field(&self, ty: &str, name: &str) -> Result<&Content, DeError> {
+        let Content::Map(entries) = self else {
+            return Err(DeError::msg(format!(
+                "expected map for struct {ty}, got {}",
+                self.kind()
+            )));
+        };
+        entries
+            .iter()
+            .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::msg(format!("missing field `{name}` of struct {ty}")))
+    }
+
+    /// Expect a sequence of exactly `n` elements (tuple / tuple variant).
+    pub fn tuple(&self, ty: &str, n: usize) -> Result<&[Content], DeError> {
+        let Content::Seq(items) = self else {
+            return Err(DeError::msg(format!(
+                "expected sequence for {ty}, got {}",
+                self.kind()
+            )));
+        };
+        if items.len() != n {
+            return Err(DeError::msg(format!(
+                "expected {n} elements for {ty}, got {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Decode the externally-tagged enum head: either a bare string
+    /// (unit variant) or a single-entry map `{variant: payload}`.
+    pub fn enum_variant(&self, ty: &str) -> Result<(&str, Option<&Content>), DeError> {
+        match self {
+            Content::Str(name) => Ok((name, None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(name), payload) => Ok((name, Some(payload))),
+                (k, _) => Err(DeError::msg(format!(
+                    "enum {ty}: variant tag must be a string, got {}",
+                    k.kind()
+                ))),
+            },
+            other => Err(DeError::msg(format!(
+                "expected variant of enum {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// A value renderable into the [`Content`] data model.
+pub trait Serialize {
+    /// Convert to the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from the data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected unsigned integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::msg(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::msg(format!("integer {v} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::msg(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::msg(format!("expected float, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::msg(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c.tuple("tuple", $n)?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A: 0);
+impl_tuple!(2 => A: 0, B: 1);
+impl_tuple!(3 => A: 0, B: 1, C: 2);
+impl_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&7u32.to_content()).unwrap(), 7);
+        assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&Content::Null).unwrap(),
+            None::<u32>
+        );
+    }
+
+    #[test]
+    fn signed_cross_decodes_unsigned() {
+        // JSON "5" parses as U64; an i64 field must accept it.
+        assert_eq!(i64::from_content(&Content::U64(5)).unwrap(), 5);
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+}
