@@ -30,7 +30,7 @@ fn bench_compile(c: &mut Criterion) {
     );
     for fam in FAMILIES {
         for &n in &[2u32, 4, 8] {
-            let expr = operator_family(fam, n);
+            let expr = operator_family(fam, n).expect("known family");
             let compiled = CompiledEvent::compile(&expr).unwrap();
             let s = compiled.stats();
             eprintln!(
@@ -47,7 +47,7 @@ fn bench_compile(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(500));
     for fam in FAMILIES {
         for &n in &[2u32, 8] {
-            let expr = operator_family(fam, n);
+            let expr = operator_family(fam, n).expect("known family");
             group.bench_with_input(BenchmarkId::new(*fam, n), &expr, |b, e| {
                 b.iter(|| std::hint::black_box(CompiledEvent::compile(e).unwrap()))
             });
@@ -58,7 +58,7 @@ fn bench_compile(c: &mut Criterion) {
     // Round trip through a regular expression (the §4 equivalence).
     eprintln!("\n-- §4 equivalence: expr -> min DFA -> regex -> min DFA --");
     for fam in ["relative_chain", "choose", "nested_fa"] {
-        let expr = operator_family(fam, 3);
+        let expr = operator_family(fam, 3).expect("known family");
         let compiled = CompiledEvent::compile(&expr).unwrap();
         let regex = ode_automata::dfa_to_regex(compiled.dfa());
         let back = ode_automata::nfa_to_min_dfa(&regex.to_nfa(compiled.dfa().alphabet_len()));

@@ -24,7 +24,7 @@ fn bench_operators(c: &mut Criterion) {
     let mut compiled_set = Vec::new();
     for fam in FAMILIES {
         for &n in &[1u32, 4, 16, 64] {
-            let expr = operator_family(fam, n);
+            let expr = operator_family(fam, n).expect("known family");
             let compiled = Arc::new(CompiledEvent::compile(&expr).unwrap());
             let s = compiled.stats();
             eprintln!(

@@ -5,8 +5,26 @@
 //! `eprintln!` so that `cargo bench | tee bench_output.txt` captures
 //! both the Criterion timings and the experiment tables.
 
+use std::fmt;
+
 use ode_core::{BasicEvent, EventExpr, Value};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Error returned by [`operator_family`] for a family name it does not
+/// know.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownOperatorFamily {
+    /// The unrecognized family name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownOperatorFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operator family `{}`", self.name)
+    }
+}
+
+impl std::error::Error for UnknownOperatorFamily {}
 
 /// A posted application event: a basic event plus arguments.
 pub type Posting = (BasicEvent, Vec<Value>);
@@ -30,11 +48,11 @@ pub fn random_stream(methods: &[&str], len: usize, seed: u64) -> Vec<Posting> {
 
 /// The expression families used by experiments E3 and E8, parameterized
 /// by a size knob `n`.
-pub fn operator_family(name: &str, n: u32) -> EventExpr {
+pub fn operator_family(name: &str, n: u32) -> Result<EventExpr, UnknownOperatorFamily> {
     let a = || EventExpr::after_method("a");
     let b = || EventExpr::after_method("b");
     let c = || EventExpr::after_method("c");
-    match name {
+    Ok(match name {
         "choose" => a().choose(n),
         "every" => a().every(n),
         "relative_n" => a().relative_n(n),
@@ -66,8 +84,12 @@ pub fn operator_family(name: &str, n: u32) -> EventExpr {
             e
         }
         "fa_abs" => EventExpr::fa_abs(a().relative_n(n.max(1)), b(), c()),
-        other => panic!("unknown operator family `{other}`"),
-    }
+        other => {
+            return Err(UnknownOperatorFamily {
+                name: other.to_string(),
+            })
+        }
+    })
 }
 
 /// `k` overlapping masks on one basic event (experiment E4): the union
@@ -156,10 +178,17 @@ mod tests {
             "negation_tower",
             "fa_abs",
         ] {
-            let e = operator_family(fam, 3);
+            let e = operator_family(fam, 3).unwrap();
             ode_core::CompiledEvent::compile(&e)
                 .unwrap_or_else(|err| panic!("{fam} failed: {err}"));
         }
+    }
+
+    #[test]
+    fn unknown_operator_family_is_a_typed_error() {
+        let err = operator_family("no_such_family", 3).unwrap_err();
+        assert_eq!(err.name, "no_such_family");
+        assert!(err.to_string().contains("no_such_family"));
     }
 
     #[test]

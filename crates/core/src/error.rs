@@ -134,6 +134,12 @@ pub enum MaskError {
     },
     /// Division by zero.
     DivisionByZero,
+    /// A [`crate::Value`] with no literal form in the mask grammar
+    /// (`null`, records) was offered as a literal.
+    UnsupportedLiteral {
+        /// The type of the rejected value.
+        got: &'static str,
+    },
 }
 
 impl fmt::Display for MaskError {
@@ -152,6 +158,9 @@ impl fmt::Display for MaskError {
                 write!(f, "cannot access member `{member}` of a {got}")
             }
             MaskError::DivisionByZero => write!(f, "division by zero"),
+            MaskError::UnsupportedLiteral { got } => {
+                write!(f, "a {got} value has no literal form in the mask grammar")
+            }
         }
     }
 }

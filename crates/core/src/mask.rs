@@ -163,6 +163,42 @@ impl MaskEnv for EmptyEnv {
     }
 }
 
+impl From<bool> for MaskExpr {
+    fn from(b: bool) -> Self {
+        MaskExpr::Bool(b)
+    }
+}
+
+impl From<i64> for MaskExpr {
+    fn from(i: i64) -> Self {
+        MaskExpr::Int(i)
+    }
+}
+
+impl From<i32> for MaskExpr {
+    fn from(i: i32) -> Self {
+        MaskExpr::Int(i as i64)
+    }
+}
+
+impl From<f64> for MaskExpr {
+    fn from(f: f64) -> Self {
+        MaskExpr::Float(FloatBits::from_f64(f))
+    }
+}
+
+impl From<&str> for MaskExpr {
+    fn from(s: &str) -> Self {
+        MaskExpr::Str(s.to_string())
+    }
+}
+
+impl From<String> for MaskExpr {
+    fn from(s: String) -> Self {
+        MaskExpr::Str(s)
+    }
+}
+
 impl MaskExpr {
     /// Convenience: `Name` reference.
     pub fn name(n: impl Into<String>) -> MaskExpr {
@@ -175,23 +211,27 @@ impl MaskExpr {
     }
 
     /// Convenience: `name > value`.
-    pub fn gt(name: impl Into<String>, v: impl Into<Value>) -> MaskExpr {
-        MaskExpr::cmp(BinOp::Gt, MaskExpr::name(name), MaskExpr::lit(v))
+    pub fn gt(name: impl Into<String>, v: impl Into<MaskExpr>) -> MaskExpr {
+        MaskExpr::cmp(BinOp::Gt, MaskExpr::name(name), v.into())
     }
 
     /// Convenience: `name < value`.
-    pub fn lt(name: impl Into<String>, v: impl Into<Value>) -> MaskExpr {
-        MaskExpr::cmp(BinOp::Lt, MaskExpr::name(name), MaskExpr::lit(v))
+    pub fn lt(name: impl Into<String>, v: impl Into<MaskExpr>) -> MaskExpr {
+        MaskExpr::cmp(BinOp::Lt, MaskExpr::name(name), v.into())
     }
 
-    /// Convenience: literal from a value.
-    pub fn lit(v: impl Into<Value>) -> MaskExpr {
+    /// Convenience: literal from a [`Value`]. Only scalar values have a
+    /// literal form in the mask grammar; `null` and records are rejected
+    /// with [`MaskError::UnsupportedLiteral`].
+    pub fn lit(v: impl Into<Value>) -> Result<MaskExpr, MaskError> {
         match v.into() {
-            Value::Bool(b) => MaskExpr::Bool(b),
-            Value::Int(i) => MaskExpr::Int(i),
-            Value::Float(f) => MaskExpr::Float(FloatBits::from_f64(f)),
-            Value::Str(s) => MaskExpr::Str(s),
-            other => panic!("unsupported literal value {other:?}"),
+            Value::Bool(b) => Ok(MaskExpr::Bool(b)),
+            Value::Int(i) => Ok(MaskExpr::Int(i)),
+            Value::Float(f) => Ok(MaskExpr::Float(FloatBits::from_f64(f))),
+            Value::Str(s) => Ok(MaskExpr::Str(s)),
+            other => Err(MaskError::UnsupportedLiteral {
+                got: other.type_name(),
+            }),
         }
     }
 
@@ -548,9 +588,9 @@ mod tests {
 
     #[test]
     fn eq_coerces_numerics() {
-        let m = MaskExpr::cmp(BinOp::Eq, MaskExpr::Int(2), MaskExpr::lit(2.0));
+        let m = MaskExpr::cmp(BinOp::Eq, MaskExpr::Int(2), MaskExpr::lit(2.0).unwrap());
         assert!(m.eval_bool(&EmptyEnv).unwrap());
-        let m = MaskExpr::cmp(BinOp::Ne, MaskExpr::Int(2), MaskExpr::lit(2.5));
+        let m = MaskExpr::cmp(BinOp::Ne, MaskExpr::Int(2), MaskExpr::lit(2.5).unwrap());
         assert!(m.eval_bool(&EmptyEnv).unwrap());
     }
 
@@ -571,6 +611,23 @@ mod tests {
             m.eval_bool(&EmptyEnv),
             Err(MaskError::NotBoolean { got: "int" })
         ));
+    }
+
+    #[test]
+    fn lit_accepts_scalars() {
+        assert_eq!(MaskExpr::lit(true).unwrap(), MaskExpr::Bool(true));
+        assert_eq!(MaskExpr::lit(7i64).unwrap(), MaskExpr::Int(7));
+        assert_eq!(MaskExpr::lit("x").unwrap(), MaskExpr::Str("x".into()));
+    }
+
+    #[test]
+    fn lit_rejects_null_and_records() {
+        assert_eq!(
+            MaskExpr::lit(Value::Null),
+            Err(MaskError::UnsupportedLiteral { got: "null" })
+        );
+        let r = MaskExpr::lit(Value::record([("balance", Value::Int(1))]));
+        assert_eq!(r, Err(MaskError::UnsupportedLiteral { got: "record" }));
     }
 
     #[test]

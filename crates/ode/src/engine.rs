@@ -72,6 +72,45 @@ impl Default for Config {
     }
 }
 
+/// One trigger firing, reported to the registered [`FiringSink`] at the
+/// moment the trigger fires — after the automaton accepted and the
+/// ordinary-trigger deactivation rule ran, but *before* the action
+/// executes. This is the observation hook the network front end
+/// (`ode-server`) streams to `subscribe`d connections.
+///
+/// Notices are emitted at fire time, inside the detecting transaction:
+/// if that transaction later aborts, the firing still happened (and was
+/// reported) — consumers that care about durability must correlate by
+/// [`FiringNotice::txn`].
+#[derive(Clone, Debug)]
+pub struct FiringNotice {
+    /// Global firing sequence number (the value of
+    /// [`Stats::triggers_fired`] after this firing): strictly increasing
+    /// and unique across the database's lifetime.
+    pub seq: u64,
+    /// The transaction the firing occurred in.
+    pub txn: TxnId,
+    /// The object whose trigger fired.
+    pub object: ObjectId,
+    /// The object's class name.
+    pub class: String,
+    /// The trigger's name.
+    pub trigger: String,
+    /// The basic event whose posting completed the composite event.
+    pub event: BasicEvent,
+    /// The arguments of that completing event.
+    pub args: Vec<Value>,
+    /// Captured constituent-event arguments (only populated for triggers
+    /// built with `capture_params`): the most recent arguments of every
+    /// constituent basic event seen so far.
+    pub captured: Vec<(BasicEvent, Vec<Value>)>,
+}
+
+/// A callback invoked on every object-trigger firing (see
+/// [`Database::set_firing_sink`]). Called synchronously with the engine
+/// locked — implementations must not block or re-enter the engine.
+pub type FiringSink = Arc<dyn Fn(&FiringNotice) + Send + Sync>;
+
 /// Engine counters (used by the experiment harness).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {
@@ -149,6 +188,8 @@ pub struct Database {
     schema_memo: MaskMemo,
     #[cfg(feature = "persistence")]
     redo_log: Option<crate::wal::RedoLog>,
+    /// Observer for object-trigger firings (see [`FiringNotice`]).
+    firing_sink: Option<FiringSink>,
 }
 
 impl Default for Database {
@@ -188,7 +229,18 @@ impl Database {
             schema_memo: MaskMemo::default(),
             #[cfg(feature = "persistence")]
             redo_log: None,
+            firing_sink: None,
         }
+    }
+
+    /// Install (or clear) the firing sink: a callback invoked
+    /// synchronously on every object-trigger firing, after the trigger
+    /// automaton accepts and before the action runs. Schema-trigger
+    /// firings are *not* reported (they are engine bookkeeping, not part
+    /// of the paper's per-object trigger model), so consumers may observe
+    /// gaps in [`FiringNotice::seq`].
+    pub fn set_firing_sink(&mut self, sink: Option<FiringSink>) {
+        self.firing_sink = sink;
     }
 
     /// Start recording a logical redo log of application-level
@@ -390,6 +442,11 @@ impl Database {
         self.log_op(|| crate::wal::LogOp::Abort { txn: txn.0 });
         self.finish_abort(txn, AbortReason::Explicit);
         Ok(())
+    }
+
+    /// Is `txn` currently open (begun, not yet committed or aborted)?
+    pub fn txn_open(&self, txn: TxnId) -> bool {
+        self.txns.contains_key(&txn.0)
     }
 
     /// Run `f` inside a fresh transaction, committing on `Ok` and
@@ -1143,12 +1200,37 @@ impl Database {
         // ordinary trigger, then execute the actions in declaration
         // order.
         let fired_count = fired.len() as u32;
+        let sink = self.firing_sink.clone();
+        let mut notices: Vec<FiringNotice> = Vec::new();
         for &(pos, def) in &fired {
             let tdef = &class.triggers[def];
             let o = self.objects.get_mut(&obj.0).expect("present");
             let inst = &mut o.triggers[pos];
             inst.fired += 1;
             self.stats.triggers_fired += 1;
+            if sink.is_some() {
+                let alphabet = tdef.event.alphabet();
+                let captured = inst
+                    .captured
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, v)| {
+                        let cap_args = v.as_ref()?;
+                        let cap_basic = alphabet.groups().get(slot)?.basic.clone();
+                        Some((cap_basic, cap_args.clone()))
+                    })
+                    .collect();
+                notices.push(FiringNotice {
+                    seq: self.stats.triggers_fired,
+                    txn,
+                    object: obj,
+                    class: class.name.clone(),
+                    trigger: tdef.name.clone(),
+                    event: basic.clone(),
+                    args: args.to_vec(),
+                    captured,
+                });
+            }
             if !tdef.perpetual {
                 let snapshot = UndoOp::TriggerSnapshot {
                     obj,
@@ -1163,6 +1245,11 @@ impl Database {
                         state.undo.push(snapshot);
                     }
                 }
+            }
+        }
+        if let Some(sink) = &sink {
+            for notice in &notices {
+                sink(notice);
             }
         }
         for (_, def) in fired {

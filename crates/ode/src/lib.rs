@@ -64,7 +64,7 @@ pub use class::{
     MethodDef, MethodKind, Monitoring, TriggerDef,
 };
 pub use clock::{Clock, Recurrence, Timer, TimerScope};
-pub use engine::{Config, Database, Stats};
+pub use engine::{Config, Database, FiringNotice, FiringSink, Stats};
 pub use error::{AbortReason, OdeError};
 pub use history::HistoryQuery;
 pub use ids::{ClassId, ObjectId, TxnId};

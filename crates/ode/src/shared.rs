@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::Database;
+use crate::engine::{Database, FiringSink};
 use crate::error::OdeError;
 use crate::ids::TxnId;
 use ode_core::Value;
@@ -92,6 +92,40 @@ impl SharedDatabase {
                 other => return other,
             }
         }
+    }
+
+    /// Install (or clear) the engine's firing sink (see
+    /// [`crate::engine::FiringNotice`]). The sink runs with the engine
+    /// mutex held — it must only enqueue, never block or call back into
+    /// this handle.
+    pub fn set_firing_sink(&self, sink: Option<FiringSink>) {
+        self.inner.lock().set_firing_sink(sink);
+    }
+
+    /// Begin a long-lived *session* transaction as `user` and return its
+    /// id. Unlike [`SharedDatabase::run_txn`], the transaction stays open
+    /// across engine-lock releases — the caller (e.g. a network session)
+    /// is responsible for eventually calling [`SharedDatabase::commit`]
+    /// or [`SharedDatabase::abort`].
+    pub fn begin(&self, user: impl Into<Value>) -> TxnId {
+        self.inner.lock().begin_as(user.into())
+    }
+
+    /// Commit a session transaction begun with [`SharedDatabase::begin`].
+    pub fn commit(&self, txn: TxnId) -> Result<(), OdeError> {
+        self.inner.lock().commit(txn)
+    }
+
+    /// Abort a session transaction begun with [`SharedDatabase::begin`].
+    /// Aborting a transaction the engine already finalized (e.g. after a
+    /// trigger-requested abort surfaced as an error) returns `Err`.
+    pub fn abort(&self, txn: TxnId) -> Result<(), OdeError> {
+        self.inner.lock().abort(txn)
+    }
+
+    /// Is `txn` still open?
+    pub fn txn_open(&self, txn: TxnId) -> bool {
+        self.inner.lock().txn_open(txn)
     }
 
     /// Consume the handle, returning the database if this is the last

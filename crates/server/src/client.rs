@@ -1,0 +1,392 @@
+//! A blocking client for the wire protocol, with typed helpers and a
+//! [`Client::txn`] retry loop mirroring
+//! [`ode_db::SharedDatabase::run_txn`].
+//!
+//! Trigger-firing notifications ([`crate::protocol::Firing`]) arrive
+//! interleaved with replies on subscribed connections; the client
+//! buffers any firing it reads while waiting for a reply, and
+//! [`Client::poll_firing`] / [`Client::next_firing`] drain that buffer
+//! before touching the socket.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ode_core::Value;
+
+use crate::codec::{LineEvent, LineReader};
+use crate::conn::Conn;
+use crate::protocol::{
+    Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+};
+use crate::spec::ClassSpec;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+    /// The server answered the request with a structured error.
+    Server(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client (one session on the server).
+pub struct Client {
+    write: Conn,
+    read: Conn,
+    lines: LineReader,
+    next_id: u64,
+    pending: VecDeque<Firing>,
+    notices: Vec<WireError>,
+    /// How long [`Client::request`] waits for its reply.
+    pub request_timeout: Duration,
+    /// Retry budget for [`Client::txn`].
+    pub max_retries: u32,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let s = TcpStream::connect(addr)?;
+        let _ = s.set_nodelay(true);
+        Client::from_conn(Conn::Tcp(s))
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        let s = UnixStream::connect(path)?;
+        Client::from_conn(Conn::Unix(s))
+    }
+
+    fn from_conn(write: Conn) -> std::io::Result<Client> {
+        let read = write.try_clone()?;
+        Ok(Client {
+            write,
+            read,
+            lines: LineReader::new(16 * 1024 * 1024),
+            next_id: 0,
+            pending: VecDeque::new(),
+            notices: Vec::new(),
+            request_timeout: Duration::from_secs(30),
+            max_retries: 64,
+        })
+    }
+
+    /// Send a command and wait for its reply, buffering any firings
+    /// that arrive in between.
+    pub fn request(&mut self, cmd: Command) -> Result<Reply, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut line = serde_json::to_string(&Request { id, cmd })
+            .map_err(|e| ClientError::Protocol(format!("encode failed: {e}")))?;
+        line.push('\n');
+        self.write.write_all(line.as_bytes())?;
+        self.read.set_read_timeout(Some(self.request_timeout))?;
+        loop {
+            match self.read_msg()? {
+                Some(ServerMsg::Firing(f)) => self.pending.push_back(f),
+                Some(ServerMsg::Reply { id: rid, result }) => {
+                    if rid == id {
+                        return match result {
+                            ReplyResult::Ok(r) => Ok(r),
+                            ReplyResult::Err(e) => Err(ClientError::Server(e)),
+                        };
+                    } else if rid == 0 {
+                        if let ReplyResult::Err(e) = result {
+                            self.notices.push(e);
+                        }
+                    } else {
+                        return Err(ClientError::Protocol(format!(
+                            "unexpected reply id {rid} (awaiting {id})"
+                        )));
+                    }
+                }
+                None => {
+                    return Err(ClientError::Protocol(
+                        "timed out waiting for the reply".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Read one server message; `None` on read timeout.
+    fn read_msg(&mut self) -> Result<Option<ServerMsg>, ClientError> {
+        match self.lines.read_event(&mut self.read)? {
+            LineEvent::Line(l) => {
+                let msg: ServerMsg = serde_json::from_str(&l)
+                    .map_err(|e| ClientError::Protocol(format!("bad server line: {e}")))?;
+                Ok(Some(msg))
+            }
+            LineEvent::Tick => Ok(None),
+            LineEvent::Eof => Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+            LineEvent::Overlong => Err(ClientError::Protocol(
+                "server line exceeded the client-side cap".to_string(),
+            )),
+        }
+    }
+
+    /// The next buffered or incoming firing, waiting up to `timeout`.
+    pub fn poll_firing(&mut self, timeout: Duration) -> Result<Option<Firing>, ClientError> {
+        if let Some(f) = self.pending.pop_front() {
+            return Ok(Some(f));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.read.set_read_timeout(Some(remaining))?;
+            match self.read_msg()? {
+                Some(ServerMsg::Firing(f)) => return Ok(Some(f)),
+                Some(ServerMsg::Reply { id, result }) => {
+                    if id == 0 {
+                        if let ReplyResult::Err(e) = result {
+                            self.notices.push(e);
+                        }
+                    } else {
+                        return Err(ClientError::Protocol(format!(
+                            "unsolicited reply id {id} while polling firings"
+                        )));
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Like [`Client::poll_firing`] but errors on timeout.
+    pub fn next_firing(&mut self, timeout: Duration) -> Result<Firing, ClientError> {
+        self.poll_firing(timeout)?.ok_or_else(|| {
+            ClientError::Protocol("timed out waiting for a trigger firing".to_string())
+        })
+    }
+
+    /// Drain unsolicited server error notices (`id: 0` replies:
+    /// overlong lines, parse failures, idle-transaction timeouts).
+    pub fn drain_notices(&mut self) -> Vec<WireError> {
+        std::mem::take(&mut self.notices)
+    }
+
+    // ------------------------------------------------------ typed helpers
+
+    /// `Ping`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(Command::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// `DefineClass`.
+    pub fn define_class(&mut self, spec: ClassSpec) -> Result<(), ClientError> {
+        unit(self.request(Command::DefineClass(spec))?)
+    }
+
+    /// `Begin` as `user`; returns the transaction id.
+    pub fn begin(&mut self, user: impl Into<Value>) -> Result<u64, ClientError> {
+        match self.request(Command::Begin { user: user.into() })? {
+            Reply::Begun { txn } => Ok(txn),
+            other => Err(unexpected("Begun", &other)),
+        }
+    }
+
+    /// `Commit`.
+    pub fn commit(&mut self) -> Result<(), ClientError> {
+        unit(self.request(Command::Commit)?)
+    }
+
+    /// `Abort` (idempotent).
+    pub fn abort(&mut self) -> Result<(), ClientError> {
+        unit(self.request(Command::Abort)?)
+    }
+
+    /// `New`; returns the object id.
+    pub fn new_object(
+        &mut self,
+        class: &str,
+        overrides: &[(&str, Value)],
+    ) -> Result<u64, ClientError> {
+        let overrides = overrides
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        match self.request(Command::New {
+            class: class.to_string(),
+            overrides,
+        })? {
+            Reply::Object { id } => Ok(id),
+            other => Err(unexpected("Object", &other)),
+        }
+    }
+
+    /// `Call`; returns the method's value.
+    pub fn call(
+        &mut self,
+        object: u64,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ClientError> {
+        match self.request(Command::Call {
+            object,
+            method: method.to_string(),
+            args: args.to_vec(),
+        })? {
+            Reply::Value(v) => Ok(v),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// `Delete`.
+    pub fn delete(&mut self, object: u64) -> Result<(), ClientError> {
+        unit(self.request(Command::Delete { object })?)
+    }
+
+    /// `Activate`.
+    pub fn activate(
+        &mut self,
+        object: u64,
+        trigger: &str,
+        params: &[Value],
+    ) -> Result<(), ClientError> {
+        unit(self.request(Command::Activate {
+            object,
+            trigger: trigger.to_string(),
+            params: params.to_vec(),
+        })?)
+    }
+
+    /// `Deactivate`.
+    pub fn deactivate(&mut self, object: u64, trigger: &str) -> Result<(), ClientError> {
+        unit(self.request(Command::Deactivate {
+            object,
+            trigger: trigger.to_string(),
+        })?)
+    }
+
+    /// `AdvanceClockBy`.
+    pub fn advance_clock_by(&mut self, ms: u64) -> Result<(), ClientError> {
+        unit(self.request(Command::AdvanceClockBy { ms })?)
+    }
+
+    /// `AdvanceClockTo`.
+    pub fn advance_clock_to(&mut self, ms: u64) -> Result<(), ClientError> {
+        unit(self.request(Command::AdvanceClockTo { ms })?)
+    }
+
+    /// `Snapshot`; returns the snapshot JSON.
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        match self.request(Command::Snapshot)? {
+            Reply::SnapshotTaken { json } => Ok(json),
+            other => Err(unexpected("SnapshotTaken", &other)),
+        }
+    }
+
+    /// `Restore`.
+    pub fn restore(&mut self, snapshot: String) -> Result<(), ClientError> {
+        unit(self.request(Command::Restore { snapshot })?)
+    }
+
+    /// `Stats`.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.request(Command::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// `Subscribe`.
+    pub fn subscribe(&mut self) -> Result<(), ClientError> {
+        unit(self.request(Command::Subscribe)?)
+    }
+
+    /// `Unsubscribe`.
+    pub fn unsubscribe(&mut self) -> Result<(), ClientError> {
+        unit(self.request(Command::Unsubscribe)?)
+    }
+
+    /// `TakeOutput`.
+    pub fn take_output(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.request(Command::TakeOutput)? {
+            Reply::Output(lines) => Ok(lines),
+            other => Err(unexpected("Output", &other)),
+        }
+    }
+
+    /// `PeekField`.
+    pub fn peek_field(&mut self, object: u64, field: &str) -> Result<Value, ClientError> {
+        match self.request(Command::PeekField {
+            object,
+            field: field.to_string(),
+        })? {
+            Reply::Value(v) => Ok(v),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// Run `f` inside a transaction as `user`: begin, run, commit.
+    /// Retryable server errors (`lock_conflict`) abort and rerun `f`
+    /// with a linear backoff, up to [`Client::max_retries`] — the wire
+    /// analogue of [`ode_db::SharedDatabase::run_txn`].
+    pub fn txn<T>(
+        &mut self,
+        user: &str,
+        mut f: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempts: u32 = 0;
+        loop {
+            self.begin(user)?;
+            let r = f(self).and_then(|v| self.commit().map(|()| v));
+            match r {
+                Ok(v) => return Ok(v),
+                Err(ClientError::Server(e)) if e.retryable && attempts < self.max_retries => {
+                    attempts += 1;
+                    self.abort()?;
+                    std::thread::sleep(Duration::from_micros(50) * attempts.min(20));
+                }
+                Err(e) => {
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+fn unit(r: Reply) -> Result<(), ClientError> {
+    match r {
+        Reply::Unit => Ok(()),
+        other => Err(unexpected("Unit", &other)),
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} reply, got {got:?}"))
+}

@@ -1,0 +1,33 @@
+//! `ode-server` — a wire-protocol network front end for the active
+//! object-oriented database, with live trigger subscriptions.
+//!
+//! The server speaks newline-delimited JSON over TCP and Unix-domain
+//! sockets, one session (and one optional open transaction) per
+//! connection, thread-per-connection over a shared
+//! [`ode_db::SharedDatabase`]. Classes — including their trigger
+//! events, written in the paper's §3 composite-event syntax — are
+//! defined over the wire from a declarative [`spec::ClassSpec`].
+//! Sessions that `subscribe` receive a push notification for every
+//! trigger firing in the database, produced by the engine's firing
+//! sink ([`ode_db::FiringSink`]) and fanned out without blocking the
+//! engine.
+//!
+//! See `DESIGN.md` ("The network front end") for the protocol grammar
+//! and session model, and `examples/ode_server.rs` /
+//! `examples/ode_client.rs` for a runnable pair.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod conn;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    CapturedEvent, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+};
+pub use server::{Server, ServerBuilder, ServerConfig};
+pub use spec::{ActionSpec, ClassSpec, FieldSpec, MaskFnSpec, MethodOp, MethodSpec, TriggerSpec};

@@ -1,0 +1,370 @@
+//! The wire protocol: newline-delimited JSON, one [`Request`] per line
+//! from client to server, one [`ServerMsg`] per line back.
+//!
+//! Every request carries a client-chosen `id`; the server answers each
+//! request with exactly one `Reply` echoing that id. Connections that
+//! have sent [`Command::Subscribe`] additionally receive unsolicited
+//! [`ServerMsg::Firing`] lines as triggers fire, interleaved between
+//! replies. Unsolicited *error* notices (malformed line, line-length
+//! overflow, idle-transaction timeout) are delivered as replies with
+//! `id: 0` — clients never use 0 as a request id.
+//!
+//! All types serialize with serde's externally-tagged enum
+//! representation: a unit variant is its name as a JSON string
+//! (`"Ping"`), a payload variant is a one-key object
+//! (`{"Begin":{"user":"alice"}}`).
+
+use ode_core::Value;
+use ode_db::OdeError;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ClassSpec;
+
+/// A client request: a client-chosen correlation id (must be non-zero)
+/// plus the command.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Correlation id echoed in the reply. `0` is reserved for
+    /// unsolicited server notices.
+    pub id: u64,
+    /// The command to execute.
+    pub cmd: Command,
+}
+
+/// The command surface — the full paper API of the in-process engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Command {
+    /// Liveness check.
+    Ping,
+    /// Define a class from a declarative spec (trigger events in the
+    /// paper's §3 surface syntax, method bodies in the mask expression
+    /// grammar).
+    DefineClass(ClassSpec),
+    /// Begin a transaction as `user`; the session may hold at most one
+    /// open transaction.
+    Begin {
+        /// The transaction's user value (readable through `user()`).
+        user: Value,
+    },
+    /// Commit the session's open transaction.
+    Commit,
+    /// Abort the session's open transaction (idempotent: aborting a
+    /// transaction the engine already finalized succeeds).
+    Abort,
+    /// Create an object (requires an open transaction).
+    New {
+        /// Class name.
+        class: String,
+        /// Field overrides applied over the class defaults.
+        overrides: Vec<(String, Value)>,
+    },
+    /// Invoke a member function (requires an open transaction).
+    Call {
+        /// Target object id.
+        object: u64,
+        /// Method name.
+        method: String,
+        /// Positional arguments.
+        args: Vec<Value>,
+    },
+    /// Delete an object (requires an open transaction).
+    Delete {
+        /// Target object id.
+        object: u64,
+    },
+    /// Activate a trigger on an object (requires an open transaction).
+    Activate {
+        /// Target object id.
+        object: u64,
+        /// Trigger name.
+        trigger: String,
+        /// Activation parameters.
+        params: Vec<Value>,
+    },
+    /// Deactivate a trigger on an object (requires an open transaction).
+    Deactivate {
+        /// Target object id.
+        object: u64,
+        /// Trigger name.
+        trigger: String,
+    },
+    /// Advance the virtual clock by `ms` milliseconds.
+    AdvanceClockBy {
+        /// Milliseconds to advance by.
+        ms: u64,
+    },
+    /// Advance the virtual clock to an absolute time.
+    AdvanceClockTo {
+        /// Target virtual time in milliseconds.
+        ms: u64,
+    },
+    /// Snapshot the quiescent store to JSON.
+    Snapshot,
+    /// Restore a snapshot previously taken with [`Command::Snapshot`]
+    /// (the classes must already be defined).
+    Restore {
+        /// The snapshot JSON.
+        snapshot: String,
+    },
+    /// Read the engine counters and clock.
+    Stats,
+    /// Start streaming trigger-firing notifications to this connection.
+    Subscribe,
+    /// Stop streaming trigger-firing notifications.
+    Unsubscribe,
+    /// Drain the database output log.
+    TakeOutput,
+    /// Read one field of an object without posting events.
+    PeekField {
+        /// Target object id.
+        object: u64,
+        /// Field name.
+        field: String,
+    },
+}
+
+/// One server-to-client line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// The answer to a request (or an unsolicited notice when `id` is 0).
+    Reply {
+        /// The request's correlation id.
+        id: u64,
+        /// Outcome.
+        result: ReplyResult,
+    },
+    /// A trigger-firing notification (subscribed connections only).
+    Firing(Firing),
+}
+
+/// Request outcome. (The vendored serde has no `Result` impl, so the
+/// protocol carries its own two-variant enum.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ReplyResult {
+    /// Success.
+    Ok(Reply),
+    /// Failure.
+    Err(WireError),
+}
+
+/// Successful reply payloads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Reply {
+    /// Command completed with nothing to return.
+    Unit,
+    /// Answer to [`Command::Ping`].
+    Pong,
+    /// A freshly created object.
+    Object {
+        /// The new object's id.
+        id: u64,
+    },
+    /// A method return value or peeked field.
+    Value(Value),
+    /// A freshly begun transaction.
+    Begun {
+        /// The transaction id.
+        txn: u64,
+    },
+    /// Engine counters.
+    Stats(WireStats),
+    /// A snapshot of the store.
+    SnapshotTaken {
+        /// The snapshot JSON (opaque to clients).
+        json: String,
+    },
+    /// Drained output-log lines.
+    Output(Vec<String>),
+}
+
+/// A structured protocol error.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable machine-readable code (`lock_conflict`, `no_txn`, …).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether aborting and retrying the transaction may succeed.
+    pub retryable: bool,
+}
+
+impl WireError {
+    /// Build a non-retryable error.
+    pub fn new(code: &str, message: impl Into<String>) -> WireError {
+        WireError {
+            code: code.to_string(),
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    /// Map an engine error onto a wire error. Lock conflicts are the
+    /// only retryable class: the engine returns them immediately rather
+    /// than blocking, so the client aborts and retries (no deadlock).
+    pub fn from_ode(e: &OdeError) -> WireError {
+        let (code, retryable) = match e {
+            OdeError::LockConflict { .. } => ("lock_conflict", true),
+            OdeError::Aborted(_) => ("aborted", false),
+            OdeError::ClassExists(_) => ("class_exists", false),
+            OdeError::UnknownClass(_) => ("unknown_class", false),
+            OdeError::UnknownObject(_) | OdeError::ObjectDeleted(_) => ("unknown_object", false),
+            OdeError::UnknownMethod { .. } => ("unknown_method", false),
+            OdeError::UnknownTrigger { .. } => ("unknown_trigger", false),
+            OdeError::WrongArgCount { .. } => ("bad_args", false),
+            OdeError::UnknownTxn(_) => ("unknown_txn", false),
+            OdeError::Event(_) | OdeError::ImpossibleEvent { .. } => ("bad_event", false),
+            OdeError::Mask(_) => ("bad_mask", false),
+            OdeError::Method(_) => ("engine", false),
+        };
+        WireError {
+            code: code.to_string(),
+            message: e.to_string(),
+            retryable,
+        }
+    }
+}
+
+/// Engine counters plus the virtual clock, as served by
+/// [`Command::Stats`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Basic events posted to objects.
+    pub events_posted: u64,
+    /// Automaton steps taken.
+    pub symbols_stepped: u64,
+    /// Trigger firings (object and schema triggers).
+    pub triggers_fired: u64,
+    /// Committed transactions.
+    pub txns_committed: u64,
+    /// Aborted transactions.
+    pub txns_aborted: u64,
+    /// Current virtual time in milliseconds.
+    pub clock_ms: u64,
+}
+
+/// A trigger firing as streamed to subscribers — the wire image of
+/// [`ode_db::FiringNotice`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Firing {
+    /// Global firing sequence number: strictly increasing, unique.
+    pub seq: u64,
+    /// The detecting transaction (firings of transactions that later
+    /// abort are still streamed; correlate by this id).
+    pub txn: u64,
+    /// The object whose trigger fired.
+    pub object: u64,
+    /// The object's class.
+    pub class: String,
+    /// The trigger's name.
+    pub trigger: String,
+    /// The completing basic event, rendered in §3 syntax
+    /// (`after withdraw`).
+    pub event: String,
+    /// Arguments of the completing event.
+    pub args: Vec<Value>,
+    /// Captured constituent-event arguments (capture-enabled triggers).
+    pub captured: Vec<CapturedEvent>,
+}
+
+/// One captured constituent event of a composite firing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CapturedEvent {
+    /// The constituent basic event, rendered in §3 syntax.
+    pub event: String,
+    /// Its most recently captured arguments.
+    pub args: Vec<Value>,
+}
+
+impl Firing {
+    /// Convert an engine notice to its wire image.
+    pub fn from_notice(n: &ode_db::FiringNotice) -> Firing {
+        Firing {
+            seq: n.seq,
+            txn: n.txn.0,
+            object: n.object.0,
+            class: n.class.clone(),
+            trigger: n.trigger.clone(),
+            event: n.event.to_string(),
+            args: n.args.clone(),
+            captured: n
+                .captured
+                .iter()
+                .map(|(b, a)| CapturedEvent {
+                    event: b.to_string(),
+                    args: a.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 7,
+            cmd: Command::Call {
+                object: 3,
+                method: "withdraw".into(),
+                args: vec![Value::Str("bolt".into()), Value::Int(5)],
+            },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 7);
+        match back.cmd {
+            Command::Call {
+                object,
+                method,
+                args,
+            } => {
+                assert_eq!(object, 3);
+                assert_eq!(method, "withdraw");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_commands_serialize_as_strings() {
+        let json = serde_json::to_string(&Command::Ping).unwrap();
+        assert_eq!(json, "\"Ping\"");
+        let back: Command = serde_json::from_str("\"Commit\"").unwrap();
+        assert!(matches!(back, Command::Commit));
+    }
+
+    #[test]
+    fn reply_result_round_trips() {
+        let msg = ServerMsg::Reply {
+            id: 1,
+            result: ReplyResult::Err(WireError::new("no_txn", "no open transaction")),
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: ServerMsg = serde_json::from_str(&json).unwrap();
+        match back {
+            ServerMsg::Reply { id, result } => {
+                assert_eq!(id, 1);
+                match result {
+                    ReplyResult::Err(e) => assert_eq!(e.code, "no_txn"),
+                    ReplyResult::Ok(_) => panic!("expected Err"),
+                }
+            }
+            ServerMsg::Firing(_) => panic!("expected Reply"),
+        }
+    }
+
+    #[test]
+    fn lock_conflict_maps_retryable() {
+        let e = OdeError::LockConflict {
+            object: ode_db::ObjectId(1),
+            holder: ode_db::TxnId(2),
+        };
+        let w = WireError::from_ode(&e);
+        assert_eq!(w.code, "lock_conflict");
+        assert!(w.retryable);
+    }
+}

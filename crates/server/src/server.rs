@@ -1,0 +1,526 @@
+//! The server: thread-per-connection sessions over a [`SharedDatabase`].
+//!
+//! ## Session model
+//!
+//! Each connection is one *session* holding at most one open
+//! transaction. The engine mutex is held only for the duration of each
+//! individual command, so sessions interleave at transaction granularity
+//! exactly like in-process users of [`SharedDatabase`]: conflicting
+//! object access surfaces as a retryable `lock_conflict` error (the
+//! engine never blocks on locks, so there is no deadlock), and the
+//! client aborts and retries.
+//!
+//! ## Robustness
+//!
+//! * Reads poll with a short timeout ([`ServerConfig::poll_interval`])
+//!   so every session notices shutdown promptly and can expire idle
+//!   transactions ([`ServerConfig::txn_idle_timeout`]) — partial lines
+//!   survive the ticks (see [`crate::codec::LineReader`]).
+//! * Malformed or overlong lines answer with a structured `id: 0` error
+//!   notice; the connection stays open and usable.
+//! * A disconnect (or shutdown) aborts the session's open transaction,
+//!   releasing its object locks.
+//!
+//! ## Firing fan-out
+//!
+//! The engine's firing sink runs with the engine locked, so it must
+//! never touch a socket: it only enqueues the [`Firing`] onto each
+//! subscribed connection's outbox channel. A dedicated writer thread
+//! per connection drains the outbox, so a slow subscriber delays only
+//! itself.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ode_core::Value;
+use ode_db::{FiringNotice, ObjectId, SharedDatabase, Snapshot, TxnId};
+use parking_lot::Mutex;
+
+use crate::codec::{LineEvent, LineReader};
+use crate::conn::Conn;
+use crate::protocol::{
+    Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+};
+use crate::spec::compile_class;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum request-line length in bytes; longer lines are discarded
+    /// with an `overlong` notice.
+    pub max_line_bytes: usize,
+    /// Read-timeout tick: how often idle sessions poll the shutdown
+    /// flag and the idle-transaction timer.
+    pub poll_interval: Duration,
+    /// Abort a session's open transaction after this much inactivity
+    /// (`None` disables the timer).
+    pub txn_idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_line_bytes: 256 * 1024,
+            poll_interval: Duration::from_millis(25),
+            txn_idle_timeout: None,
+        }
+    }
+}
+
+type Outbox = mpsc::Sender<ServerMsg>;
+type Subscribers = Arc<Mutex<HashMap<u64, Outbox>>>;
+
+struct Shared {
+    db: SharedDatabase,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    subs: Subscribers,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+}
+
+/// Configures and starts a [`Server`].
+pub struct ServerBuilder {
+    db: SharedDatabase,
+    config: ServerConfig,
+    tcp: Option<String>,
+    unix: Option<PathBuf>,
+}
+
+impl ServerBuilder {
+    /// Serve TCP on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port;
+    /// read the bound address back with [`Server::tcp_addr`]).
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.tcp = Some(addr.into());
+        self
+    }
+
+    /// Serve a Unix-domain socket at `path` (a stale socket file is
+    /// removed first).
+    pub fn unix(mut self, path: impl Into<PathBuf>) -> Self {
+        self.unix = Some(path.into());
+        self
+    }
+
+    /// Override the default [`ServerConfig`].
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Bind the listeners, install the firing sink, and start the
+    /// accept threads.
+    pub fn start(self) -> std::io::Result<Server> {
+        let subs: Subscribers = Arc::new(Mutex::new(HashMap::new()));
+        let sink_subs = Arc::clone(&subs);
+        self.db
+            .set_firing_sink(Some(Arc::new(move |n: &FiringNotice| {
+                let msg = ServerMsg::Firing(Firing::from_notice(n));
+                for tx in sink_subs.lock().values() {
+                    let _ = tx.send(msg.clone());
+                }
+            })));
+
+        let inner = Arc::new(Shared {
+            db: self.db,
+            config: self.config,
+            shutdown: AtomicBool::new(false),
+            subs,
+            conn_threads: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let mut accept_threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &self.tcp {
+            let listener = TcpListener::bind(addr.as_str())?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let inner2 = Arc::clone(&inner);
+            accept_threads.push(thread::spawn(move || accept_tcp(inner2, listener)));
+        }
+        let mut unix_path = None;
+        if let Some(path) = &self.unix {
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            let inner2 = Arc::clone(&inner);
+            accept_threads.push(thread::spawn(move || accept_unix(inner2, listener)));
+        }
+
+        Ok(Server {
+            inner,
+            accept_threads,
+            tcp_addr,
+            unix_path,
+            stopped: false,
+        })
+    }
+}
+
+/// A running server. Dropping it shuts it down (joining all threads).
+pub struct Server {
+    inner: Arc<Shared>,
+    accept_threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    stopped: bool,
+}
+
+impl Server {
+    /// Start configuring a server over `db`. Installs the engine's
+    /// firing sink on [`ServerBuilder::start`].
+    pub fn builder(db: SharedDatabase) -> ServerBuilder {
+        ServerBuilder {
+            db,
+            config: ServerConfig::default(),
+            tcp: None,
+            unix: None,
+        }
+    }
+
+    /// The bound TCP address, if TCP was requested.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path, if one was requested.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The underlying database handle.
+    pub fn db(&self) -> &SharedDatabase {
+        &self.inner.db
+    }
+
+    /// Graceful shutdown: stop accepting, wake every session (each
+    /// aborts its open transaction), join all threads, uninstall the
+    /// firing sink, and remove the Unix socket file.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for h in self.accept_threads.drain(..) {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.conn_threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.inner.db.set_firing_sink(None);
+        if let Some(p) = &self.unix_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_tcp(inner: Arc<Shared>, listener: TcpListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_session(&inner, Conn::Tcp(stream)),
+            Err(_) => thread::sleep(inner.config.poll_interval),
+        }
+    }
+}
+
+fn accept_unix(inner: Arc<Shared>, listener: UnixListener) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_session(&inner, Conn::Unix(stream)),
+            Err(_) => thread::sleep(inner.config.poll_interval),
+        }
+    }
+}
+
+fn spawn_session(inner: &Arc<Shared>, conn: Conn) {
+    let conn_id = inner.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
+    let write_conn = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<ServerMsg>();
+    let writer = thread::spawn(move || writer_loop(write_conn, rx));
+    let inner2 = Arc::clone(inner);
+    let reader = thread::spawn(move || session_loop(inner2, conn_id, conn, tx));
+    inner.conn_threads.lock().extend([writer, reader]);
+}
+
+/// Drain the outbox to the socket; exits when every sender (session
+/// loop + subscription entry) is gone or the peer stops reading.
+fn writer_loop(mut conn: Conn, rx: mpsc::Receiver<ServerMsg>) {
+    while let Ok(msg) = rx.recv() {
+        let Ok(mut line) = serde_json::to_string(&msg) else {
+            continue;
+        };
+        line.push('\n');
+        if conn.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+    }
+    conn.shutdown_both();
+}
+
+fn notice(code: &str, message: String) -> ServerMsg {
+    ServerMsg::Reply {
+        id: 0,
+        result: ReplyResult::Err(WireError {
+            code: code.to_string(),
+            message,
+            retryable: false,
+        }),
+    }
+}
+
+fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
+    let _ = conn.set_blocking();
+    let _ = conn.set_read_timeout(Some(inner.config.poll_interval));
+    let mut lines = LineReader::new(inner.config.max_line_bytes);
+    let mut open_txn: Option<TxnId> = None;
+    let mut last_activity = Instant::now();
+
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let (Some(t), Some(limit)) = (open_txn, inner.config.txn_idle_timeout) {
+            if last_activity.elapsed() >= limit {
+                let _ = inner.db.abort(t);
+                open_txn = None;
+                let _ = tx.send(notice(
+                    "txn_timeout",
+                    "open transaction aborted after idle timeout".to_string(),
+                ));
+            }
+        }
+        match lines.read_event(&mut conn) {
+            Ok(LineEvent::Line(line)) => {
+                last_activity = Instant::now();
+                handle_line(&inner, conn_id, &line, &mut open_txn, &tx);
+            }
+            Ok(LineEvent::Tick) => continue,
+            Ok(LineEvent::Overlong) => {
+                let _ = tx.send(notice(
+                    "overlong",
+                    format!("request line exceeds {} bytes", inner.config.max_line_bytes),
+                ));
+            }
+            Ok(LineEvent::Eof) | Err(_) => break,
+        }
+    }
+
+    // Disconnect (or shutdown): release everything the session held.
+    inner.subs.lock().remove(&conn_id);
+    if let Some(t) = open_txn {
+        let _ = inner.db.abort(t);
+    }
+    conn.shutdown_both();
+    // `tx` drops here; the writer flushes its queue and exits.
+}
+
+fn handle_line(
+    inner: &Arc<Shared>,
+    conn_id: u64,
+    line: &str,
+    open_txn: &mut Option<TxnId>,
+    tx: &Outbox,
+) {
+    if line.trim().is_empty() {
+        return;
+    }
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = tx.send(notice("parse", format!("malformed request: {e}")));
+            return;
+        }
+    };
+    let result = match execute(inner, conn_id, req.cmd, open_txn, tx) {
+        Ok(reply) => ReplyResult::Ok(reply),
+        Err(e) => ReplyResult::Err(e),
+    };
+    let _ = tx.send(ServerMsg::Reply { id: req.id, result });
+}
+
+fn no_txn() -> WireError {
+    WireError::new("no_txn", "no open transaction in this session")
+}
+
+/// Close out a transactional engine call: if the engine finalized the
+/// transaction while failing (trigger-requested abort), forget it.
+fn finish<T>(
+    inner: &Shared,
+    open_txn: &mut Option<TxnId>,
+    t: TxnId,
+    r: Result<T, ode_db::OdeError>,
+) -> Result<T, WireError> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(e) => {
+            if !inner.db.txn_open(t) {
+                *open_txn = None;
+            }
+            Err(WireError::from_ode(&e))
+        }
+    }
+}
+
+fn execute(
+    inner: &Arc<Shared>,
+    conn_id: u64,
+    cmd: Command,
+    open_txn: &mut Option<TxnId>,
+    tx: &Outbox,
+) -> Result<Reply, WireError> {
+    match cmd {
+        Command::Ping => Ok(Reply::Pong),
+        Command::DefineClass(spec) => {
+            let def = compile_class(&spec).map_err(|e| WireError::from_ode(&e))?;
+            inner
+                .db
+                .with(|db| db.define_class(def))
+                .map_err(|e| WireError::from_ode(&e))?;
+            Ok(Reply::Unit)
+        }
+        Command::Begin { user } => {
+            if open_txn.is_some() {
+                return Err(WireError::new(
+                    "txn_open",
+                    "session already has an open transaction",
+                ));
+            }
+            let t = inner.db.begin(user);
+            *open_txn = Some(t);
+            Ok(Reply::Begun { txn: t.0 })
+        }
+        Command::Commit => {
+            let t = open_txn.ok_or_else(no_txn)?;
+            let r = inner.db.commit(t);
+            if !inner.db.txn_open(t) {
+                *open_txn = None;
+            }
+            r.map_err(|e| WireError::from_ode(&e))?;
+            Ok(Reply::Unit)
+        }
+        Command::Abort => {
+            // Idempotent: a transaction the engine already finalized
+            // (trigger abort, idle timeout) aborts to Unit as well.
+            if let Some(t) = open_txn.take() {
+                let _ = inner.db.abort(t);
+            }
+            Ok(Reply::Unit)
+        }
+        Command::New { class, overrides } => {
+            let t = open_txn.ok_or_else(no_txn)?;
+            let ovr: Vec<(&str, Value)> = overrides
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            let r = inner.db.with(|db| db.create_object(t, &class, &ovr));
+            finish(inner, open_txn, t, r).map(|id| Reply::Object { id: id.0 })
+        }
+        Command::Call {
+            object,
+            method,
+            args,
+        } => {
+            let t = open_txn.ok_or_else(no_txn)?;
+            let r = inner
+                .db
+                .with(|db| db.call(t, ObjectId(object), &method, &args));
+            finish(inner, open_txn, t, r).map(Reply::Value)
+        }
+        Command::Delete { object } => {
+            let t = open_txn.ok_or_else(no_txn)?;
+            let r = inner.db.with(|db| db.delete_object(t, ObjectId(object)));
+            finish(inner, open_txn, t, r).map(|()| Reply::Unit)
+        }
+        Command::Activate {
+            object,
+            trigger,
+            params,
+        } => {
+            let t = open_txn.ok_or_else(no_txn)?;
+            let r = inner
+                .db
+                .with(|db| db.activate_trigger(t, ObjectId(object), &trigger, &params));
+            finish(inner, open_txn, t, r).map(|()| Reply::Unit)
+        }
+        Command::Deactivate { object, trigger } => {
+            let t = open_txn.ok_or_else(no_txn)?;
+            let r = inner
+                .db
+                .with(|db| db.deactivate_trigger(t, ObjectId(object), &trigger));
+            finish(inner, open_txn, t, r).map(|()| Reply::Unit)
+        }
+        Command::AdvanceClockBy { ms } => {
+            inner.db.with(|db| db.advance_clock_by(ms));
+            Ok(Reply::Unit)
+        }
+        Command::AdvanceClockTo { ms } => {
+            inner.db.with(|db| db.advance_clock_to(ms));
+            Ok(Reply::Unit)
+        }
+        Command::Snapshot => {
+            let snap = inner
+                .db
+                .with(|db| db.snapshot())
+                .map_err(|e| WireError::from_ode(&e))?;
+            let json = snap.to_json().map_err(|e| WireError::from_ode(&e))?;
+            Ok(Reply::SnapshotTaken { json })
+        }
+        Command::Restore { snapshot } => {
+            let snap = Snapshot::from_json(&snapshot).map_err(|e| WireError::from_ode(&e))?;
+            inner
+                .db
+                .with(|db| db.restore(&snap))
+                .map_err(|e| WireError::from_ode(&e))?;
+            Ok(Reply::Unit)
+        }
+        Command::Stats => {
+            let (s, clock_ms) = inner.db.with(|db| (db.stats(), db.now()));
+            Ok(Reply::Stats(WireStats {
+                events_posted: s.events_posted,
+                symbols_stepped: s.symbols_stepped,
+                triggers_fired: s.triggers_fired,
+                txns_committed: s.txns_committed,
+                txns_aborted: s.txns_aborted,
+                clock_ms,
+            }))
+        }
+        Command::Subscribe => {
+            inner.subs.lock().insert(conn_id, tx.clone());
+            Ok(Reply::Unit)
+        }
+        Command::Unsubscribe => {
+            inner.subs.lock().remove(&conn_id);
+            Ok(Reply::Unit)
+        }
+        Command::TakeOutput => {
+            let out = inner.db.with(|db| db.take_output());
+            Ok(Reply::Output(out))
+        }
+        Command::PeekField { object, field } => {
+            let v = inner.db.with(|db| db.peek_field(ObjectId(object), &field));
+            Ok(Reply::Value(v.unwrap_or(Value::Null)))
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end wire test: the paper's stockroom scenario driven by
+//! concurrent TCP clients, with exactly-once firing delivery to every
+//! subscriber.
+//!
+//! Eight worker clients hammer one `room` object with withdrawals
+//! (retrying on lock conflicts), mallory's withdrawals are aborted by
+//! trigger T1, and nine subscribed clients must each observe every
+//! trigger firing exactly once — asserted by comparing the set of
+//! delivered sequence numbers against the engine's `triggers_fired`
+//! counter window.
+
+use std::thread;
+use std::time::Duration;
+
+use ode_core::Value;
+use ode_db::{Database, SharedDatabase};
+use ode_server::spec::stockroom_spec;
+use ode_server::{Client, ClientError, Server};
+
+const WORKERS: usize = 8;
+const TXNS_PER_WORKER: usize = 20;
+const MALLORY_ATTEMPTS: usize = 5;
+
+/// Quantities cycle 50, 90, 130; only 130 (> 100) fires T6.
+fn quantity(i: usize) -> i64 {
+    [50, 90, 130][i % 3]
+}
+
+#[test]
+fn concurrent_tcp_clients_with_exactly_once_firings() {
+    let db = SharedDatabase::new(Database::new());
+    let mut server = Server::builder(db.clone())
+        .tcp("127.0.0.1:0")
+        .start()
+        .expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr");
+
+    // Admin: define the class and create one well-stocked room.
+    let mut admin = Client::connect_tcp(addr).expect("connect");
+    let mut spec = stockroom_spec();
+    spec.fields[0].default = Value::record([
+        ("bolt", Value::Int(1_000_000)),
+        ("gear", Value::Int(1_000_000)),
+    ]);
+    admin.define_class(spec).expect("define");
+    let room = admin
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("create room");
+
+    // Baseline firing counter, then attach the subscribers.
+    let fired_before = admin.stats().expect("stats").triggers_fired;
+    let mut subscribers: Vec<Client> = (0..WORKERS + 1)
+        .map(|_| {
+            let mut c = Client::connect_tcp(addr).expect("connect subscriber");
+            c.subscribe().expect("subscribe");
+            c
+        })
+        .collect();
+
+    // Eight workers withdraw concurrently, each txn retried on
+    // lock_conflict by Client::txn.
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            thread::spawn(move || {
+                let mut c = Client::connect_tcp(addr).expect("connect worker");
+                for i in 0..TXNS_PER_WORKER {
+                    let q = quantity(i);
+                    c.txn(&format!("worker-{w}"), |c| {
+                        c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(q)])
+                    })
+                    .expect("withdraw txn commits after retries");
+                }
+            })
+        })
+        .collect();
+
+    // Mallory's withdrawals trip T1 (`before withdraw &&
+    // !authorized(user())` ==> abort): the engine finalizes the
+    // transaction, the server reports a non-retryable `aborted` error.
+    let mallory = thread::spawn(move || {
+        let mut c = Client::connect_tcp(addr).expect("connect mallory");
+        for _ in 0..MALLORY_ATTEMPTS {
+            loop {
+                c.begin("mallory").expect("begin");
+                match c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(10)]) {
+                    Err(ClientError::Server(e)) if e.retryable => {
+                        // A worker holds the room lock; try again.
+                        c.abort().expect("abort before retry");
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(ClientError::Server(e)) => {
+                        assert_eq!(e.code, "aborted", "T1 aborts mallory's transaction");
+                        c.abort().expect("abort is idempotent");
+                        break;
+                    }
+                    other => panic!("mallory's withdraw should abort, got {other:?}"),
+                }
+            }
+        }
+    });
+
+    for h in workers {
+        h.join().expect("worker thread");
+    }
+    mallory.join().expect("mallory thread");
+
+    // Every committed withdrawal really happened, exactly once: no
+    // lost updates despite the retries.
+    let withdrawn_per_worker: i64 = (0..TXNS_PER_WORKER).map(quantity).sum();
+    let expected_bolt = 1_000_000 - WORKERS as i64 * withdrawn_per_worker;
+    let bolt = admin
+        .peek_field(room, "items")
+        .expect("peek")
+        .member("bolt")
+        .and_then(Value::as_int)
+        .expect("bolt is an int");
+    assert_eq!(bolt, expected_bolt);
+
+    // The firing window: T6 once per q=130 withdrawal plus T1 once per
+    // mallory attempt.
+    let t6_firings = WORKERS * (0..TXNS_PER_WORKER).filter(|&i| quantity(i) > 100).count();
+    let fired_after = admin.stats().expect("stats").triggers_fired;
+    assert_eq!(
+        fired_after - fired_before,
+        (t6_firings + MALLORY_ATTEMPTS) as u64,
+        "every T1/T6 firing counted once"
+    );
+
+    // Exactly-once delivery: each subscriber sees precisely the seq
+    // window (N0, N1], no duplicates, no extras.
+    let expected: std::collections::BTreeSet<u64> = (fired_before + 1..=fired_after).collect();
+    for (si, sub) in subscribers.iter_mut().enumerate() {
+        let mut seen = std::collections::BTreeSet::new();
+        while seen.len() < expected.len() {
+            let f = sub
+                .next_firing(Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("subscriber {si}: missing firings: {e}"));
+            assert!(
+                seen.insert(f.seq),
+                "subscriber {si}: duplicate firing seq {}",
+                f.seq
+            );
+            assert!(
+                f.trigger == "T1" || f.trigger == "T6",
+                "unexpected trigger {}",
+                f.trigger
+            );
+        }
+        assert_eq!(seen, expected, "subscriber {si}: wrong firing set");
+        // And nothing extra trickles in afterwards.
+        assert!(
+            sub.poll_firing(Duration::from_millis(150))
+                .expect("poll")
+                .is_none(),
+            "subscriber {si}: extra firing after the window"
+        );
+    }
+
+    // T6's emissions reached the shared output log.
+    let output = admin.take_output().expect("take output");
+    let large = output
+        .iter()
+        .filter(|l| l.contains("large withdrawal"))
+        .count();
+    assert_eq!(large, t6_firings);
+
+    server.shutdown();
+}

@@ -1,0 +1,111 @@
+//! A complete wire-protocol session against a running `ode_server`:
+//! define the stockroom class (trigger events as §3 text), subscribe,
+//! run transactions, and watch the triggers fire over the socket.
+//!
+//! ```text
+//! cargo run --release --example ode_server -- --unix /tmp/ode.sock &
+//! cargo run --release --example ode_client -- --unix /tmp/ode.sock
+//! ```
+//!
+//! Exits non-zero unless the whole scenario — including the pushed
+//! firing notifications — plays out exactly as the paper says it
+//! should, so CI can use it as a smoke test.
+
+use std::time::Duration;
+
+use ode_core::Value;
+use ode_server::spec::stockroom_spec;
+use ode_server::{Client, ClientError};
+
+fn connect(tcp: &Option<String>, unix: &Option<String>) -> Client {
+    if let Some(path) = unix {
+        Client::connect_unix(path).expect("connect unix")
+    } else {
+        let addr = tcp.as_deref().unwrap_or("127.0.0.1:7878");
+        Client::connect_tcp(addr).expect("connect tcp")
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().expect("flag value");
+        match flag.as_str() {
+            "--tcp" => tcp = Some(value()),
+            "--unix" => unix = Some(value()),
+            other => {
+                eprintln!("unknown flag {other}; use --tcp ADDR or --unix PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // One connection watches, the other works.
+    let mut watcher = connect(&tcp, &unix);
+    let mut worker = connect(&tcp, &unix);
+
+    println!("-- define the stockroom class (trigger events sent as text) --");
+    let spec = stockroom_spec();
+    for t in &spec.triggers {
+        println!("   {}: {}", t.name, t.event);
+    }
+    worker.define_class(spec).expect("define class");
+    watcher.subscribe().expect("subscribe");
+
+    println!("-- create a room and make a large withdrawal (fires T6) --");
+    let room = worker
+        .txn("alice", |c| c.new_object("room", &[]))
+        .expect("create room");
+    worker
+        .txn("alice", |c| {
+            c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(150)])
+        })
+        .expect("withdraw");
+
+    let firing = watcher
+        .next_firing(Duration::from_secs(10))
+        .expect("the T6 firing is pushed to subscribers");
+    println!(
+        "   pushed: seq={} trigger={} object={} event={} args={:?}",
+        firing.seq, firing.trigger, firing.object, firing.event, firing.args
+    );
+    assert_eq!(firing.trigger, "T6");
+    assert_eq!(firing.object, room);
+
+    println!("-- mallory tries to withdraw (T1 aborts the transaction) --");
+    worker.begin("mallory").expect("begin");
+    match worker.call(room, "withdraw", &[Value::from("bolt"), Value::Int(10)]) {
+        Err(ClientError::Server(e)) if e.code == "aborted" => {
+            println!("   server: [{}] {}", e.code, e.message);
+        }
+        other => panic!("expected a trigger abort, got {other:?}"),
+    }
+    worker.abort().expect("abort");
+
+    let t1 = watcher
+        .next_firing(Duration::from_secs(10))
+        .expect("the T1 firing is pushed too");
+    assert_eq!(t1.trigger, "T1");
+    println!(
+        "   pushed: seq={} trigger={} (before the abort)",
+        t1.seq, t1.trigger
+    );
+
+    // The abort rolled mallory back; only alice's withdrawal counts.
+    let bolt = worker
+        .peek_field(room, "items")
+        .expect("peek")
+        .member("bolt")
+        .and_then(Value::as_int)
+        .expect("bolt");
+    assert_eq!(bolt, 500 - 150);
+
+    let stats = worker.stats().expect("stats");
+    println!(
+        "-- stats: {} events posted, {} triggers fired, {} committed, {} aborted --",
+        stats.events_posted, stats.triggers_fired, stats.txns_committed, stats.txns_aborted
+    );
+    println!("ode_client: scenario completed");
+}

@@ -1,0 +1,66 @@
+//! Serve the active database over the wire.
+//!
+//! ```text
+//! cargo run --release --example ode_server -- --unix /tmp/ode.sock
+//! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878
+//! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878 --seconds 60
+//! ```
+//!
+//! Starts an empty database — clients define classes over the wire
+//! (see `examples/ode_client.rs`). With `--seconds N` the server shuts
+//! down gracefully after N seconds (every session's open transaction
+//! is aborted and all threads are joined); otherwise it runs until the
+//! process is killed.
+
+use ode_db::{Database, SharedDatabase};
+use ode_server::Server;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut seconds: Option<u64> = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().expect("flag value");
+        match flag.as_str() {
+            "--tcp" => tcp = Some(value()),
+            "--unix" => unix = Some(value()),
+            "--seconds" => seconds = Some(value().parse().expect("numeric --seconds")),
+            other => {
+                eprintln!("unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N");
+                std::process::exit(2);
+            }
+        }
+    }
+    if tcp.is_none() && unix.is_none() {
+        tcp = Some("127.0.0.1:7878".to_string());
+    }
+
+    let db = SharedDatabase::new(Database::new());
+    let mut builder = Server::builder(db);
+    if let Some(addr) = &tcp {
+        builder = builder.tcp(addr.clone());
+    }
+    if let Some(path) = &unix {
+        builder = builder.unix(path.clone());
+    }
+    let mut server = builder.start().expect("failed to bind");
+
+    if let Some(addr) = server.tcp_addr() {
+        println!("ode-server listening on tcp {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        println!("ode-server listening on unix {}", path.display());
+    }
+
+    match seconds {
+        Some(n) => {
+            std::thread::sleep(std::time::Duration::from_secs(n));
+            println!("ode-server: time limit reached, shutting down");
+            server.shutdown();
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
