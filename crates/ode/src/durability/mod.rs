@@ -1,0 +1,22 @@
+//! Durability: an on-disk write-ahead log with checkpointing, crash
+//! recovery, and deterministic fault injection.
+//!
+//! The paper's triggers are persistent — a half-matched composite event
+//! must survive a shutdown — so the logical recovery pair the repo
+//! already had ([`crate::persist::Snapshot`] + [`crate::wal::RedoLog`])
+//! gains a disk-backed implementation here:
+//!
+//! * [`frame`] — length-prefixed CRC32 record framing and the
+//!   torn-tail rule;
+//! * [`io`] — the [`io::WalIo`] file-system trait, its production
+//!   [`io::StdIo`] impl, and the deterministic [`io::FaultyIo`] fault
+//!   injector the crash-matrix test drives;
+//! * [`wal`] — [`wal::DiskWal`]: segmented appends, fsync policies,
+//!   atomic checkpoints, and `open()`-as-recovery.
+
+pub mod frame;
+pub mod io;
+pub mod wal;
+
+pub use io::{Fault, FaultyIo, SharedIo, StdIo, WalIo};
+pub use wal::{DiskWal, FsyncPolicy, Recovery, WalConfig, WalError};

@@ -1,0 +1,454 @@
+//! The on-disk write-ahead log: segmented, checksummed, checkpointed.
+//!
+//! ## Layout
+//!
+//! A WAL directory holds, at any moment, files of one *generation* `G`
+//! (plus possibly stale leftovers from a crash mid-checkpoint):
+//!
+//! ```text
+//! checkpoint-0000000003-0000000000000217.snap   # gen 3, taken at LSN 217
+//! segment-0000000003-00000.wal                  # ops 217.. of gen 3
+//! segment-0000000003-00001.wal                  # rotated continuation
+//! ```
+//!
+//! Segment files are streams of [`frame`]-encoded `LogOp` JSON lines; a
+//! checkpoint file is a single frame wrapping a [`Snapshot`] JSON body.
+//! The LSN (log sequence number) counts ops since the directory was
+//! born; a checkpoint's filename records the LSN it covers, so recovery
+//! knows the base without reading deleted generations.
+//!
+//! ## Checkpointing without a window of no-return
+//!
+//! `checkpoint()` writes the snapshot to `checkpoint.tmp`, fsyncs,
+//! renames it to its final generation-stamped name, fsyncs the
+//! directory, and only then deletes the previous generation's files. A
+//! crash anywhere in that sequence leaves either (a) the old generation
+//! fully intact (tmp is ignored by recovery) or (b) the new checkpoint
+//! durable plus stale older files that recovery skips and sweeps.
+//!
+//! ## Recovery
+//!
+//! [`DiskWal::open`] *is* recovery: it finds the newest readable
+//! checkpoint, decodes that generation's segments in order, applies the
+//! torn-tail rule (truncate a damaged final frame, hard-error on
+//! interior corruption), and returns a [`Recovery`] the caller feeds
+//! into a schema-bearing [`Database`]. Opening an empty directory is
+//! simply a recovery of nothing.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::engine::Database;
+use crate::error::OdeError;
+use crate::persist::Snapshot;
+use crate::wal::{replay, LogOp, RedoLog};
+
+use super::frame;
+use super::io::SharedIo;
+
+/// When appended records are forced to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended op. Maximum durability, minimum speed.
+    Always,
+    /// Fsync after every `n` appended ops.
+    EveryN(u64),
+    /// Fsync whenever the appended op commits or aborts a transaction —
+    /// the classic group-commit point: no committed txn is ever lost.
+    OnCommit,
+    /// Never fsync on append (rotation and checkpoints still sync).
+    /// An OS crash can lose the unsynced suffix; a process crash cannot.
+    Never,
+}
+
+/// Tuning knobs for a [`DiskWal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 * 1024 * 1024,
+            fsync: FsyncPolicy::OnCommit,
+        }
+    }
+}
+
+/// Durability-layer errors.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O operation failed.
+    Io(String),
+    /// The log is damaged in a way a crash cannot explain.
+    Corrupt(String),
+    /// A previous failure latched the WAL read-only; the message names
+    /// the original error.
+    Poisoned(String),
+    /// Snapshot/log (de)serialization or replay failed.
+    Logical(OdeError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(m) => write!(f, "wal io error: {m}"),
+            WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+            WalError::Poisoned(m) => write!(f, "wal poisoned: {m}"),
+            WalError::Logical(e) => write!(f, "wal logical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.to_string())
+    }
+}
+
+impl From<OdeError> for WalError {
+    fn from(e: OdeError) -> Self {
+        WalError::Logical(e)
+    }
+}
+
+const TMP_NAME: &str = "checkpoint.tmp";
+
+fn segment_name(generation: u64, idx: u64) -> String {
+    format!("segment-{generation:010}-{idx:05}.wal")
+}
+
+fn checkpoint_name(generation: u64, lsn: u64) -> String {
+    format!("checkpoint-{generation:010}-{lsn:016}.snap")
+}
+
+fn parse_segment(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("segment-")?.strip_suffix(".wal")?;
+    let (generation, idx) = rest.split_once('-')?;
+    Some((generation.parse().ok()?, idx.parse().ok()?))
+}
+
+fn parse_checkpoint(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("checkpoint-")?.strip_suffix(".snap")?;
+    let (generation, lsn) = rest.split_once('-')?;
+    Some((generation.parse().ok()?, lsn.parse().ok()?))
+}
+
+/// What [`DiskWal::open`] reconstructed from disk.
+pub struct Recovery {
+    /// The checkpoint image, if any generation had one.
+    pub snapshot: Option<Snapshot>,
+    /// Ops logged after the checkpoint, in order.
+    pub ops: Vec<LogOp>,
+    /// LSN the snapshot covers (0 without a checkpoint). The recovered
+    /// database's total op count is `base_lsn + ops.len()`.
+    pub base_lsn: u64,
+    /// Whether a torn final frame was truncated away.
+    pub truncated_tail: bool,
+    /// How many live segment files were replayed.
+    pub segments: usize,
+}
+
+impl Recovery {
+    /// True when the directory held no durable state at all.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.ops.is_empty()
+    }
+
+    /// Apply this recovery to a database that already has the schema
+    /// defined and an empty store: restore the snapshot (if any), then
+    /// replay the tail. The database's emit output afterwards holds the
+    /// firings regenerated by the tail replay (snapshots do not carry
+    /// output); callers who only want post-recovery firings should drain
+    /// it with `take_output`.
+    pub fn restore_into(&self, db: &mut Database) -> Result<(), WalError> {
+        if let Some(snap) = &self.snapshot {
+            db.restore(snap)?;
+        }
+        replay(
+            db,
+            &RedoLog {
+                ops: self.ops.clone(),
+            },
+        )?;
+        Ok(())
+    }
+}
+
+/// An open, append-ready on-disk WAL. See the module docs for layout
+/// and crash-safety arguments.
+pub struct DiskWal {
+    io: SharedIo,
+    dir: PathBuf,
+    cfg: WalConfig,
+    generation: u64,
+    seg_idx: u64,
+    seg_bytes: u64,
+    lsn: u64,
+    since_sync: u64,
+    poisoned: Option<String>,
+}
+
+impl DiskWal {
+    /// Open (and recover) a WAL directory. Always succeeds on an empty
+    /// or cleanly-shut-down directory; tolerates a torn tail; fails
+    /// with [`WalError::Corrupt`] on interior damage.
+    pub fn open(dir: &Path, cfg: WalConfig, io: SharedIo) -> Result<(DiskWal, Recovery), WalError> {
+        io.with(|f| f.create_dir_all(dir))?;
+        let names = io.with(|f| f.list(dir))?;
+
+        // Newest generation with a checkpoint wins; its filename gives
+        // the base LSN.
+        let mut checkpoints: Vec<(u64, u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_checkpoint(n).map(|(g, l)| (g, l, n.clone())))
+            .collect();
+        checkpoints.sort();
+        let (generation, base_lsn) = match checkpoints.last() {
+            Some(&(g, l, _)) => (g, l),
+            None => (0, 0),
+        };
+
+        let snapshot = match checkpoints.last() {
+            Some((_, _, name)) => {
+                let bytes = io.with(|f| f.read(&dir.join(name)))?;
+                let (mut payloads, tail) = frame::decode_all(&bytes).map_err(|c| {
+                    WalError::Corrupt(format!("checkpoint {name}: bad frame at {}", c.offset))
+                })?;
+                // A checkpoint is written to a tmp file, fsynced, and
+                // renamed — it can never be legitimately torn.
+                if tail != frame::Tail::Clean || payloads.len() != 1 {
+                    return Err(WalError::Corrupt(format!(
+                        "checkpoint {name}: expected exactly one clean frame"
+                    )));
+                }
+                let body = String::from_utf8(payloads.pop().expect("one payload"))
+                    .map_err(|_| WalError::Corrupt(format!("checkpoint {name}: not utf-8")))?;
+                Some(Snapshot::from_json(&body)?)
+            }
+            None => None,
+        };
+
+        // Decode this generation's segments in index order.
+        let mut segs: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_segment(n))
+            .filter(|&(g, _)| g == generation)
+            .map(|(_, idx)| (idx, segment_name(generation, idx)))
+            .collect();
+        segs.sort();
+        for (want, &(idx, _)) in segs.iter().enumerate() {
+            if idx != want as u64 {
+                return Err(WalError::Corrupt(format!(
+                    "generation {generation}: segment {want} missing (found index {idx})"
+                )));
+            }
+        }
+
+        let mut ops = Vec::new();
+        let mut truncated_tail = false;
+        let last = segs.len().saturating_sub(1);
+        for (i, (_, name)) in segs.iter().enumerate() {
+            let path = dir.join(name);
+            let bytes = io.with(|f| f.read(&path))?;
+            let (payloads, tail) = frame::decode_all(&bytes).map_err(|c| {
+                WalError::Corrupt(format!("segment {name}: bad frame at offset {}", c.offset))
+            })?;
+            if let frame::Tail::Torn { offset } = tail {
+                // Only the final segment of the live generation may be
+                // torn; a short interior segment lost sealed records.
+                if i != last {
+                    return Err(WalError::Corrupt(format!(
+                        "segment {name}: torn frame at offset {offset} before the final segment"
+                    )));
+                }
+                io.with(|f| f.truncate(&path, offset))?;
+                truncated_tail = true;
+            }
+            for p in payloads {
+                let line = String::from_utf8(p)
+                    .map_err(|_| WalError::Corrupt(format!("segment {name}: not utf-8")))?;
+                ops.push(LogOp::from_json_line(&line)?);
+            }
+        }
+
+        // Sweep debris: the tmp file and anything from older generations.
+        // Best-effort — recovery already ignores these by name.
+        for n in &names {
+            let stale_seg = parse_segment(n).is_some_and(|(g, _)| g != generation);
+            let stale_ckpt = parse_checkpoint(n).is_some_and(|(g, _)| g != generation);
+            if n == TMP_NAME || stale_seg || stale_ckpt {
+                let _ = io.with(|f| f.remove(&dir.join(n)));
+            }
+        }
+
+        let recovery = Recovery {
+            snapshot,
+            base_lsn,
+            truncated_tail,
+            segments: segs.len(),
+            ops,
+        };
+        // New appends go to a fresh segment so a truncated tail is
+        // never appended into.
+        let wal = DiskWal {
+            io,
+            dir: dir.to_path_buf(),
+            cfg,
+            generation,
+            seg_idx: segs.len() as u64,
+            seg_bytes: 0,
+            lsn: recovery.base_lsn + recovery.ops.len() as u64,
+            since_sync: 0,
+            poisoned: None,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// Next LSN to be assigned (== total ops this directory has seen).
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// If a write or fsync has failed, the original error message. A
+    /// poisoned WAL refuses further mutation; the database should be
+    /// treated as read-only until re-opened.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    fn check_poison(&self) -> Result<(), WalError> {
+        match &self.poisoned {
+            Some(m) => Err(WalError::Poisoned(m.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn poison<T>(&mut self, e: WalError) -> Result<T, WalError> {
+        self.poisoned = Some(e.to_string());
+        Err(e)
+    }
+
+    fn seg_path(&self) -> PathBuf {
+        self.dir.join(segment_name(self.generation, self.seg_idx))
+    }
+
+    /// Append one op. Applies segment rotation and the fsync policy.
+    /// Any I/O failure poisons the WAL: the record may be torn on disk,
+    /// so no further appends are allowed (recovery will truncate it).
+    pub fn append(&mut self, op: &LogOp) -> Result<(), WalError> {
+        self.check_poison()?;
+        let line = op.to_json_line()?;
+        let framed = frame::encode(line.as_bytes());
+
+        if self.seg_bytes > 0 && self.seg_bytes + framed.len() as u64 > self.cfg.segment_bytes {
+            // Seal the full segment: sync it, then start the next.
+            if self.cfg.fsync != FsyncPolicy::Never {
+                let path = self.seg_path();
+                if let Err(e) = self.io.with(|f| f.fsync(&path)) {
+                    return self.poison(e.into());
+                }
+            }
+            self.seg_idx += 1;
+            self.seg_bytes = 0;
+            self.since_sync = 0;
+        }
+
+        let path = self.seg_path();
+        if let Err(e) = self.io.with(|f| f.append(&path, &framed)) {
+            return self.poison(e.into());
+        }
+        self.seg_bytes += framed.len() as u64;
+        self.lsn += 1;
+        self.since_sync += 1;
+
+        let sync_now = match self.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.since_sync >= n.max(1),
+            FsyncPolicy::OnCommit => op.ends_txn(),
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            if let Err(e) = self.io.with(|f| f.fsync(&path)) {
+                return self.poison(e.into());
+            }
+            self.since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Force the current segment to stable storage regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.check_poison()?;
+        if self.seg_bytes == 0 || self.since_sync == 0 {
+            return Ok(());
+        }
+        let path = self.seg_path();
+        if let Err(e) = self.io.with(|f| f.fsync(&path)) {
+            return self.poison(e.into());
+        }
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Durably install `snap` (typically `db.snapshot()` taken under
+    /// the same lock that orders appends) as the new recovery base,
+    /// then delete the log generation it supersedes.
+    pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<(), WalError> {
+        self.check_poison()?;
+        let body = snap.to_json()?;
+        let framed = frame::encode(body.as_bytes());
+        let tmp = self.dir.join(TMP_NAME);
+        let next_generation = self.generation + 1;
+        let finalname = self.dir.join(checkpoint_name(next_generation, self.lsn));
+
+        // A leftover tmp from a crashed earlier attempt would otherwise
+        // be appended after; clear it first.
+        let names = self.io.with(|f| f.list(&self.dir))?;
+        if names.iter().any(|n| n == TMP_NAME) {
+            if let Err(e) = self.io.with(|f| f.remove(&tmp)) {
+                return self.poison(e.into());
+            }
+        }
+
+        // write tmp -> fsync -> rename -> fsync dir: the checkpoint is
+        // either fully durable under its final name or invisible.
+        let res = (|| -> Result<(), WalError> {
+            self.io.with(|f| f.append(&tmp, &framed))?;
+            self.io.with(|f| f.fsync(&tmp))?;
+            self.io.with(|f| f.rename(&tmp, &finalname))?;
+            self.io.with(|f| f.fsync_dir(&self.dir))?;
+            Ok(())
+        })();
+        if let Err(e) = res {
+            return self.poison(e);
+        }
+
+        // The new checkpoint supersedes everything older. Deletion is
+        // best-effort: a failure just leaves debris recovery ignores.
+        for n in names {
+            let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= self.generation);
+            let old_ckpt = parse_checkpoint(&n).is_some_and(|(g, _)| g <= self.generation);
+            if old_seg || old_ckpt {
+                let _ = self.io.with(|f| f.remove(&self.dir.join(n)));
+            }
+        }
+
+        self.generation = next_generation;
+        self.seg_idx = 0;
+        self.seg_bytes = 0;
+        self.since_sync = 0;
+        Ok(())
+    }
+}

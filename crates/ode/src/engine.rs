@@ -111,6 +111,16 @@ pub struct FiringNotice {
 /// locked — implementations must not block or re-enter the engine.
 pub type FiringSink = Arc<dyn Fn(&FiringNotice) + Send + Sync>;
 
+/// A callback invoked on every outermost logged operation (see
+/// [`Database::set_log_sink`]) — the hook a write-ahead log hangs off.
+/// Called synchronously with the engine locked, in exactly the order the
+/// operations take effect, so the callback observes a serializable op
+/// stream. Implementations must not block or re-enter the engine; they
+/// swallow their own errors (a disk WAL latches failures internally and
+/// the caller checks its health out of band).
+#[cfg(feature = "persistence")]
+pub type LogSink = Arc<dyn Fn(&crate::wal::LogOp) + Send + Sync>;
+
 /// Engine counters (used by the experiment harness).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {
@@ -188,6 +198,9 @@ pub struct Database {
     schema_memo: MaskMemo,
     #[cfg(feature = "persistence")]
     redo_log: Option<crate::wal::RedoLog>,
+    /// Streaming observer for logged operations (see [`LogSink`]).
+    #[cfg(feature = "persistence")]
+    log_sink: Option<LogSink>,
     /// Observer for object-trigger firings (see [`FiringNotice`]).
     firing_sink: Option<FiringSink>,
 }
@@ -229,6 +242,8 @@ impl Database {
             schema_memo: MaskMemo::default(),
             #[cfg(feature = "persistence")]
             redo_log: None,
+            #[cfg(feature = "persistence")]
+            log_sink: None,
             firing_sink: None,
         }
     }
@@ -258,15 +273,34 @@ impl Database {
         self.redo_log.take()
     }
 
-    /// Append to the redo log — only outermost (application-level)
-    /// operations are recorded; nested trigger-action calls re-run
-    /// automatically during replay.
+    /// Install (or clear) the log sink: a callback invoked synchronously
+    /// on every outermost logged operation, independent of
+    /// [`Database::enable_logging`]. When recovering from a WAL, install
+    /// the sink only *after* replaying — otherwise every replayed op
+    /// would be re-appended.
+    #[cfg(feature = "persistence")]
+    pub fn set_log_sink(&mut self, sink: Option<LogSink>) {
+        self.log_sink = sink;
+    }
+
+    /// Record an operation — only outermost (application-level)
+    /// operations are observed; nested trigger-action calls re-run
+    /// automatically during replay. The sink sees the op before it is
+    /// pushed onto any in-memory log.
     #[cfg(feature = "persistence")]
     fn log_op(&mut self, op: impl FnOnce() -> crate::wal::LogOp) {
-        if self.entry_depth == 0 {
-            if let Some(log) = &mut self.redo_log {
-                log.ops.push(op());
-            }
+        if self.entry_depth != 0 {
+            return;
+        }
+        if self.redo_log.is_none() && self.log_sink.is_none() {
+            return;
+        }
+        let op = op();
+        if let Some(sink) = &self.log_sink {
+            sink(&op);
+        }
+        if let Some(log) = &mut self.redo_log {
+            log.ops.push(op);
         }
     }
 

@@ -46,6 +46,8 @@ pub mod class;
 pub mod clock;
 pub mod coupling;
 pub mod demo;
+#[cfg(feature = "persistence")]
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod history;
@@ -64,6 +66,12 @@ pub use class::{
     MethodDef, MethodKind, Monitoring, TriggerDef,
 };
 pub use clock::{Clock, Recurrence, Timer, TimerScope};
+#[cfg(feature = "persistence")]
+pub use durability::{
+    DiskWal, Fault, FaultyIo, FsyncPolicy, Recovery, SharedIo, StdIo, WalConfig, WalError, WalIo,
+};
+#[cfg(feature = "persistence")]
+pub use engine::LogSink;
 pub use engine::{Config, Database, FiringNotice, FiringSink, Stats};
 pub use error::{AbortReason, OdeError};
 pub use history::HistoryQuery;

@@ -102,6 +102,15 @@ impl SharedDatabase {
         self.inner.lock().set_firing_sink(sink);
     }
 
+    /// Install (or clear) the engine's log sink (see
+    /// [`crate::engine::LogSink`]). The sink runs with the engine mutex
+    /// held, so the op stream it observes is exactly the serialization
+    /// order — which is what makes a WAL hung off it recoverable.
+    #[cfg(feature = "persistence")]
+    pub fn set_log_sink(&self, sink: Option<crate::engine::LogSink>) {
+        self.inner.lock().set_log_sink(sink);
+    }
+
     /// Begin a long-lived *session* transaction as `user` and return its
     /// id. Unlike [`SharedDatabase::run_txn`], the transaction stays open
     /// across engine-lock releases — the caller (e.g. a network session)

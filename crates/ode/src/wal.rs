@@ -101,6 +101,29 @@ pub enum LogOp {
     },
 }
 
+impl LogOp {
+    /// Serialize one operation as a single JSON line (no interior
+    /// newlines) — the streaming unit used by the on-disk WAL.
+    pub fn to_json_line(&self) -> Result<String, OdeError> {
+        let line = serde_json::to_string(self)
+            .map_err(|e| OdeError::Method(format!("log op serialization failed: {e}")))?;
+        debug_assert!(!line.contains('\n'));
+        Ok(line)
+    }
+
+    /// Parse one operation from a JSON line.
+    pub fn from_json_line(line: &str) -> Result<LogOp, OdeError> {
+        serde_json::from_str(line)
+            .map_err(|e| OdeError::Method(format!("log op deserialization failed: {e}")))
+    }
+
+    /// Does this op end a transaction? (Commit or abort — the points an
+    /// `OnCommit` fsync policy must make durable.)
+    pub fn ends_txn(&self) -> bool {
+        matches!(self, LogOp::Commit { .. } | LogOp::Abort { .. })
+    }
+}
+
 /// An append-only logical operation log.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RedoLog {
@@ -119,6 +142,30 @@ impl RedoLog {
     pub fn from_json(json: &str) -> Result<RedoLog, OdeError> {
         serde_json::from_str(json)
             .map_err(|e| OdeError::Method(format!("log deserialization failed: {e}")))
+    }
+
+    /// Serialize as newline-delimited JSON, one line per op — the
+    /// streaming counterpart of [`RedoLog::to_json`]. Unlike the
+    /// whole-log format, a prefix of this output is itself valid.
+    pub fn to_json_lines(&self) -> Result<String, OdeError> {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&op.to_json_line()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parse newline-delimited JSON (blank lines ignored).
+    pub fn from_json_lines(lines: &str) -> Result<RedoLog, OdeError> {
+        let mut ops = Vec::new();
+        for line in lines.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            ops.push(LogOp::from_json_line(line)?);
+        }
+        Ok(RedoLog { ops })
     }
 
     /// Number of logged operations.
@@ -337,6 +384,40 @@ mod tests {
             .collect();
         assert_eq!(calls.len(), 1, "only the user's withdraw: {log:?}");
         assert!(db.output().iter().any(|l| l.contains("order(")));
+    }
+
+    /// The streaming line format and the legacy whole-log format must
+    /// describe the same session: replaying either yields the same
+    /// database.
+    #[test]
+    fn json_lines_and_whole_log_replay_identically() {
+        let (mut db, room) = demo::setup();
+        db.enable_logging();
+        let _ = demo::withdraw_txn(&mut db, "mallory", room, "bolt", 10);
+        demo::withdraw_txn(&mut db, "alice", room, "bolt", 30).unwrap();
+        demo::deposit_withdraw_txn(&mut db, "bob", room, "shim", 5).unwrap();
+        db.advance_clock_to(1_000);
+        let log = db.take_log().unwrap();
+
+        let whole = log.to_json().unwrap();
+        let lines = log.to_json_lines().unwrap();
+        assert_eq!(lines.lines().count(), log.len(), "one line per op");
+
+        let (mut via_whole, _) = demo::setup();
+        replay(&mut via_whole, &RedoLog::from_json(&whole).unwrap()).unwrap();
+        let (mut via_lines, _) = demo::setup();
+        replay(&mut via_lines, &RedoLog::from_json_lines(&lines).unwrap()).unwrap();
+
+        assert_eq!(
+            via_whole.peek_field(room, "items"),
+            via_lines.peek_field(room, "items")
+        );
+        assert_eq!(via_whole.output(), via_lines.output());
+        let s1 = via_whole.stats();
+        let s2 = via_lines.stats();
+        assert_eq!(s1.events_posted, s2.events_posted);
+        assert_eq!(s1.triggers_fired, s2.triggers_fired);
+        assert_eq!(s1.txns_aborted, s2.txns_aborted);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The crash matrix: kill the process at *every* I/O operation of a
+//! scripted stockroom session and prove recovery is exact.
+//!
+//! One clean run with in-memory logging produces the ground-truth op
+//! list. Then, for each mutating-I/O index `k`, the same session runs
+//! against a `DiskWal` over a `FaultyIo` that dies permanently at op
+//! `k` (appends tear mid-frame, like a power cut). Recovery with a
+//! healthy io must then yield a database identical to an oracle built
+//! by replaying a *prefix* of the ground-truth ops — fields, trigger
+//! automaton words, firing counts, captured params, histories, output,
+//! stats deltas, and the clock all compared byte for byte.
+#![cfg(feature = "persistence")]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ode_core::event::calendar::HR;
+use ode_core::Value;
+use parking_lot::Mutex;
+
+use ode_db::{
+    demo, replay, Database, DiskWal, FaultyIo, FsyncPolicy, LogOp, RedoLog, SharedIo, Stats, StdIo,
+    WalConfig,
+};
+
+/// Tiny segments + fsync-per-op maximize the number of distinct I/O
+/// operations (and therefore crash points) the session generates.
+fn cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 256,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn fresh() -> Database {
+    let mut db = Database::new();
+    db.define_class(demo::stockroom_class()).unwrap();
+    db
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ode-crash-matrix-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The scripted session: object creation, an unauthorized abort (T1),
+/// big withdrawals (T6), a reorder cascade (T2), a trigger
+/// deactivate/reactivate, clock advances through the 17:00 timer (T3),
+/// and a transaction left open at the kill point. `mid_checkpoint` runs
+/// at a quiescent moment roughly halfway through.
+fn script(db: &mut Database, mut mid_checkpoint: impl FnMut(&mut Database)) {
+    db.advance_clock_to(9 * HR);
+    let txn = db.begin_as(Value::Str("alice".into()));
+    let room = db.create_object(txn, "stockRoom", &[]).unwrap();
+    db.commit(txn).unwrap();
+
+    let _ = demo::withdraw_txn(db, "mallory", room, "bolt", 10); // T1 aborts
+    for _ in 0..3 {
+        demo::withdraw_txn(db, "alice", room, "bolt", 120).unwrap(); // T6: q > 100
+    }
+    demo::withdraw_txn(db, "bob", room, "gear", 30).unwrap();
+
+    mid_checkpoint(db);
+
+    demo::deposit_withdraw_txn(db, "alice", room, "shim", 25).unwrap(); // T2 + T8
+    let t = db.begin_as(Value::Str("bob".into()));
+    db.deactivate_trigger(t, room, "T6").unwrap();
+    db.commit(t).unwrap();
+    demo::withdraw_txn(db, "alice", room, "bolt", 120).unwrap(); // T6 silent
+    let t = db.begin_as(Value::Str("bob".into()));
+    db.activate_trigger(t, room, "T6", &[]).unwrap();
+    db.commit(t).unwrap();
+    db.advance_clock_to(17 * HR); // T3 fires
+    demo::withdraw_txn(db, "bob", room, "gear", 10).unwrap();
+
+    // Crash with a transaction in flight: its ops are logged but its
+    // commit never arrives.
+    let t = db.begin_as(Value::Str("alice".into()));
+    let _ = db.call(
+        t,
+        room,
+        "withdraw",
+        &[Value::Str("bolt".into()), Value::Int(1)],
+    );
+}
+
+/// Everything observable about a database, rendered deterministically.
+fn fingerprint(db: &Database) -> String {
+    let mut s = format!("clock={}\n", db.now());
+    let mut objs: Vec<_> = db.objects().collect();
+    objs.sort_by_key(|o| o.id.0);
+    for o in objs {
+        s.push_str(&format!(
+            "obj {} class {} deleted {}\n",
+            o.id.0, o.class.0, o.deleted
+        ));
+        for (k, v) in &o.fields {
+            s.push_str(&format!("  field {k} = {v:?}\n"));
+        }
+        for t in &o.triggers {
+            s.push_str(&format!(
+                "  trig {} active={} state={} fired={} params={:?} captured={:?}\n",
+                t.def_index, t.active, t.state, t.fired, t.params, t.captured
+            ));
+        }
+        for r in &o.history {
+            s.push_str(&format!(
+                "  hist seq={} txn={} {:?} {:?} {:?}\n",
+                r.seq, r.txn.0, r.basic, r.args, r.status
+            ));
+        }
+    }
+    s
+}
+
+fn stats_delta(before: Stats, after: Stats) -> (u64, u64, u64, u64, u64) {
+    (
+        after.events_posted - before.events_posted,
+        after.symbols_stepped - before.symbols_stepped,
+        after.triggers_fired - before.triggers_fired,
+        after.txns_committed - before.txns_committed,
+        after.txns_aborted - before.txns_aborted,
+    )
+}
+
+/// Run the session against a WAL in `dir` over `io`. Returns the number
+/// of mutating I/O ops issued.
+fn run_session(dir: &Path, io: FaultyIo) -> u64 {
+    let ops = io.op_counter();
+    let shared = SharedIo::new(io);
+    let (wal, recovery) =
+        DiskWal::open(dir, cfg(), shared).expect("open on an empty dir cannot fail");
+    assert!(recovery.is_empty());
+    let wal = Arc::new(Mutex::new(wal));
+
+    let mut db = fresh();
+    let sink_wal = Arc::clone(&wal);
+    db.set_log_sink(Some(Arc::new(move |op: &LogOp| {
+        // The sink swallows errors: the WAL poisons itself and the
+        // session (like a real server) keeps running un-durably until
+        // someone checks its health.
+        let _ = sink_wal.lock().append(op);
+    })));
+
+    script(&mut db, |db| {
+        if let Ok(snap) = db.snapshot() {
+            let _ = wal.lock().checkpoint(&snap);
+        }
+    });
+    ops.load(Ordering::SeqCst)
+}
+
+/// Oracle: fresh database, replay `all[..base]` (drain output, note
+/// stats), then `all[base..m]`. Returns the database, its pre-tail
+/// stats, and the tail output.
+fn oracle(all: &[LogOp], base: usize, m: usize) -> (Database, Stats) {
+    let mut db = fresh();
+    replay(
+        &mut db,
+        &RedoLog {
+            ops: all[..base].to_vec(),
+        },
+    )
+    .expect("oracle prefix replays");
+    db.take_output();
+    let s0 = db.stats();
+    replay(
+        &mut db,
+        &RedoLog {
+            ops: all[base..m].to_vec(),
+        },
+    )
+    .expect("oracle tail replays");
+    (db, s0)
+}
+
+#[test]
+fn crash_at_every_io_op_recovers_a_consistent_prefix() {
+    // Ground truth: the same session recorded purely in memory.
+    let mut truth = fresh();
+    truth.enable_logging();
+    script(&mut truth, |_| {});
+    let all_ops = truth.take_log().expect("logging enabled").ops;
+    assert!(
+        all_ops.len() > 30,
+        "script is non-trivial: {}",
+        all_ops.len()
+    );
+
+    // Size the matrix with a fault-free counting run.
+    let dir = tmp_dir("count");
+    let total_io_ops = run_session(&dir, FaultyIo::counting());
+    assert!(
+        total_io_ops > 60,
+        "tiny segments + Always fsync yield many crash points, got {total_io_ops}"
+    );
+
+    // The fault-free run must recover everything, through the mid-run
+    // checkpoint plus the tail.
+    {
+        let io = SharedIo::new(StdIo::new());
+        let (_wal, recovery) = DiskWal::open(&dir, cfg(), io).expect("clean recovery");
+        assert!(recovery.snapshot.is_some(), "the mid-script checkpoint ran");
+        assert!(!recovery.truncated_tail, "clean shutdown tears nothing");
+        let base = recovery.base_lsn as usize;
+        let m = base + recovery.ops.len();
+        assert_eq!(m, all_ops.len(), "clean shutdown loses nothing");
+        let mut got = fresh();
+        recovery.restore_into(&mut got).expect("clean restore");
+        let (want, _) = oracle(&all_ops, base, m);
+        assert_eq!(fingerprint(&got), fingerprint(&want));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The matrix proper.
+    let mut recovered_counts = Vec::new();
+    for k in 0..total_io_ops {
+        let dir = tmp_dir(&format!("k{k}"));
+        run_session(&dir, FaultyIo::crash_at(k));
+
+        let io = SharedIo::new(StdIo::new());
+        let (_wal, recovery) = DiskWal::open(&dir, cfg(), io)
+            .unwrap_or_else(|e| panic!("crash point {k}: recovery failed: {e}"));
+        let base = recovery.base_lsn as usize;
+        let m = base + recovery.ops.len();
+        assert!(
+            m <= all_ops.len(),
+            "crash point {k}: recovered {m} ops, session only issued {}",
+            all_ops.len()
+        );
+
+        let mut got = fresh();
+        recovery
+            .restore_into(&mut got)
+            .unwrap_or_else(|e| panic!("crash point {k}: restore failed: {e}"));
+
+        let (want, s0) = oracle(&all_ops, base, m);
+        assert_eq!(
+            fingerprint(&got),
+            fingerprint(&want),
+            "crash point {k} (base {base}, m {m}): state diverges from oracle"
+        );
+        assert_eq!(
+            got.output(),
+            want.output(),
+            "crash point {k}: tail firing output diverges"
+        );
+        assert_eq!(
+            stats_delta(Stats::default(), got.stats()),
+            stats_delta(s0, want.stats()),
+            "crash point {k}: tail stats diverge"
+        );
+        recovered_counts.push(m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Later crash points never recover fewer ops than earlier ones did:
+    // durability is monotone in how far the session got.
+    for w in recovered_counts.windows(2) {
+        assert!(w[1] >= w[0], "durability regressed: {recovered_counts:?}");
+    }
+    // And the matrix actually spans the session: early crashes recover
+    // nothing, late crashes recover almost everything.
+    assert_eq!(recovered_counts[0], 0);
+    assert!(*recovered_counts.last().unwrap() >= all_ops.len() - 1);
+}

@@ -34,6 +34,14 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered the request with a structured error.
     Server(WireError),
+    /// [`Client::txn`] gave up: every attempt failed with a retryable
+    /// error.
+    RetriesExhausted {
+        /// Transaction attempts made (initial try plus retries).
+        attempts: u32,
+        /// The last retryable server error.
+        last: WireError,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -42,6 +50,11 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+            ClientError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "transaction failed after {attempts} attempts; last error [{}]: {}",
+                last.code, last.message
+            ),
         }
     }
 }
@@ -66,6 +79,33 @@ pub struct Client {
     pub request_timeout: Duration,
     /// Retry budget for [`Client::txn`].
     pub max_retries: u32,
+    /// First-retry backoff of [`Client::txn`]; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single [`Client::txn`] backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed decorrelating this client's backoff jitter from its
+    /// neighbors'. Defaults to the process id; tests pin it.
+    pub backoff_seed: u64,
+}
+
+/// The delay before retry `attempt` (1-based): exponential doubling
+/// from `base`, capped at `cap`, with deterministic "equal jitter" — a
+/// hash of `(seed, attempt)` picks a point in `[d/2, d]`, so clients
+/// that collided on a lock spread out instead of colliding again.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
+    let shift = attempt.saturating_sub(1).min(20);
+    let ceiling = base.checked_mul(1u32 << shift).map_or(cap, |d| d.min(cap));
+    let nanos = ceiling.as_nanos() as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    // splitmix64 of the (seed, attempt) pair.
+    let mut z = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let floor = nanos / 2;
+    Duration::from_nanos(floor + z % (nanos - floor + 1))
 }
 
 impl Client {
@@ -93,6 +133,9 @@ impl Client {
             notices: Vec::new(),
             request_timeout: Duration::from_secs(30),
             max_retries: 64,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(5),
+            backoff_seed: u64::from(std::process::id()),
         })
     }
 
@@ -352,9 +395,12 @@ impl Client {
     }
 
     /// Run `f` inside a transaction as `user`: begin, run, commit.
-    /// Retryable server errors (`lock_conflict`) abort and rerun `f`
-    /// with a linear backoff, up to [`Client::max_retries`] — the wire
-    /// analogue of [`ode_db::SharedDatabase::run_txn`].
+    /// Retryable server errors (`lock_conflict`, `wal`) abort and rerun
+    /// `f` after a capped, jittered exponential backoff
+    /// ([`backoff_delay`]), up to [`Client::max_retries`] retries — the
+    /// wire analogue of [`ode_db::SharedDatabase::run_txn`]. An
+    /// exhausted budget returns [`ClientError::RetriesExhausted`] with
+    /// the attempt count and the last retryable error.
     pub fn txn<T>(
         &mut self,
         user: &str,
@@ -362,14 +408,22 @@ impl Client {
     ) -> Result<T, ClientError> {
         let mut attempts: u32 = 0;
         loop {
+            attempts += 1;
             self.begin(user)?;
             let r = f(self).and_then(|v| self.commit().map(|()| v));
             match r {
                 Ok(v) => return Ok(v),
-                Err(ClientError::Server(e)) if e.retryable && attempts < self.max_retries => {
-                    attempts += 1;
+                Err(ClientError::Server(e)) if e.retryable => {
                     self.abort()?;
-                    std::thread::sleep(Duration::from_micros(50) * attempts.min(20));
+                    if attempts > self.max_retries {
+                        return Err(ClientError::RetriesExhausted { attempts, last: e });
+                    }
+                    std::thread::sleep(backoff_delay(
+                        attempts,
+                        self.backoff_base,
+                        self.backoff_cap,
+                        self.backoff_seed,
+                    ));
                 }
                 Err(e) => {
                     let _ = self.abort();
@@ -389,4 +443,71 @@ fn unit(r: Reply) -> Result<(), ClientError> {
 
 fn unexpected(wanted: &str, got: &Reply) -> ClientError {
     ClientError::Protocol(format!("expected {wanted} reply, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_micros(50);
+    const CAP: Duration = Duration::from_millis(5);
+
+    /// The un-jittered ceiling the schedule doubles toward.
+    fn ceiling(attempt: u32) -> Duration {
+        (BASE * 2u32.pow((attempt - 1).min(20))).min(CAP)
+    }
+
+    /// Simulate a client's whole retry schedule on a mock clock: sum
+    /// the delays [`Client::txn`] would sleep instead of sleeping them.
+    #[test]
+    fn schedule_is_jittered_exponential_with_cap() {
+        let mut mock_clock = Duration::ZERO;
+        for attempt in 1..=30 {
+            let d = backoff_delay(attempt, BASE, CAP, 42);
+            let c = ceiling(attempt);
+            assert!(
+                c / 2 <= d && d <= c,
+                "attempt {attempt}: {d:?} outside [{:?}, {c:?}]",
+                c / 2
+            );
+            mock_clock += d;
+        }
+        // 30 attempts: 7 doubling steps to the 5ms cap, then flat. The
+        // whole schedule is bounded by 30 caps and jitter keeps it over
+        // half the ceilings' sum.
+        assert!(mock_clock <= CAP * 30);
+        assert!(mock_clock >= (1..=30).map(ceiling).sum::<Duration>() / 2);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        for attempt in 1..=10 {
+            assert_eq!(
+                backoff_delay(attempt, BASE, CAP, 7),
+                backoff_delay(attempt, BASE, CAP, 7),
+            );
+        }
+        let differs = (1..=10).any(|attempt| {
+            backoff_delay(attempt, BASE, CAP, 7) != backoff_delay(attempt, BASE, CAP, 8)
+        });
+        assert!(differs, "two seeds produced identical 10-step schedules");
+    }
+
+    #[test]
+    fn late_attempts_saturate_at_the_cap() {
+        for attempt in [8, 20, 1000, u32::MAX] {
+            let d = backoff_delay(attempt, BASE, CAP, 3);
+            assert!(CAP / 2 <= d && d <= CAP, "attempt {attempt}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        for attempt in 1..=5 {
+            assert_eq!(
+                backoff_delay(attempt, Duration::ZERO, Duration::ZERO, 9),
+                Duration::ZERO
+            );
+        }
+    }
 }

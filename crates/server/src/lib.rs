@@ -25,7 +25,7 @@ pub mod protocol;
 pub mod server;
 pub mod spec;
 
-pub use client::{Client, ClientError};
+pub use client::{backoff_delay, Client, ClientError};
 pub use protocol::{
     CapturedEvent, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
 };

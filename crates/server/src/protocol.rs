@@ -106,6 +106,11 @@ pub enum Command {
         /// The snapshot JSON.
         snapshot: String,
     },
+    /// Durably checkpoint the store into the server's WAL directory and
+    /// truncate the log it supersedes. Requires the server to have been
+    /// started with a WAL (`--wal-dir`) and a quiescent engine (no open
+    /// transactions).
+    Checkpoint,
     /// Read the engine counters and clock.
     Stats,
     /// Start streaming trigger-firing notifications to this connection.
@@ -175,6 +180,11 @@ pub enum Reply {
     },
     /// Drained output-log lines.
     Output(Vec<String>),
+    /// A durable checkpoint completed.
+    Checkpointed {
+        /// The log sequence number the checkpoint covers.
+        lsn: u64,
+    },
 }
 
 /// A structured protocol error.
@@ -240,6 +250,14 @@ pub struct WireStats {
     pub txns_aborted: u64,
     /// Current virtual time in milliseconds.
     pub clock_ms: u64,
+    /// Firing notifications dropped because a subscriber's outbox or
+    /// socket write failed.
+    pub subscriber_drops: u64,
+    /// Whether the server has latched read-only after a WAL failure.
+    pub read_only: bool,
+    /// The WAL's next log sequence number (`None` when running without
+    /// a WAL).
+    pub wal_lsn: Option<u64>,
 }
 
 /// A trigger firing as streamed to subscribers — the wire image of

@@ -27,7 +27,21 @@
 //! never touch a socket: it only enqueues the [`Firing`] onto each
 //! subscribed connection's outbox channel. A dedicated writer thread
 //! per connection drains the outbox, so a slow subscriber delays only
-//! itself.
+//! itself. Failed deliveries (a full-gone outbox, a dead socket) are
+//! counted in the `subscriber_drops` stat rather than silently
+//! discarded.
+//!
+//! ## Durability
+//!
+//! With [`ServerBuilder::wal_dir`], the server recovers the directory
+//! on startup (wire-defined classes from `schema.wal`, then the latest
+//! checkpoint plus log tail via [`ode_db::DiskWal`]) and streams every
+//! subsequent engine op back out through the engine's log sink. A WAL
+//! write or fsync failure degrades gracefully: the offending session's
+//! transaction is aborted, the command answers a retryable `wal`
+//! error, and the server latches **read-only** (mutating commands are
+//! refused; reads, aborts, and subscriptions keep working) instead of
+//! panicking or serving un-durable writes.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -40,7 +54,11 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ode_core::Value;
-use ode_db::{FiringNotice, ObjectId, SharedDatabase, Snapshot, TxnId};
+use ode_db::durability::frame;
+use ode_db::{
+    DiskWal, FiringNotice, LogOp, ObjectId, SharedDatabase, SharedIo, Snapshot, StdIo, TxnId,
+    WalConfig,
+};
 use parking_lot::Mutex;
 
 use crate::codec::{LineEvent, LineReader};
@@ -48,7 +66,7 @@ use crate::conn::Conn;
 use crate::protocol::{
     Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
 };
-use crate::spec::compile_class;
+use crate::spec::{compile_class, ClassSpec};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -77,6 +95,19 @@ impl Default for ServerConfig {
 type Outbox = mpsc::Sender<ServerMsg>;
 type Subscribers = Arc<Mutex<HashMap<u64, Outbox>>>;
 
+/// The server's durability state (present when started with a WAL dir).
+struct WalState {
+    wal: Mutex<DiskWal>,
+    io: SharedIo,
+    /// `<wal-dir>/schema.wal`: framed `ClassSpec` JSON, one record per
+    /// wire-defined class, replayed (in `ClassId` order) before the op
+    /// WAL on recovery.
+    schema_path: PathBuf,
+    /// Latched after the first WAL write/fsync failure: mutating
+    /// commands answer a retryable `wal` error until restart.
+    read_only: AtomicBool,
+}
+
 struct Shared {
     db: SharedDatabase,
     config: ServerConfig,
@@ -84,6 +115,10 @@ struct Shared {
     subs: Subscribers,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
+    wal: Option<Arc<WalState>>,
+    /// Firing notifications that never reached a subscriber (outbox
+    /// gone or socket write failed).
+    subscriber_drops: Arc<AtomicU64>,
 }
 
 /// Configures and starts a [`Server`].
@@ -92,6 +127,9 @@ pub struct ServerBuilder {
     config: ServerConfig,
     tcp: Option<String>,
     unix: Option<PathBuf>,
+    wal_dir: Option<PathBuf>,
+    wal_config: WalConfig,
+    wal_io: Option<SharedIo>,
 }
 
 impl ServerBuilder {
@@ -115,16 +153,87 @@ impl ServerBuilder {
         self
     }
 
-    /// Bind the listeners, install the firing sink, and start the
-    /// accept threads.
+    /// Persist every engine op to a write-ahead log under `dir`. On
+    /// start the directory is recovered first: wire-defined classes
+    /// replay from `schema.wal`, then the newest checkpoint restores
+    /// and the log tail replays on top of it.
+    pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Override the default [`WalConfig`] (segment size, fsync policy).
+    /// Only meaningful together with [`ServerBuilder::wal_dir`].
+    pub fn wal_config(mut self, cfg: WalConfig) -> Self {
+        self.wal_config = cfg;
+        self
+    }
+
+    /// Override the WAL's I/O layer (fault injection in tests). Only
+    /// meaningful together with [`ServerBuilder::wal_dir`].
+    pub fn wal_io(mut self, io: SharedIo) -> Self {
+        self.wal_io = Some(io);
+        self
+    }
+
+    /// Bind the listeners, recover the WAL directory (if configured),
+    /// install the firing and log sinks, and start the accept threads.
     pub fn start(self) -> std::io::Result<Server> {
+        // Recover *before* installing the log sink: replayed ops must
+        // not be re-appended to the log they came from.
+        let wal = match &self.wal_dir {
+            None => None,
+            Some(dir) => {
+                let io = self
+                    .wal_io
+                    .clone()
+                    .unwrap_or_else(|| SharedIo::new(StdIo::new()));
+                let schema_path = dir.join("schema.wal");
+                let (wal, recovery) = DiskWal::open(dir, self.wal_config, io.clone())
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let specs = load_schema(&io, &schema_path).map_err(std::io::Error::other)?;
+                self.db
+                    .with(|db| -> Result<(), String> {
+                        for spec in &specs {
+                            let def = compile_class(spec).map_err(|e| e.to_string())?;
+                            db.define_class(def).map_err(|e| e.to_string())?;
+                        }
+                        recovery.restore_into(db).map_err(|e| e.to_string())?;
+                        // Replay re-emits historical firing lines;
+                        // don't serve them as fresh output.
+                        db.take_output();
+                        Ok(())
+                    })
+                    .map_err(std::io::Error::other)?;
+                Some(Arc::new(WalState {
+                    wal: Mutex::new(wal),
+                    io,
+                    schema_path,
+                    read_only: AtomicBool::new(false),
+                }))
+            }
+        };
+        if let Some(ws) = &wal {
+            let sink_ws = Arc::clone(ws);
+            // Runs with the engine locked (lock order engine → wal,
+            // matching Checkpoint). Errors poison the wal; the session
+            // that triggered the write surfaces them from `handle_line`.
+            self.db.set_log_sink(Some(Arc::new(move |op: &LogOp| {
+                let _ = sink_ws.wal.lock().append(op);
+            })));
+        }
+
+        let subscriber_drops = Arc::new(AtomicU64::new(0));
         let subs: Subscribers = Arc::new(Mutex::new(HashMap::new()));
         let sink_subs = Arc::clone(&subs);
+        let sink_drops = Arc::clone(&subscriber_drops);
         self.db
             .set_firing_sink(Some(Arc::new(move |n: &FiringNotice| {
                 let msg = ServerMsg::Firing(Firing::from_notice(n));
                 for tx in sink_subs.lock().values() {
-                    let _ = tx.send(msg.clone());
+                    if tx.send(msg.clone()).is_err() {
+                        sink_drops.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             })));
 
@@ -135,6 +244,8 @@ impl ServerBuilder {
             subs,
             conn_threads: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            wal,
+            subscriber_drops,
         });
 
         let mut accept_threads = Vec::new();
@@ -186,6 +297,9 @@ impl Server {
             config: ServerConfig::default(),
             tcp: None,
             unix: None,
+            wal_dir: None,
+            wal_config: WalConfig::default(),
+            wal_io: None,
         }
     }
 
@@ -221,6 +335,12 @@ impl Server {
             let _ = h.join();
         }
         self.inner.db.set_firing_sink(None);
+        self.inner.db.set_log_sink(None);
+        if let Some(ws) = &self.inner.wal {
+            // Best effort: push any EveryN/Never-policy unsynced bytes
+            // to disk before the process goes away.
+            let _ = ws.wal.lock().sync();
+        }
         if let Some(p) = &self.unix_path {
             let _ = std::fs::remove_file(p);
         }
@@ -258,21 +378,28 @@ fn spawn_session(inner: &Arc<Shared>, conn: Conn) {
         Err(_) => return,
     };
     let (tx, rx) = mpsc::channel::<ServerMsg>();
-    let writer = thread::spawn(move || writer_loop(write_conn, rx));
+    let drops = Arc::clone(&inner.subscriber_drops);
+    let writer = thread::spawn(move || writer_loop(write_conn, rx, drops));
     let inner2 = Arc::clone(inner);
     let reader = thread::spawn(move || session_loop(inner2, conn_id, conn, tx));
     inner.conn_threads.lock().extend([writer, reader]);
 }
 
 /// Drain the outbox to the socket; exits when every sender (session
-/// loop + subscription entry) is gone or the peer stops reading.
-fn writer_loop(mut conn: Conn, rx: mpsc::Receiver<ServerMsg>) {
+/// loop + subscription entry) is gone or the peer stops reading. Firing
+/// notifications stranded by a dead socket count as subscriber drops.
+fn writer_loop(mut conn: Conn, rx: mpsc::Receiver<ServerMsg>, drops: Arc<AtomicU64>) {
     while let Ok(msg) = rx.recv() {
         let Ok(mut line) = serde_json::to_string(&msg) else {
             continue;
         };
         line.push('\n');
         if conn.write_all(line.as_bytes()).is_err() {
+            let stranded = std::iter::once(msg)
+                .chain(rx.try_iter())
+                .filter(|m| matches!(m, ServerMsg::Firing(_)))
+                .count();
+            drops.fetch_add(stranded as u64, Ordering::Relaxed);
             break;
         }
     }
@@ -353,11 +480,88 @@ fn handle_line(
             return;
         }
     };
-    let result = match execute(inner, conn_id, req.cmd, open_txn, tx) {
+    let is_mutation = mutates(&req.cmd);
+    let mut result = match execute(inner, conn_id, req.cmd, open_txn, tx) {
         Ok(reply) => ReplyResult::Ok(reply),
         Err(e) => ReplyResult::Err(e),
     };
+    // Degradation check: if a mutating command left the WAL poisoned,
+    // the engine may have state the log does not. Latch read-only,
+    // abort the session's transaction, and answer a retryable `wal`
+    // error — even over an in-memory success: a commit whose log record
+    // never reached disk will not survive recovery, so the client must
+    // treat it as failed.
+    let refused = matches!(&result, ReplyResult::Err(e) if e.code == "read_only");
+    if is_mutation && !refused {
+        if let Some(ws) = &inner.wal {
+            let poisoned = ws.wal.lock().poisoned().map(str::to_string);
+            if let Some(msg) = poisoned {
+                ws.read_only.store(true, Ordering::SeqCst);
+                if let Some(t) = open_txn.take() {
+                    let _ = inner.db.abort(t);
+                }
+                result = ReplyResult::Err(WireError {
+                    code: "wal".to_string(),
+                    message: format!("write-ahead log failed; server is now read-only: {msg}"),
+                    retryable: true,
+                });
+            }
+        }
+    }
     let _ = tx.send(ServerMsg::Reply { id: req.id, result });
+}
+
+/// Commands the WAL must capture (state writers). Everything else —
+/// reads, aborts, subscriptions — stays allowed in read-only mode:
+/// aborts need no durability because recovery discards uncommitted
+/// effects anyway.
+fn mutates(cmd: &Command) -> bool {
+    !matches!(
+        cmd,
+        Command::Ping
+            | Command::Abort
+            | Command::Snapshot
+            | Command::Stats
+            | Command::Subscribe
+            | Command::Unsubscribe
+            | Command::TakeOutput
+            | Command::PeekField { .. }
+    )
+}
+
+/// Read the framed `ClassSpec` records from `schema.wal`. A missing
+/// file means no wire-defined classes; a torn trailing record (crash
+/// between define and append) is truncated away like an op-log tail.
+fn load_schema(io: &SharedIo, path: &Path) -> Result<Vec<ClassSpec>, String> {
+    let bytes = match io.with(|io| io.read(path)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("schema wal: {e}")),
+    };
+    let (frames, tail) = frame::decode_all(&bytes)
+        .map_err(|e| format!("schema wal corrupt at offset {}: {}", e.offset, e.reason))?;
+    if let frame::Tail::Torn { offset } = tail {
+        io.with(|io| io.truncate(path, offset))
+            .map_err(|e| format!("schema wal: {e}"))?;
+    }
+    let mut specs = Vec::with_capacity(frames.len());
+    for f in &frames {
+        let json = std::str::from_utf8(f).map_err(|e| format!("schema wal: {e}"))?;
+        specs.push(serde_json::from_str(json).map_err(|e| format!("schema wal: {e}"))?);
+    }
+    Ok(specs)
+}
+
+/// Append one framed `ClassSpec` to `schema.wal` and fsync it. Called
+/// with the engine locked, right after the in-memory define succeeds.
+fn append_schema(io: &SharedIo, path: &Path, spec: &ClassSpec) -> Result<(), String> {
+    let json = serde_json::to_string(spec).map_err(|e| e.to_string())?;
+    let rec = frame::encode(json.as_bytes());
+    io.with(|io| {
+        io.append(path, &rec)?;
+        io.fsync(path)
+    })
+    .map_err(|e| e.to_string())
 }
 
 fn no_txn() -> WireError {
@@ -390,14 +594,41 @@ fn execute(
     open_txn: &mut Option<TxnId>,
     tx: &Outbox,
 ) -> Result<Reply, WireError> {
+    if let Some(ws) = &inner.wal {
+        if mutates(&cmd) && ws.read_only.load(Ordering::SeqCst) {
+            return Err(WireError::new(
+                "read_only",
+                "server is read-only after a write-ahead log failure; restart to recover",
+            ));
+        }
+    }
     match cmd {
         Command::Ping => Ok(Reply::Pong),
         Command::DefineClass(spec) => {
             let def = compile_class(&spec).map_err(|e| WireError::from_ode(&e))?;
-            inner
-                .db
-                .with(|db| db.define_class(def))
-                .map_err(|e| WireError::from_ode(&e))?;
+            match &inner.wal {
+                None => {
+                    inner
+                        .db
+                        .with(|db| db.define_class(def))
+                        .map_err(|e| WireError::from_ode(&e))?;
+                }
+                // Define and append under one engine lock so no op that
+                // references the class can be logged before the class
+                // record is durable. A crash between the two tears the
+                // schema.wal tail harmlessly (truncated on recovery).
+                Some(ws) => inner.db.with(|db| -> Result<(), WireError> {
+                    db.define_class(def).map_err(|e| WireError::from_ode(&e))?;
+                    append_schema(&ws.io, &ws.schema_path, &spec).map_err(|msg| {
+                        ws.read_only.store(true, Ordering::SeqCst);
+                        WireError {
+                            code: "wal".to_string(),
+                            message: format!("schema log write failed: {msg}"),
+                            retryable: true,
+                        }
+                    })
+                })?,
+            }
             Ok(Reply::Unit)
         }
         Command::Begin { user } => {
@@ -488,6 +719,13 @@ fn execute(
             Ok(Reply::SnapshotTaken { json })
         }
         Command::Restore { snapshot } => {
+            if inner.wal.is_some() {
+                // A state jump the log never saw would desync replay.
+                return Err(WireError::new(
+                    "restore_unsupported",
+                    "Restore is not allowed on a WAL-backed server; use Checkpoint and recovery",
+                ));
+            }
             let snap = Snapshot::from_json(&snapshot).map_err(|e| WireError::from_ode(&e))?;
             inner
                 .db
@@ -495,8 +733,37 @@ fn execute(
                 .map_err(|e| WireError::from_ode(&e))?;
             Ok(Reply::Unit)
         }
+        Command::Checkpoint => {
+            let Some(ws) = &inner.wal else {
+                return Err(WireError::new(
+                    "no_wal",
+                    "server was started without a WAL directory",
+                ));
+            };
+            // Snapshot and checkpoint under one engine lock so the
+            // checkpoint's LSN exactly matches the snapshotted state
+            // (lock order engine → wal, same as the log sink).
+            let lsn = inner.db.with(|db| -> Result<u64, WireError> {
+                let snap = db.snapshot().map_err(|e| WireError::from_ode(&e))?;
+                let mut wal = ws.wal.lock();
+                wal.checkpoint(&snap).map_err(|e| WireError {
+                    code: "wal".to_string(),
+                    message: e.to_string(),
+                    retryable: true,
+                })?;
+                Ok(wal.lsn())
+            })?;
+            Ok(Reply::Checkpointed { lsn })
+        }
         Command::Stats => {
             let (s, clock_ms) = inner.db.with(|db| (db.stats(), db.now()));
+            let (read_only, wal_lsn) = match &inner.wal {
+                Some(ws) => (
+                    ws.read_only.load(Ordering::SeqCst),
+                    Some(ws.wal.lock().lsn()),
+                ),
+                None => (false, None),
+            };
             Ok(Reply::Stats(WireStats {
                 events_posted: s.events_posted,
                 symbols_stepped: s.symbols_stepped,
@@ -504,6 +771,9 @@ fn execute(
                 txns_committed: s.txns_committed,
                 txns_aborted: s.txns_aborted,
                 clock_ms,
+                subscriber_drops: inner.subscriber_drops.load(Ordering::Relaxed),
+                read_only,
+                wal_lsn,
             }))
         }
         Command::Subscribe => {

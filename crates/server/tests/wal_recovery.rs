@@ -1,0 +1,241 @@
+//! End-to-end durability: a WAL-backed server restarted from its log
+//! directory serves exactly the state committed before it went down —
+//! wire-defined classes, object fields, trigger automata — and a WAL
+//! write failure degrades the live server to read-only instead of
+//! panicking or silently serving un-durable writes.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use ode_core::Value;
+use ode_db::{Database, Fault, FaultyIo, FsyncPolicy, SharedDatabase, SharedIo, WalConfig};
+use ode_server::protocol::Command;
+use ode_server::spec::stockroom_spec;
+use ode_server::{Client, ClientError, Server};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ode-wal-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tiny segments so even a short session rotates; fsync every op so a
+/// fault-injection plan hits deterministic places.
+fn small_cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 512,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn start_server(dir: &PathBuf) -> Server {
+    Server::builder(SharedDatabase::new(Database::new()))
+        .tcp("127.0.0.1:0")
+        .wal_dir(dir)
+        .wal_config(small_cfg())
+        .start()
+        .expect("server starts")
+}
+
+fn bolt(c: &mut Client, room: u64) -> i64 {
+    c.peek_field(room, "items")
+        .expect("peek")
+        .member("bolt")
+        .and_then(Value::as_int)
+        .expect("bolt is an int")
+}
+
+#[test]
+fn committed_state_survives_a_restart() {
+    let dir = tmp_dir("restart");
+
+    // Generation one: define the class over the wire, mutate, go down.
+    let (room, bolt_before) = {
+        let mut server = start_server(&dir);
+        let mut c = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+        c.define_class(stockroom_spec()).expect("define");
+        let room = c.txn("admin", |c| c.new_object("room", &[])).expect("room");
+        for _ in 0..3 {
+            c.txn("alice", |c| {
+                c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(120)])
+            })
+            .expect("withdraw");
+        }
+        // An uncommitted transaction must NOT survive.
+        c.begin("alice").expect("begin");
+        c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(99)])
+            .expect("call in doomed txn");
+        let bolt_before = 500 - 3 * 120;
+        server.shutdown();
+        (room, bolt_before)
+    };
+
+    // Generation two: a fresh engine recovered purely from the
+    // directory.
+    let mut server = start_server(&dir);
+    let mut c = Client::connect_tcp(server.tcp_addr().unwrap()).expect("reconnect");
+    assert_eq!(
+        bolt(&mut c, room),
+        bolt_before,
+        "committed withdrawals only"
+    );
+    let stats = c.stats().expect("stats");
+    assert!(!stats.read_only);
+    assert!(stats.wal_lsn.expect("wal-backed") > 0);
+    assert_eq!(stats.subscriber_drops, 0);
+
+    // The schema came back through schema.wal: methods, masks, and
+    // trigger automata all work without re-defining anything.
+    c.txn("alice", |c| {
+        c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(1)])
+    })
+    .expect("class recovered");
+    c.begin("mallory").expect("begin");
+    match c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(1)]) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "aborted", "T1 still guards"),
+        other => panic!("mallory must still be aborted by T1, got {other:?}"),
+    }
+    c.abort().expect("abort");
+    assert_eq!(bolt(&mut c, room), bolt_before - 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_truncates_and_recovery_stays_exact() {
+    let dir = tmp_dir("checkpoint");
+    let room;
+    {
+        let mut server = start_server(&dir);
+        let mut c = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+        c.define_class(stockroom_spec()).expect("define");
+        room = c.txn("admin", |c| c.new_object("room", &[])).expect("room");
+        for _ in 0..4 {
+            c.txn("alice", |c| {
+                c.call(room, "withdraw", &[Value::from("gear"), Value::Int(5)])
+            })
+            .expect("withdraw");
+        }
+
+        // Restore is a state jump the log would never see: refused.
+        let snap = c.snapshot().expect("snapshot");
+        match c.restore(snap) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, "restore_unsupported"),
+            other => panic!("Restore must be refused on a WAL-backed server, got {other:?}"),
+        }
+
+        match c.request(Command::Checkpoint).expect("checkpoint") {
+            ode_server::protocol::Reply::Checkpointed { lsn } => assert!(lsn > 0),
+            other => panic!("expected Checkpointed, got {other:?}"),
+        }
+        // The checkpoint superseded generation zero's segments.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("checkpoint-")),
+            "no checkpoint file in {names:?}"
+        );
+        assert!(
+            !names.iter().any(|n| n.starts_with("segment-0000000000-")),
+            "generation 0 segments survived the checkpoint: {names:?}"
+        );
+
+        // And the log keeps growing after the checkpoint.
+        c.txn("bob", |c| {
+            c.call(room, "withdraw", &[Value::from("gear"), Value::Int(7)])
+        })
+        .expect("post-checkpoint withdraw");
+        server.shutdown();
+    }
+
+    let mut server = start_server(&dir);
+    let mut c = Client::connect_tcp(server.tcp_addr().unwrap()).expect("reconnect");
+    let gear = c
+        .peek_field(room, "items")
+        .expect("peek")
+        .member("gear")
+        .and_then(Value::as_int)
+        .expect("gear is an int");
+    assert_eq!(gear, 100 - 4 * 5 - 7, "checkpoint + tail replay is exact");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_failure_latches_read_only_and_the_prefix_recovers() {
+    let dir = tmp_dir("degrade");
+
+    // Let the schema append, object creation, and two withdrawals
+    // through, then fail every mutating file op from #40 on.
+    let plan: HashMap<u64, Fault> = (40..400).map(|k| (k, Fault::FailOp)).collect();
+    let io = SharedIo::new(FaultyIo::new(plan));
+    let mut server = Server::builder(SharedDatabase::new(Database::new()))
+        .tcp("127.0.0.1:0")
+        .wal_dir(&dir)
+        .wal_config(small_cfg())
+        .wal_io(io)
+        .start()
+        .expect("server starts");
+    let mut c = Client::connect_tcp(server.tcp_addr().unwrap()).expect("connect");
+    c.define_class(stockroom_spec()).expect("define");
+    let room = c.txn("admin", |c| c.new_object("room", &[])).expect("room");
+
+    // Withdraw until the injected failure bites. `txn` retries the
+    // retryable `wal` error once, then hits the read-only latch.
+    let mut committed = 0i64;
+    let failure = loop {
+        let r = c
+            .begin("alice")
+            .and_then(|_| c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(10)]))
+            .and_then(|_| c.commit());
+        match r {
+            Ok(()) => committed += 1,
+            Err(ClientError::Server(e)) => break e,
+            Err(other) => panic!("unexpected client failure: {other}"),
+        }
+        assert!(committed < 50, "fault plan never fired");
+    };
+    assert_eq!(failure.code, "wal", "first failure surfaces as a wal error");
+    assert!(failure.retryable, "the client may retry (and learn worse)");
+
+    // The server is alive but read-only: reads fine, writes refused.
+    c.abort().expect("abort still allowed");
+    let stats = c.stats().expect("stats still allowed");
+    assert!(stats.read_only, "read-only latched");
+    assert!(bolt(&mut c, room) <= 500, "peek still allowed");
+    match c.begin("alice") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, "read_only");
+            assert!(!e.retryable);
+        }
+        other => panic!("Begin must be refused in read-only mode, got {other:?}"),
+    }
+    server.shutdown();
+
+    // Recovery with a healthy io serves the durable prefix: every
+    // withdrawal acknowledged before the failure, nothing after it.
+    let mut server = start_server(&dir);
+    let mut c = Client::connect_tcp(server.tcp_addr().unwrap()).expect("reconnect");
+    let recovered = bolt(&mut c, room);
+    assert_eq!(
+        recovered,
+        500 - committed * 10,
+        "exactly the acknowledged transactions survive"
+    );
+    assert!(
+        !c.stats().expect("stats").read_only,
+        "fresh start is writable"
+    );
+    c.txn("alice", |c| {
+        c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(10)])
+    })
+    .expect("writes work again after recovery");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

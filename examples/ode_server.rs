@@ -4,15 +4,20 @@
 //! cargo run --release --example ode_server -- --unix /tmp/ode.sock
 //! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878
 //! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878 --seconds 60
+//! cargo run --release --example ode_server -- --wal-dir /var/lib/ode --fsync commit
 //! ```
 //!
 //! Starts an empty database — clients define classes over the wire
-//! (see `examples/ode_client.rs`). With `--seconds N` the server shuts
+//! (see `examples/ode_client.rs`). With `--wal-dir DIR` every engine
+//! op is written to a crash-safe log in DIR, the directory is
+//! recovered on startup, and clients may issue `Checkpoint`; `--fsync`
+//! picks the append durability (`always`, `commit` [default], `never`,
+//! or a number N for every-N-ops). With `--seconds N` the server shuts
 //! down gracefully after N seconds (every session's open transaction
 //! is aborted and all threads are joined); otherwise it runs until the
 //! process is killed.
 
-use ode_db::{Database, SharedDatabase};
+use ode_db::{Database, FsyncPolicy, SharedDatabase, WalConfig};
 use ode_server::Server;
 
 fn main() {
@@ -20,14 +25,29 @@ fn main() {
     let mut tcp: Option<String> = None;
     let mut unix: Option<String> = None;
     let mut seconds: Option<u64> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::OnCommit;
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag value");
         match flag.as_str() {
             "--tcp" => tcp = Some(value()),
             "--unix" => unix = Some(value()),
             "--seconds" => seconds = Some(value().parse().expect("numeric --seconds")),
+            "--wal-dir" => wal_dir = Some(value()),
+            "--fsync" => {
+                let v = value();
+                fsync = match v.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "commit" => FsyncPolicy::OnCommit,
+                    "never" => FsyncPolicy::Never,
+                    n => FsyncPolicy::EveryN(n.parse().expect("numeric --fsync interval")),
+                };
+            }
             other => {
-                eprintln!("unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N");
+                eprintln!(
+                    "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
+                     --wal-dir DIR, --fsync always|commit|never|N"
+                );
                 std::process::exit(2);
             }
         }
@@ -44,8 +64,17 @@ fn main() {
     if let Some(path) = &unix {
         builder = builder.unix(path.clone());
     }
-    let mut server = builder.start().expect("failed to bind");
+    if let Some(dir) = &wal_dir {
+        builder = builder.wal_dir(dir).wal_config(WalConfig {
+            fsync,
+            ..WalConfig::default()
+        });
+    }
+    let mut server = builder.start().expect("failed to bind or recover");
 
+    if let Some(dir) = &wal_dir {
+        println!("ode-server recovered write-ahead log in {dir}");
+    }
     if let Some(addr) = server.tcp_addr() {
         println!("ode-server listening on tcp {addr}");
     }
