@@ -11,12 +11,17 @@
 //! * [`io`] — the [`io::WalIo`] file-system trait, its production
 //!   [`io::StdIo`] impl, and the deterministic [`io::FaultyIo`] fault
 //!   injector the crash-matrix test drives;
+//! * [`reader`] — [`reader::SegmentReader`]: a read-only LSN-addressed
+//!   scan of a log directory, shared by recovery and the replication
+//!   shipper;
 //! * [`wal`] — [`wal::DiskWal`]: segmented appends, fsync policies,
 //!   atomic checkpoints, and `open()`-as-recovery.
 
 pub mod frame;
 pub mod io;
+pub mod reader;
 pub mod wal;
 
 pub use io::{Fault, FaultyIo, SharedIo, StdIo, WalIo};
+pub use reader::{SegmentReader, TornTail};
 pub use wal::{DiskWal, FsyncPolicy, Recovery, WalConfig, WalError};

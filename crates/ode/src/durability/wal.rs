@@ -45,6 +45,9 @@ use crate::wal::{replay, LogOp, RedoLog};
 
 use super::frame;
 use super::io::SharedIo;
+use super::reader::{
+    checkpoint_name, parse_checkpoint, parse_segment, segment_name, SegmentReader, TMP_NAME,
+};
 
 /// When appended records are forced to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,28 +121,6 @@ impl From<OdeError> for WalError {
     }
 }
 
-const TMP_NAME: &str = "checkpoint.tmp";
-
-fn segment_name(generation: u64, idx: u64) -> String {
-    format!("segment-{generation:010}-{idx:05}.wal")
-}
-
-fn checkpoint_name(generation: u64, lsn: u64) -> String {
-    format!("checkpoint-{generation:010}-{lsn:016}.snap")
-}
-
-fn parse_segment(name: &str) -> Option<(u64, u64)> {
-    let rest = name.strip_prefix("segment-")?.strip_suffix(".wal")?;
-    let (generation, idx) = rest.split_once('-')?;
-    Some((generation.parse().ok()?, idx.parse().ok()?))
-}
-
-fn parse_checkpoint(name: &str) -> Option<(u64, u64)> {
-    let rest = name.strip_prefix("checkpoint-")?.strip_suffix(".snap")?;
-    let (generation, lsn) = rest.split_once('-')?;
-    Some((generation.parse().ok()?, lsn.parse().ok()?))
-}
-
 /// What [`DiskWal::open`] reconstructed from disk.
 pub struct Recovery {
     /// The checkpoint image, if any generation had one.
@@ -201,98 +182,45 @@ impl DiskWal {
     /// with [`WalError::Corrupt`] on interior damage.
     pub fn open(dir: &Path, cfg: WalConfig, io: SharedIo) -> Result<(DiskWal, Recovery), WalError> {
         io.with(|f| f.create_dir_all(dir))?;
-        let names = io.with(|f| f.list(dir))?;
+        let scan = SegmentReader::scan(dir, &io)?;
 
-        // Newest generation with a checkpoint wins; its filename gives
-        // the base LSN.
-        let mut checkpoints: Vec<(u64, u64, String)> = names
-            .iter()
-            .filter_map(|n| parse_checkpoint(n).map(|(g, l)| (g, l, n.clone())))
-            .collect();
-        checkpoints.sort();
-        let (generation, base_lsn) = match checkpoints.last() {
-            Some(&(g, l, _)) => (g, l),
-            None => (0, 0),
-        };
-
-        let snapshot = match checkpoints.last() {
-            Some((_, _, name)) => {
-                let bytes = io.with(|f| f.read(&dir.join(name)))?;
-                let (mut payloads, tail) = frame::decode_all(&bytes).map_err(|c| {
-                    WalError::Corrupt(format!("checkpoint {name}: bad frame at {}", c.offset))
-                })?;
-                // A checkpoint is written to a tmp file, fsynced, and
-                // renamed — it can never be legitimately torn.
-                if tail != frame::Tail::Clean || payloads.len() != 1 {
-                    return Err(WalError::Corrupt(format!(
-                        "checkpoint {name}: expected exactly one clean frame"
-                    )));
-                }
-                let body = String::from_utf8(payloads.pop().expect("one payload"))
-                    .map_err(|_| WalError::Corrupt(format!("checkpoint {name}: not utf-8")))?;
-                Some(Snapshot::from_json(&body)?)
+        let snapshot = match &scan.checkpoint {
+            Some(payload) => {
+                let body = std::str::from_utf8(payload)
+                    .map_err(|_| WalError::Corrupt("checkpoint: not utf-8".to_string()))?;
+                Some(Snapshot::from_json(body)?)
             }
             None => None,
         };
 
-        // Decode this generation's segments in index order.
-        let mut segs: Vec<(u64, String)> = names
-            .iter()
-            .filter_map(|n| parse_segment(n))
-            .filter(|&(g, _)| g == generation)
-            .map(|(_, idx)| (idx, segment_name(generation, idx)))
-            .collect();
-        segs.sort();
-        for (want, &(idx, _)) in segs.iter().enumerate() {
-            if idx != want as u64 {
-                return Err(WalError::Corrupt(format!(
-                    "generation {generation}: segment {want} missing (found index {idx})"
-                )));
+        // Recovery repairs what the scan only classified: truncate the
+        // torn tail so the damaged bytes never resurface.
+        let truncated_tail = match &scan.torn {
+            Some(t) => {
+                io.with(|f| f.truncate(&dir.join(&t.name), t.offset))?;
+                true
             }
-        }
+            None => false,
+        };
 
-        let mut ops = Vec::new();
-        let mut truncated_tail = false;
-        let last = segs.len().saturating_sub(1);
-        for (i, (_, name)) in segs.iter().enumerate() {
-            let path = dir.join(name);
-            let bytes = io.with(|f| f.read(&path))?;
-            let (payloads, tail) = frame::decode_all(&bytes).map_err(|c| {
-                WalError::Corrupt(format!("segment {name}: bad frame at offset {}", c.offset))
-            })?;
-            if let frame::Tail::Torn { offset } = tail {
-                // Only the final segment of the live generation may be
-                // torn; a short interior segment lost sealed records.
-                if i != last {
-                    return Err(WalError::Corrupt(format!(
-                        "segment {name}: torn frame at offset {offset} before the final segment"
-                    )));
-                }
-                io.with(|f| f.truncate(&path, offset))?;
-                truncated_tail = true;
-            }
-            for p in payloads {
-                let line = String::from_utf8(p)
-                    .map_err(|_| WalError::Corrupt(format!("segment {name}: not utf-8")))?;
-                ops.push(LogOp::from_json_line(&line)?);
-            }
+        let mut ops = Vec::with_capacity(scan.records.len());
+        for p in &scan.records {
+            let line = std::str::from_utf8(p)
+                .map_err(|_| WalError::Corrupt("segment record: not utf-8".to_string()))?;
+            ops.push(LogOp::from_json_line(line)?);
         }
 
         // Sweep debris: the tmp file and anything from older generations.
         // Best-effort — recovery already ignores these by name.
-        for n in &names {
-            let stale_seg = parse_segment(n).is_some_and(|(g, _)| g != generation);
-            let stale_ckpt = parse_checkpoint(n).is_some_and(|(g, _)| g != generation);
-            if n == TMP_NAME || stale_seg || stale_ckpt {
-                let _ = io.with(|f| f.remove(&dir.join(n)));
-            }
+        for n in &scan.stale {
+            let _ = io.with(|f| f.remove(&dir.join(n)));
         }
 
         let recovery = Recovery {
             snapshot,
-            base_lsn,
+            base_lsn: scan.base_lsn,
             truncated_tail,
-            segments: segs.len(),
+            segments: scan.segments.len(),
             ops,
         };
         // New appends go to a fresh segment so a truncated tail is
@@ -301,8 +229,8 @@ impl DiskWal {
             io,
             dir: dir.to_path_buf(),
             cfg,
-            generation,
-            seg_idx: segs.len() as u64,
+            generation: scan.generation,
+            seg_idx: scan.segments.len() as u64,
             seg_bytes: 0,
             lsn: recovery.base_lsn + recovery.ops.len() as u64,
             since_sync: 0,
@@ -406,12 +334,20 @@ impl DiskWal {
     /// the same lock that orders appends) as the new recovery base,
     /// then delete the log generation it supersedes.
     pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<(), WalError> {
+        self.checkpoint_at(snap, self.lsn)
+    }
+
+    /// Like [`DiskWal::checkpoint`], but stamp the checkpoint with an
+    /// explicit LSN and adopt it as this log's position. A replica
+    /// bootstrapping from a shipped snapshot uses this to jump its
+    /// local log to the primary's LSN so subsequent appends line up.
+    pub fn checkpoint_at(&mut self, snap: &Snapshot, lsn: u64) -> Result<(), WalError> {
         self.check_poison()?;
         let body = snap.to_json()?;
         let framed = frame::encode(body.as_bytes());
         let tmp = self.dir.join(TMP_NAME);
         let next_generation = self.generation + 1;
-        let finalname = self.dir.join(checkpoint_name(next_generation, self.lsn));
+        let finalname = self.dir.join(checkpoint_name(next_generation, lsn));
 
         // A leftover tmp from a crashed earlier attempt would otherwise
         // be appended after; clear it first.
@@ -449,6 +385,7 @@ impl DiskWal {
         self.seg_idx = 0;
         self.seg_bytes = 0;
         self.since_sync = 0;
+        self.lsn = lsn;
         Ok(())
     }
 }

@@ -55,6 +55,8 @@ pub mod ids;
 pub mod object;
 #[cfg(feature = "persistence")]
 pub mod persist;
+#[cfg(feature = "persistence")]
+pub mod replication;
 pub mod report;
 pub mod schema;
 pub mod shared;
@@ -68,7 +70,8 @@ pub use class::{
 pub use clock::{Clock, Recurrence, Timer, TimerScope};
 #[cfg(feature = "persistence")]
 pub use durability::{
-    DiskWal, Fault, FaultyIo, FsyncPolicy, Recovery, SharedIo, StdIo, WalConfig, WalError, WalIo,
+    DiskWal, Fault, FaultyIo, FsyncPolicy, Recovery, SegmentReader, SharedIo, StdIo, TornTail,
+    WalConfig, WalError, WalIo,
 };
 #[cfg(feature = "persistence")]
 pub use engine::LogSink;
@@ -79,6 +82,8 @@ pub use ids::{ClassId, ObjectId, TxnId};
 pub use object::{Object, PostStatus, PostedRecord, TriggerInstance};
 #[cfg(feature = "persistence")]
 pub use persist::Snapshot;
+#[cfg(feature = "persistence")]
+pub use replication::{Applied, Applier, ApplyError};
 pub use report::describe;
 pub use schema::{SchemaAction, SchemaCtx, SchemaTrigger};
 pub use shared::{SharedDatabase, SharedTxn};

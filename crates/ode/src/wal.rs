@@ -15,14 +15,12 @@
 //! triggers (Section 6) observe aborted events, so exact state
 //! reproduction requires re-running them.
 
-use std::collections::HashMap;
-
 use ode_core::Value;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Database;
 use crate::error::OdeError;
-use crate::ids::{ObjectId, TxnId};
+use crate::replication::Applier;
 
 /// One logged operation. `txn` fields carry the *recording-time* ids;
 /// replay maps them onto fresh ids.
@@ -185,88 +183,12 @@ impl RedoLog {
 /// fails again); structural impossibilities (unknown mapped ids) abort
 /// the replay with an error.
 pub fn replay(db: &mut Database, log: &RedoLog) -> Result<(), OdeError> {
-    let mut txn_map: HashMap<u64, TxnId> = HashMap::new();
-    let mut obj_map: HashMap<u64, ObjectId> = HashMap::new();
-    // Objects that existed before the log started (snapshot-restored)
-    // keep their identities.
-    let preexisting: Vec<u64> = db.objects().map(|o| o.id.0).collect();
-    for id in preexisting {
-        obj_map.insert(id, ObjectId(id));
-    }
-
-    let map_txn = |m: &HashMap<u64, TxnId>, t: u64| -> Result<TxnId, OdeError> {
-        m.get(&t).copied().ok_or(OdeError::UnknownTxn(TxnId(t)))
-    };
-    let map_obj = |m: &HashMap<u64, ObjectId>, o: u64| -> Result<ObjectId, OdeError> {
-        m.get(&o)
-            .copied()
-            .ok_or(OdeError::UnknownObject(ObjectId(o)))
-    };
-
-    for op in &log.ops {
-        match op {
-            LogOp::Begin { txn, user } => {
-                let t = db.begin_as(user.clone());
-                txn_map.insert(*txn, t);
-            }
-            LogOp::Create {
-                txn,
-                obj,
-                class,
-                overrides,
-            } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let ovr: Vec<(&str, Value)> = overrides
-                    .iter()
-                    .map(|(k, v)| (k.as_str(), v.clone()))
-                    .collect();
-                match db.create_object(t, class, &ovr) {
-                    Ok(id) => {
-                        obj_map.insert(*obj, id);
-                    }
-                    Err(_) => { /* recorded failure replays as failure */ }
-                }
-            }
-            LogOp::Delete { txn, obj } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let o = map_obj(&obj_map, *obj)?;
-                let _ = db.delete_object(t, o);
-            }
-            LogOp::Call {
-                txn,
-                obj,
-                method,
-                args,
-            } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let o = map_obj(&obj_map, *obj)?;
-                let _ = db.call(t, o, method, args);
-            }
-            LogOp::Activate {
-                txn,
-                obj,
-                trigger,
-                params,
-            } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let o = map_obj(&obj_map, *obj)?;
-                let _ = db.activate_trigger(t, o, trigger, params);
-            }
-            LogOp::Deactivate { txn, obj, trigger } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let o = map_obj(&obj_map, *obj)?;
-                let _ = db.deactivate_trigger(t, o, trigger);
-            }
-            LogOp::Commit { txn } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let _ = db.commit(t);
-            }
-            LogOp::Abort { txn } => {
-                let t = map_txn(&txn_map, *txn)?;
-                let _ = db.abort(t);
-            }
-            LogOp::AdvanceClock { to } => db.advance_clock_to(*to),
-        }
+    // An Applier resumed at LSN 0 identity-maps the objects that existed
+    // before the log started (snapshot-restored), then applies the ops
+    // in order — replay is the one-shot form of streaming application.
+    let mut applier = Applier::resume(db, 0);
+    for (i, op) in log.ops.iter().enumerate() {
+        applier.apply(db, i as u64, op)?;
     }
     Ok(())
 }

@@ -168,6 +168,9 @@ impl Client {
                         )));
                     }
                 }
+                // Replication stream messages are handled by the
+                // replica runner, not this client; skip them.
+                Some(_) => {}
                 None => {
                     return Err(ClientError::Protocol(
                         "timed out waiting for the reply".to_string(),
@@ -220,6 +223,7 @@ impl Client {
                         )));
                     }
                 }
+                Some(_) => {}
                 None => return Ok(None),
             }
         }
@@ -380,6 +384,15 @@ impl Client {
         match self.request(Command::TakeOutput)? {
             Reply::Output(lines) => Ok(lines),
             other => Err(unexpected("Output", &other)),
+        }
+    }
+
+    /// `Promote`: flip a replica writable; returns the LSN its history
+    /// continues from.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        match self.request(Command::Promote)? {
+            Reply::Promoted { lsn } => Ok(lsn),
+            other => Err(unexpected("Promoted", &other)),
         }
     }
 

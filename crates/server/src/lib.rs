@@ -22,6 +22,7 @@ pub mod client;
 pub mod codec;
 pub mod conn;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod spec;
 
@@ -29,5 +30,6 @@ pub use client::{backoff_delay, Client, ClientError};
 pub use protocol::{
     CapturedEvent, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
 };
+pub use repl::{ReplSource, StreamFault};
 pub use server::{Server, ServerBuilder, ServerConfig};
 pub use spec::{ActionSpec, ClassSpec, FieldSpec, MaskFnSpec, MethodOp, MethodSpec, TriggerSpec};

@@ -126,6 +126,21 @@ pub enum Command {
         /// Field name.
         field: String,
     },
+    /// Turn this connection into a replication stream: the server (which
+    /// must have a WAL) replies [`Reply::Replicating`] and then feeds the
+    /// connection [`ServerMsg::ReplSnapshot`] followed by every WAL
+    /// record from the negotiated start LSN onward, live, interleaved
+    /// with [`ServerMsg::ReplHeartbeat`] lines. Sent by a replica server,
+    /// not by ordinary clients.
+    Replicate {
+        /// The first LSN the replica still needs (its local head).
+        /// Must not exceed the primary's head.
+        from_lsn: u64,
+    },
+    /// Promote a replica to writable: stop the tailing loop, abort
+    /// transactions the stream left open, and accept mutations from now
+    /// on. Fails with `not_replica` on a server that never replicated.
+    Promote,
 }
 
 /// One server-to-client line.
@@ -140,6 +155,40 @@ pub enum ServerMsg {
     },
     /// A trigger-firing notification (subscribed connections only).
     Firing(Firing),
+    /// First message of a replication stream: the primary's full schema
+    /// and, when the replica's `from_lsn` predates the primary's oldest
+    /// retained record, the checkpoint snapshot to bootstrap from.
+    ReplSnapshot {
+        /// The LSN the stream starts at. With a snapshot this is the
+        /// LSN the snapshot covers; records follow from here.
+        lsn: u64,
+        /// Every class defined on the primary, in definition order. The
+        /// replica defines the ones it doesn't have (schema catch-up on
+        /// every reconnect).
+        schema: Vec<ClassSpec>,
+        /// Snapshot JSON to restore before applying records, or `None`
+        /// when the log alone covers the replica's catch-up.
+        snapshot: Option<String>,
+    },
+    /// One shipped WAL record.
+    ReplOp {
+        /// The record's log sequence number.
+        lsn: u64,
+        /// The primary's head LSN at ship time (drives lag reporting).
+        head: u64,
+        /// The record as a hex-encoded CRC32 frame
+        /// ([`ode_db::durability::frame`]) — the replica verifies the
+        /// checksum end to end before applying.
+        frame: String,
+    },
+    /// A class defined on the primary mid-stream.
+    ReplSchema(ClassSpec),
+    /// Periodic head report so an idle replica still tracks lag and
+    /// detects a dead link.
+    ReplHeartbeat {
+        /// The primary's current head LSN.
+        head: u64,
+    },
 }
 
 /// Request outcome. (The vendored serde has no `Result` impl, so the
@@ -183,6 +232,23 @@ pub enum Reply {
     /// A durable checkpoint completed.
     Checkpointed {
         /// The log sequence number the checkpoint covers.
+        lsn: u64,
+    },
+    /// Answer to [`Command::Replicate`]: the stream is established.
+    /// (The stream's first messages may already be queued before this
+    /// reply; replicas must tolerate either order.)
+    Replicating {
+        /// The LSN the stream starts at (≥ the requested `from_lsn`
+        /// only when a snapshot bootstrap jumps past it; otherwise
+        /// equal to it).
+        start_lsn: u64,
+        /// The primary's head LSN at handshake time.
+        head: u64,
+    },
+    /// Answer to [`Command::Promote`]: the replica is now writable.
+    Promoted {
+        /// The LSN of the last record applied before promotion — the
+        /// point the new primary's history continues from.
         lsn: u64,
     },
 }
@@ -253,11 +319,27 @@ pub struct WireStats {
     /// Firing notifications dropped because a subscriber's outbox or
     /// socket write failed.
     pub subscriber_drops: u64,
-    /// Whether the server has latched read-only after a WAL failure.
+    /// Whether the server currently refuses mutations: latched after a
+    /// WAL failure, or running as an unpromoted replica.
     pub read_only: bool,
     /// The WAL's next log sequence number (`None` when running without
-    /// a WAL).
+    /// a WAL). On a replica this is the *local* WAL's head, which
+    /// trails `last_applied_lsn` only by records not yet flushed.
     pub wal_lsn: Option<u64>,
+    /// Whether this server was started as a replica
+    /// (`--replicate-from`). Stays `true` after promotion.
+    pub replica: bool,
+    /// Whether the replication stream to the primary is currently
+    /// established (`false` on non-replicas, while reconnecting, and
+    /// after promotion).
+    pub repl_connected: bool,
+    /// One past the LSN of the last record this replica applied
+    /// (`None` on non-replicas).
+    pub last_applied_lsn: Option<u64>,
+    /// How many records the primary is ahead: its last reported head
+    /// minus `last_applied_lsn`. `None` on non-replicas and after
+    /// promotion; `0` when caught up.
+    pub replica_lag_lsn: Option<u64>,
 }
 
 /// A trigger firing as streamed to subscribers — the wire image of
@@ -316,9 +398,43 @@ impl Firing {
     }
 }
 
+/// Hex-encode bytes for embedding a binary frame in a JSON line.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode [`hex_encode`] output; `None` on odd length or non-hex bytes.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex");
+    }
 
     #[test]
     fn request_round_trips() {
@@ -371,7 +487,7 @@ mod tests {
                     ReplyResult::Ok(_) => panic!("expected Err"),
                 }
             }
-            ServerMsg::Firing(_) => panic!("expected Reply"),
+            other => panic!("expected Reply, got {other:?}"),
         }
     }
 

@@ -1,0 +1,399 @@
+//! The replica side of WAL-shipping replication: a background runner
+//! that connects to the primary, issues [`Command::Replicate`], and
+//! tails the stream.
+//!
+//! ## Exactly-once
+//!
+//! Every shipped record carries its LSN and its CRC32 frame bytes; the
+//! runner verifies the checksum end to end and hands the record to an
+//! [`ode_db::replication::Applier`], which skips LSNs it has already
+//! applied and refuses LSNs beyond its cursor. Any damage — a frame
+//! that fails its checksum, a torn hex blob, an LSN gap, a dead socket
+//! — collapses to one recovery action: drop the connection and
+//! reconnect with `from_lsn = next unapplied LSN` under the client's
+//! capped-jitter backoff. Retransmitted records are duplicates by LSN
+//! and are skipped, so faults can reorder *delivery attempts* but never
+//! the applied history.
+//!
+//! ## Catch-up and promotion
+//!
+//! Applied ops flow through the replica engine's own log sink into its
+//! local WAL (when one is configured), so a restarted replica
+//! bootstraps from its own directory and resumes the stream from where
+//! its local log ends. `Promote` sets the stop flag; the runner drains
+//! whatever the socket already holds, aborts transactions the stream
+//! left open, and parks — after which the server accepts writes.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ode_db::durability::frame;
+use ode_db::replication::{Applier, ApplyError};
+use ode_db::{Database, LogOp, Snapshot};
+
+use crate::client::backoff_delay;
+use crate::codec::{LineEvent, LineReader};
+use crate::conn::Conn;
+use crate::protocol::{hex_decode, Command, Reply, ReplyResult, Request, ServerMsg};
+use crate::server::{append_schema, Shared};
+use crate::spec::{compile_class, ClassSpec};
+
+/// A snapshot message must fit in one line; segments cap op frames far
+/// below this.
+const MAX_STREAM_LINE: usize = 256 * 1024 * 1024;
+
+/// Where a replica finds its primary.
+#[derive(Clone, Debug)]
+pub enum ReplSource {
+    /// A TCP address (`host:port`).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl ReplSource {
+    /// Parse a `--replicate-from` operand: a leading `/` or `.` means a
+    /// Unix socket path, anything else a TCP address.
+    pub fn parse(s: &str) -> ReplSource {
+        if s.starts_with('/') || s.starts_with('.') {
+            ReplSource::Unix(PathBuf::from(s))
+        } else {
+            ReplSource::Tcp(s.to_string())
+        }
+    }
+
+    fn connect(&self) -> std::io::Result<Conn> {
+        match self {
+            ReplSource::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                let _ = s.set_nodelay(true);
+                Ok(Conn::Tcp(s))
+            }
+            ReplSource::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+/// A deterministic fault injected into the replication stream — the
+/// network analogue of [`ode_db::FaultyIo`]'s disk faults. A plan maps
+/// *received `ReplOp` count* (0-based, counted across reconnects) to
+/// the fault to inject when that record arrives; tests use it to prove
+/// the exactly-once property under damage.
+#[derive(Clone, Copy, Debug)]
+pub enum StreamFault {
+    /// Drop the connection before applying the record (it retransmits
+    /// after reconnect).
+    Disconnect,
+    /// Apply the record twice (the second apply must be a no-op).
+    Duplicate,
+    /// Flip a byte in the frame so the checksum fails.
+    CorruptFrame,
+    /// Truncate the frame mid-record, like a torn tail.
+    TornFrame,
+}
+
+/// Shared replica status, read by `Stats` and flipped by `Promote`.
+pub(crate) struct ReplicaState {
+    /// One past the last applied LSN.
+    pub(crate) applied: AtomicU64,
+    /// The primary's head LSN as last reported (ship or heartbeat).
+    pub(crate) head: AtomicU64,
+    /// Whether the stream is currently established.
+    pub(crate) connected: AtomicBool,
+    /// Set by `Promote` before it takes effect.
+    pub(crate) promoted: AtomicBool,
+    /// Tells the runner to drain and park (promotion).
+    pub(crate) stop: AtomicBool,
+    /// Set once the runner has parked; `Promote` waits on it.
+    pub(crate) finished: AtomicBool,
+}
+
+impl ReplicaState {
+    pub(crate) fn new(applied: u64) -> ReplicaState {
+        ReplicaState {
+            applied: AtomicU64::new(applied),
+            head: AtomicU64::new(applied),
+            connected: AtomicBool::new(false),
+            promoted: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+        }
+    }
+}
+
+enum Flow {
+    /// Keep reading the stream.
+    Continue,
+    /// Drop the connection and resync from the applier's cursor.
+    Resync,
+    /// The histories diverged (or shutdown); stop replicating for good.
+    Fatal,
+}
+
+/// The replica runner thread: connect → handshake → tail, forever,
+/// until shutdown or promotion.
+pub(crate) fn run_replica(
+    inner: Arc<Shared>,
+    source: ReplSource,
+    mut applier: Applier,
+    plan: HashMap<u64, StreamFault>,
+) {
+    let rs = Arc::clone(inner.repl.as_ref().expect("replica state"));
+    let mut attempt: u32 = 0;
+    let mut ops_seen: u64 = 0;
+    'outer: loop {
+        if inner.shutdown.load(Ordering::SeqCst) || rs.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut conn = match source.connect() {
+            Ok(c) => c,
+            Err(_) => {
+                if !sleep_backoff(&inner, &rs, &mut attempt) {
+                    break 'outer;
+                }
+                continue;
+            }
+        };
+        let _ = conn.set_blocking();
+        let _ = conn.set_read_timeout(Some(inner.config.poll_interval));
+        let mut lines = LineReader::new(MAX_STREAM_LINE);
+        let req = Request {
+            id: 1,
+            cmd: Command::Replicate {
+                from_lsn: applier.next_lsn(),
+            },
+        };
+        let handshake = serde_json::to_string(&req).expect("request encodes") + "\n";
+        if conn.write_all(handshake.as_bytes()).is_err() {
+            if !sleep_backoff(&inner, &rs, &mut attempt) {
+                break 'outer;
+            }
+            continue;
+        }
+        loop {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break 'outer;
+            }
+            match lines.read_event(&mut conn) {
+                Ok(LineEvent::Line(line)) => {
+                    let Ok(msg) = serde_json::from_str::<ServerMsg>(&line) else {
+                        break;
+                    };
+                    match handle_msg(
+                        &inner,
+                        &rs,
+                        &mut applier,
+                        &plan,
+                        &mut ops_seen,
+                        &mut attempt,
+                        msg,
+                    ) {
+                        Flow::Continue => {}
+                        Flow::Resync => break,
+                        Flow::Fatal => break 'outer,
+                    }
+                }
+                // A tick means the socket has nothing buffered: if a
+                // promotion is pending, the stream is drained.
+                Ok(LineEvent::Tick) => {
+                    if rs.stop.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                }
+                Ok(LineEvent::Overlong) | Ok(LineEvent::Eof) | Err(_) => break,
+            }
+        }
+        rs.connected.store(false, Ordering::SeqCst);
+        conn.shutdown_both();
+        if !sleep_backoff(&inner, &rs, &mut attempt) {
+            break 'outer;
+        }
+    }
+    rs.connected.store(false, Ordering::SeqCst);
+    // Transactions the stream left open will never see their commits;
+    // release their locks before the server (if promoted) takes writes.
+    let _ = inner.db.with(|db| applier.abort_open(db));
+    rs.finished.store(true, Ordering::SeqCst);
+}
+
+/// Sleep one backoff step, polling for shutdown/stop. Returns `false`
+/// when the runner should park instead of retrying.
+fn sleep_backoff(inner: &Shared, rs: &ReplicaState, attempt: &mut u32) -> bool {
+    *attempt += 1;
+    let d = backoff_delay(
+        *attempt,
+        Duration::from_millis(10),
+        Duration::from_millis(500),
+        0xde13,
+    );
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        if inner.shutdown.load(Ordering::SeqCst) || rs.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    !(inner.shutdown.load(Ordering::SeqCst) || rs.stop.load(Ordering::SeqCst))
+}
+
+fn handle_msg(
+    inner: &Arc<Shared>,
+    rs: &ReplicaState,
+    applier: &mut Applier,
+    plan: &HashMap<u64, StreamFault>,
+    ops_seen: &mut u64,
+    attempt: &mut u32,
+    msg: ServerMsg,
+) -> Flow {
+    match msg {
+        ServerMsg::Reply {
+            result: ReplyResult::Ok(Reply::Replicating { .. }),
+            ..
+        } => {
+            rs.connected.store(true, Ordering::SeqCst);
+            *attempt = 0;
+            Flow::Continue
+        }
+        ServerMsg::Reply {
+            result: ReplyResult::Err(_),
+            ..
+        } => Flow::Resync,
+        ServerMsg::Reply { .. } | ServerMsg::Firing(_) => Flow::Continue,
+        ServerMsg::ReplHeartbeat { head } => {
+            rs.head.store(head, Ordering::SeqCst);
+            Flow::Continue
+        }
+        ServerMsg::ReplSchema(spec) => define_spec(inner, &spec),
+        ServerMsg::ReplSnapshot {
+            lsn,
+            schema,
+            snapshot,
+        } => {
+            for spec in &schema {
+                if let Flow::Fatal = define_spec(inner, spec) {
+                    return Flow::Fatal;
+                }
+            }
+            if lsn <= applier.next_lsn() {
+                // Pure log catch-up: the stream continues from where
+                // this replica already is.
+                return Flow::Continue;
+            }
+            // Snapshot jump: the primary no longer retains the records
+            // between our cursor and `lsn`. Rebuild the engine from the
+            // shipped snapshot; `restore` needs an empty store.
+            let Some(json) = snapshot else {
+                return Flow::Resync;
+            };
+            let Ok(snap) = Snapshot::from_json(&json) else {
+                return Flow::Fatal;
+            };
+            let rebuilt = inner.db.with(|db| -> Result<Applier, String> {
+                applier.abort_open(db);
+                let mut fresh = Database::new();
+                for spec in &schema {
+                    let def = compile_class(spec).map_err(|e| e.to_string())?;
+                    fresh.define_class(def).map_err(|e| e.to_string())?;
+                }
+                fresh.restore(&snap).map_err(|e| e.to_string())?;
+                fresh.take_output();
+                fresh.set_firing_sink(inner.firing_sink.clone());
+                fresh.set_log_sink(inner.log_sink.clone());
+                let next = Applier::resume(&fresh, lsn);
+                *db = fresh;
+                Ok(next)
+            });
+            match rebuilt {
+                Ok(next) => {
+                    if let Some(ws) = &inner.wal {
+                        // Persist the jump so a restart resumes from
+                        // `lsn` instead of a stale local head.
+                        let _ = ws.wal.lock().checkpoint_at(&snap, lsn);
+                    }
+                    *applier = next;
+                    rs.applied.store(lsn, Ordering::SeqCst);
+                    Flow::Continue
+                }
+                Err(_) => Flow::Fatal,
+            }
+        }
+        ServerMsg::ReplOp { lsn, head, frame } => {
+            rs.head.store(head, Ordering::SeqCst);
+            let fault = plan.get(ops_seen).copied();
+            *ops_seen += 1;
+            if let Some(StreamFault::Disconnect) = fault {
+                return Flow::Resync;
+            }
+            let Some(mut bytes) = hex_decode(&frame) else {
+                return Flow::Resync;
+            };
+            match fault {
+                Some(StreamFault::CorruptFrame) => {
+                    if let Some(b) = bytes.last_mut() {
+                        *b ^= 0xFF;
+                    }
+                }
+                Some(StreamFault::TornFrame) => {
+                    bytes.truncate(bytes.len().saturating_sub(3));
+                }
+                _ => {}
+            }
+            // End-to-end integrity: the frame must decode to exactly
+            // one clean record, or the link resyncs.
+            let Ok((payloads, tail)) = frame::decode_all(&bytes) else {
+                return Flow::Resync;
+            };
+            if tail != frame::Tail::Clean || payloads.len() != 1 {
+                return Flow::Resync;
+            }
+            let Ok(text) = std::str::from_utf8(&payloads[0]) else {
+                return Flow::Fatal;
+            };
+            let Ok(op) = LogOp::from_json_line(text) else {
+                return Flow::Fatal;
+            };
+            let applies = if matches!(fault, Some(StreamFault::Duplicate)) {
+                2
+            } else {
+                1
+            };
+            for _ in 0..applies {
+                match inner.db.with(|db| applier.apply(db, lsn, &op)) {
+                    Ok(_) => {}
+                    Err(ApplyError::Gap { .. }) => return Flow::Resync,
+                    Err(ApplyError::Logical(_)) => return Flow::Fatal,
+                }
+            }
+            rs.applied.store(applier.next_lsn(), Ordering::SeqCst);
+            Flow::Continue
+        }
+    }
+}
+
+/// Define a shipped class if this replica doesn't have it yet, and
+/// record it in the local `schema.wal` so a restart recovers it before
+/// the op log replays.
+fn define_spec(inner: &Arc<Shared>, spec: &ClassSpec) -> Flow {
+    let Ok(def) = compile_class(spec) else {
+        return Flow::Fatal;
+    };
+    inner.db.with(|db| {
+        match db.define_class(def) {
+            Ok(_) => {
+                if let Some(ws) = &inner.wal {
+                    let _ = append_schema(&ws.io, &ws.schema_path, spec);
+                }
+                Flow::Continue
+            }
+            // Already defined (schema catch-up re-ships everything).
+            Err(ode_db::OdeError::ClassExists(_)) => Flow::Continue,
+            Err(_) => Flow::Fatal,
+        }
+    })
+}

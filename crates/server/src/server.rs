@@ -55,17 +55,20 @@ use std::time::{Duration, Instant};
 
 use ode_core::Value;
 use ode_db::durability::frame;
+use ode_db::engine::{FiringSink, LogSink};
+use ode_db::replication::Applier;
 use ode_db::{
-    DiskWal, FiringNotice, LogOp, ObjectId, SharedDatabase, SharedIo, Snapshot, StdIo, TxnId,
-    WalConfig,
+    DiskWal, FiringNotice, LogOp, ObjectId, SegmentReader, SharedDatabase, SharedIo, Snapshot,
+    StdIo, TxnId, WalConfig,
 };
 use parking_lot::Mutex;
 
 use crate::codec::{LineEvent, LineReader};
 use crate::conn::Conn;
 use crate::protocol::{
-    Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+    hex_encode, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
 };
+use crate::repl::{run_replica, ReplSource, ReplicaState, StreamFault};
 use crate::spec::{compile_class, ClassSpec};
 
 /// Server tuning knobs.
@@ -96,29 +99,41 @@ type Outbox = mpsc::Sender<ServerMsg>;
 type Subscribers = Arc<Mutex<HashMap<u64, Outbox>>>;
 
 /// The server's durability state (present when started with a WAL dir).
-struct WalState {
-    wal: Mutex<DiskWal>,
-    io: SharedIo,
+pub(crate) struct WalState {
+    pub(crate) wal: Mutex<DiskWal>,
+    pub(crate) io: SharedIo,
+    /// The WAL directory, re-scanned by `Replicate` handshakes.
+    pub(crate) dir: PathBuf,
     /// `<wal-dir>/schema.wal`: framed `ClassSpec` JSON, one record per
     /// wire-defined class, replayed (in `ClassId` order) before the op
     /// WAL on recovery.
-    schema_path: PathBuf,
+    pub(crate) schema_path: PathBuf,
     /// Latched after the first WAL write/fsync failure: mutating
     /// commands answer a retryable `wal` error until restart.
-    read_only: AtomicBool,
+    pub(crate) read_only: AtomicBool,
+    /// Replication subscribers: connections that sent `Replicate`. The
+    /// log sink ships each appended record to them while still holding
+    /// the wal lock, so live shipping serializes with handshakes.
+    pub(crate) repl_subs: Mutex<HashMap<u64, Outbox>>,
 }
 
-struct Shared {
-    db: SharedDatabase,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    subs: Subscribers,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    next_conn: AtomicU64,
-    wal: Option<Arc<WalState>>,
+pub(crate) struct Shared {
+    pub(crate) db: SharedDatabase,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) subs: Subscribers,
+    pub(crate) conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) next_conn: AtomicU64,
+    pub(crate) wal: Option<Arc<WalState>>,
     /// Firing notifications that never reached a subscriber (outbox
     /// gone or socket write failed).
-    subscriber_drops: Arc<AtomicU64>,
+    pub(crate) subscriber_drops: Arc<AtomicU64>,
+    /// Replica status when started with `replicate_from`.
+    pub(crate) repl: Option<Arc<ReplicaState>>,
+    /// The installed sinks, kept so the replica runner can re-install
+    /// them after rebuilding the engine for a snapshot jump.
+    pub(crate) log_sink: Option<LogSink>,
+    pub(crate) firing_sink: Option<FiringSink>,
 }
 
 /// Configures and starts a [`Server`].
@@ -130,6 +145,8 @@ pub struct ServerBuilder {
     wal_dir: Option<PathBuf>,
     wal_config: WalConfig,
     wal_io: Option<SharedIo>,
+    replicate_from: Option<ReplSource>,
+    repl_fault_plan: HashMap<u64, StreamFault>,
 }
 
 impl ServerBuilder {
@@ -176,11 +193,34 @@ impl ServerBuilder {
         self
     }
 
+    /// Run as a read replica of the primary at `source`: refuse
+    /// mutations with `read_only_replica`, tail the primary's WAL
+    /// stream, and serve reads, stats, and subscriptions from the
+    /// applied state. Combine with [`ServerBuilder::wal_dir`] to give
+    /// the replica a local log for catch-up restart.
+    pub fn replicate_from(mut self, source: ReplSource) -> Self {
+        self.replicate_from = Some(source);
+        self
+    }
+
+    /// Inject deterministic faults into the replication stream, keyed
+    /// by received-record count (see [`StreamFault`]). Test hook; only
+    /// meaningful together with [`ServerBuilder::replicate_from`].
+    pub fn repl_fault_plan(mut self, plan: HashMap<u64, StreamFault>) -> Self {
+        self.repl_fault_plan = plan;
+        self
+    }
+
     /// Bind the listeners, recover the WAL directory (if configured),
     /// install the firing and log sinks, and start the accept threads.
     pub fn start(self) -> std::io::Result<Server> {
+        let is_replica = self.replicate_from.is_some();
         // Recover *before* installing the log sink: replayed ops must
-        // not be re-appended to the log they came from.
+        // not be re-appended to the log they came from. A replica
+        // bootstraps through an `Applier` instead of `restore_into` so
+        // the id maps of transactions its local log left open stay
+        // live for the stream to resume mid-transaction.
+        let mut applier = Applier::new();
         let wal = match &self.wal_dir {
             None => None,
             Some(dir) => {
@@ -192,51 +232,88 @@ impl ServerBuilder {
                 let (wal, recovery) = DiskWal::open(dir, self.wal_config, io.clone())
                     .map_err(|e| std::io::Error::other(e.to_string()))?;
                 let specs = load_schema(&io, &schema_path).map_err(std::io::Error::other)?;
-                self.db
-                    .with(|db| -> Result<(), String> {
+                applier = self
+                    .db
+                    .with(|db| -> Result<Applier, String> {
                         for spec in &specs {
                             let def = compile_class(spec).map_err(|e| e.to_string())?;
                             db.define_class(def).map_err(|e| e.to_string())?;
                         }
-                        recovery.restore_into(db).map_err(|e| e.to_string())?;
-                        // Replay re-emits historical firing lines;
-                        // don't serve them as fresh output.
-                        db.take_output();
-                        Ok(())
+                        if is_replica {
+                            Applier::bootstrap(db, &recovery).map_err(|e| e.to_string())
+                        } else {
+                            recovery.restore_into(db).map_err(|e| e.to_string())?;
+                            // Replay re-emits historical firing lines;
+                            // don't serve them as fresh output.
+                            db.take_output();
+                            Ok(Applier::new())
+                        }
                     })
                     .map_err(std::io::Error::other)?;
                 Some(Arc::new(WalState {
                     wal: Mutex::new(wal),
                     io,
+                    dir: dir.clone(),
                     schema_path,
                     read_only: AtomicBool::new(false),
+                    repl_subs: Mutex::new(HashMap::new()),
                 }))
             }
         };
+        let mut log_sink: Option<LogSink> = None;
         if let Some(ws) = &wal {
             let sink_ws = Arc::clone(ws);
-            // Runs with the engine locked (lock order engine → wal,
-            // matching Checkpoint). Errors poison the wal; the session
-            // that triggered the write surfaces them from `handle_line`.
-            self.db.set_log_sink(Some(Arc::new(move |op: &LogOp| {
-                let _ = sink_ws.wal.lock().append(op);
-            })));
+            // Runs with the engine locked (lock order engine → wal →
+            // repl_subs, matching Checkpoint and Replicate). Errors
+            // poison the wal; the session that triggered the write
+            // surfaces them from `handle_line`. Each durably appended
+            // record ships to replication subscribers under the same
+            // wal lock, so no handshake can interleave a gap.
+            let sink: LogSink = Arc::new(move |op: &LogOp| {
+                let mut wal = sink_ws.wal.lock();
+                let lsn = wal.lsn();
+                if wal.append(op).is_err() {
+                    return;
+                }
+                let head = wal.lsn();
+                let subs = sink_ws.repl_subs.lock();
+                if subs.is_empty() {
+                    return;
+                }
+                let Ok(line) = op.to_json_line() else {
+                    return;
+                };
+                let msg = ServerMsg::ReplOp {
+                    lsn,
+                    head,
+                    frame: hex_encode(&frame::encode(line.as_bytes())),
+                };
+                for tx in subs.values() {
+                    let _ = tx.send(msg.clone());
+                }
+            });
+            log_sink = Some(Arc::clone(&sink));
+            self.db.set_log_sink(Some(sink));
         }
 
         let subscriber_drops = Arc::new(AtomicU64::new(0));
         let subs: Subscribers = Arc::new(Mutex::new(HashMap::new()));
         let sink_subs = Arc::clone(&subs);
         let sink_drops = Arc::clone(&subscriber_drops);
-        self.db
-            .set_firing_sink(Some(Arc::new(move |n: &FiringNotice| {
-                let msg = ServerMsg::Firing(Firing::from_notice(n));
-                for tx in sink_subs.lock().values() {
-                    if tx.send(msg.clone()).is_err() {
-                        sink_drops.fetch_add(1, Ordering::Relaxed);
-                    }
+        let firing_sink: FiringSink = Arc::new(move |n: &FiringNotice| {
+            let msg = ServerMsg::Firing(Firing::from_notice(n));
+            for tx in sink_subs.lock().values() {
+                if tx.send(msg.clone()).is_err() {
+                    sink_drops.fetch_add(1, Ordering::Relaxed);
                 }
-            })));
+            }
+        });
+        self.db.set_firing_sink(Some(Arc::clone(&firing_sink)));
 
+        let repl = self
+            .replicate_from
+            .as_ref()
+            .map(|_| Arc::new(ReplicaState::new(applier.next_lsn())));
         let inner = Arc::new(Shared {
             db: self.db,
             config: self.config,
@@ -246,7 +323,19 @@ impl ServerBuilder {
             next_conn: AtomicU64::new(0),
             wal,
             subscriber_drops,
+            repl,
+            log_sink,
+            firing_sink: Some(firing_sink),
         });
+
+        let mut repl_thread = None;
+        if let Some(source) = self.replicate_from {
+            let inner2 = Arc::clone(&inner);
+            let plan = self.repl_fault_plan;
+            repl_thread = Some(thread::spawn(move || {
+                run_replica(inner2, source, applier, plan)
+            }));
+        }
 
         let mut accept_threads = Vec::new();
         let mut tcp_addr = None;
@@ -272,6 +361,7 @@ impl ServerBuilder {
         Ok(Server {
             inner,
             accept_threads,
+            repl_thread,
             tcp_addr,
             unix_path,
             stopped: false,
@@ -283,6 +373,7 @@ impl ServerBuilder {
 pub struct Server {
     inner: Arc<Shared>,
     accept_threads: Vec<JoinHandle<()>>,
+    repl_thread: Option<JoinHandle<()>>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     stopped: bool,
@@ -300,6 +391,8 @@ impl Server {
             wal_dir: None,
             wal_config: WalConfig::default(),
             wal_io: None,
+            replicate_from: None,
+            repl_fault_plan: HashMap::new(),
         }
     }
 
@@ -327,6 +420,9 @@ impl Server {
         }
         self.stopped = true;
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.repl_thread.take() {
+            let _ = h.join();
+        }
         for h in self.accept_threads.drain(..) {
             let _ = h.join();
         }
@@ -423,10 +519,21 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
     let mut lines = LineReader::new(inner.config.max_line_bytes);
     let mut open_txn: Option<TxnId> = None;
     let mut last_activity = Instant::now();
+    // Set once this connection sends `Replicate`; the session then
+    // reports the head periodically so an idle replica tracks lag.
+    let mut replicating = false;
+    let mut last_heartbeat = Instant::now();
 
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
+        }
+        if replicating && last_heartbeat.elapsed() >= Duration::from_millis(250) {
+            last_heartbeat = Instant::now();
+            if let Some(ws) = &inner.wal {
+                let head = ws.wal.lock().lsn();
+                let _ = tx.send(ServerMsg::ReplHeartbeat { head });
+            }
         }
         if let (Some(t), Some(limit)) = (open_txn, inner.config.txn_idle_timeout) {
             if last_activity.elapsed() >= limit {
@@ -441,7 +548,7 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
         match lines.read_event(&mut conn) {
             Ok(LineEvent::Line(line)) => {
                 last_activity = Instant::now();
-                handle_line(&inner, conn_id, &line, &mut open_txn, &tx);
+                handle_line(&inner, conn_id, &line, &mut open_txn, &tx, &mut replicating);
             }
             Ok(LineEvent::Tick) => continue,
             Ok(LineEvent::Overlong) => {
@@ -456,6 +563,9 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
 
     // Disconnect (or shutdown): release everything the session held.
     inner.subs.lock().remove(&conn_id);
+    if let Some(ws) = &inner.wal {
+        ws.repl_subs.lock().remove(&conn_id);
+    }
     if let Some(t) = open_txn {
         let _ = inner.db.abort(t);
     }
@@ -469,6 +579,7 @@ fn handle_line(
     line: &str,
     open_txn: &mut Option<TxnId>,
     tx: &Outbox,
+    replicating: &mut bool,
 ) {
     if line.trim().is_empty() {
         return;
@@ -481,7 +592,7 @@ fn handle_line(
         }
     };
     let is_mutation = mutates(&req.cmd);
-    let mut result = match execute(inner, conn_id, req.cmd, open_txn, tx) {
+    let mut result = match execute(inner, conn_id, req.cmd, open_txn, tx, replicating) {
         Ok(reply) => ReplyResult::Ok(reply),
         Err(e) => ReplyResult::Err(e),
     };
@@ -526,13 +637,15 @@ fn mutates(cmd: &Command) -> bool {
             | Command::Unsubscribe
             | Command::TakeOutput
             | Command::PeekField { .. }
+            | Command::Replicate { .. }
+            | Command::Promote
     )
 }
 
 /// Read the framed `ClassSpec` records from `schema.wal`. A missing
 /// file means no wire-defined classes; a torn trailing record (crash
 /// between define and append) is truncated away like an op-log tail.
-fn load_schema(io: &SharedIo, path: &Path) -> Result<Vec<ClassSpec>, String> {
+pub(crate) fn load_schema(io: &SharedIo, path: &Path) -> Result<Vec<ClassSpec>, String> {
     let bytes = match io.with(|io| io.read(path)) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -554,7 +667,7 @@ fn load_schema(io: &SharedIo, path: &Path) -> Result<Vec<ClassSpec>, String> {
 
 /// Append one framed `ClassSpec` to `schema.wal` and fsync it. Called
 /// with the engine locked, right after the in-memory define succeeds.
-fn append_schema(io: &SharedIo, path: &Path, spec: &ClassSpec) -> Result<(), String> {
+pub(crate) fn append_schema(io: &SharedIo, path: &Path, spec: &ClassSpec) -> Result<(), String> {
     let json = serde_json::to_string(spec).map_err(|e| e.to_string())?;
     let rec = frame::encode(json.as_bytes());
     io.with(|io| {
@@ -593,12 +706,27 @@ fn execute(
     cmd: Command,
     open_txn: &mut Option<TxnId>,
     tx: &Outbox,
+    replicating: &mut bool,
 ) -> Result<Reply, WireError> {
     if let Some(ws) = &inner.wal {
         if mutates(&cmd) && ws.read_only.load(Ordering::SeqCst) {
             return Err(WireError::new(
                 "read_only",
                 "server is read-only after a write-ahead log failure; restart to recover",
+            ));
+        }
+    }
+    // An unpromoted replica refuses every state writer except its own
+    // local `Checkpoint` (log maintenance): writes belong on the
+    // primary, and the stream is the only mutation source here.
+    if let Some(rs) = &inner.repl {
+        if mutates(&cmd)
+            && !rs.promoted.load(Ordering::SeqCst)
+            && !matches!(cmd, Command::Checkpoint)
+        {
+            return Err(WireError::new(
+                "read_only_replica",
+                "this server is a read replica; write through the primary or Promote it",
             ));
         }
     }
@@ -626,7 +754,15 @@ fn execute(
                             message: format!("schema log write failed: {msg}"),
                             retryable: true,
                         }
-                    })
+                    })?;
+                    // Ship the new class under the wal lock so it
+                    // serializes with Replicate handshakes (which read
+                    // schema.wal while holding that lock).
+                    let _wal = ws.wal.lock();
+                    for rtx in ws.repl_subs.lock().values() {
+                        let _ = rtx.send(ServerMsg::ReplSchema(spec.clone()));
+                    }
+                    Ok(())
                 })?,
             }
             Ok(Reply::Unit)
@@ -757,12 +893,27 @@ fn execute(
         }
         Command::Stats => {
             let (s, clock_ms) = inner.db.with(|db| (db.stats(), db.now()));
-            let (read_only, wal_lsn) = match &inner.wal {
+            let (mut read_only, wal_lsn) = match &inner.wal {
                 Some(ws) => (
                     ws.read_only.load(Ordering::SeqCst),
                     Some(ws.wal.lock().lsn()),
                 ),
                 None => (false, None),
+            };
+            let (replica, repl_connected, last_applied_lsn, replica_lag_lsn) = match &inner.repl {
+                Some(rs) => {
+                    let applied = rs.applied.load(Ordering::SeqCst);
+                    let head = rs.head.load(Ordering::SeqCst).max(applied);
+                    let promoted = rs.promoted.load(Ordering::SeqCst);
+                    read_only = read_only || !promoted;
+                    (
+                        true,
+                        rs.connected.load(Ordering::SeqCst),
+                        Some(applied),
+                        if promoted { None } else { Some(head - applied) },
+                    )
+                }
+                None => (false, false, None, None),
             };
             Ok(Reply::Stats(WireStats {
                 events_posted: s.events_posted,
@@ -774,6 +925,10 @@ fn execute(
                 subscriber_drops: inner.subscriber_drops.load(Ordering::Relaxed),
                 read_only,
                 wal_lsn,
+                replica,
+                repl_connected,
+                last_applied_lsn,
+                replica_lag_lsn,
             }))
         }
         Command::Subscribe => {
@@ -791,6 +946,88 @@ fn execute(
         Command::PeekField { object, field } => {
             let v = inner.db.with(|db| db.peek_field(ObjectId(object), &field));
             Ok(Reply::Value(v.unwrap_or(Value::Null)))
+        }
+        Command::Replicate { from_lsn } => {
+            let Some(ws) = &inner.wal else {
+                return Err(WireError::new(
+                    "no_wal",
+                    "server was started without a WAL directory; nothing to replicate",
+                ));
+            };
+            // Hold the wal lock across scan + registration: the log
+            // sink ships under the same lock, so the handoff from
+            // historical records to live shipping has no gap and no
+            // duplicate.
+            let wal = ws.wal.lock();
+            let head = wal.lsn();
+            if from_lsn > head {
+                return Err(WireError::new(
+                    "bad_lsn",
+                    format!("requested lsn {from_lsn} is beyond the head {head}"),
+                ));
+            }
+            let scan = SegmentReader::scan(&ws.dir, &ws.io)
+                .map_err(|e| WireError::new("wal", format!("log scan failed: {e}")))?;
+            let schema = load_schema(&ws.io, &ws.schema_path)
+                .map_err(|msg| WireError::new("wal", format!("schema scan failed: {msg}")))?;
+            let (start_lsn, snapshot) = if from_lsn < scan.base_lsn {
+                // The log before the checkpoint is gone; bootstrap the
+                // replica from the checkpoint snapshot instead.
+                let bytes = scan.checkpoint.clone().ok_or_else(|| {
+                    WireError::new(
+                        "wal",
+                        "log starts past the requested lsn with no checkpoint",
+                    )
+                })?;
+                let json = String::from_utf8(bytes)
+                    .map_err(|e| WireError::new("wal", format!("checkpoint not utf-8: {e}")))?;
+                (scan.base_lsn, Some(json))
+            } else {
+                (from_lsn, None)
+            };
+            let _ = tx.send(ServerMsg::ReplSnapshot {
+                lsn: start_lsn,
+                schema,
+                snapshot,
+            });
+            for (lsn, payload) in scan.records_from(start_lsn) {
+                let _ = tx.send(ServerMsg::ReplOp {
+                    lsn,
+                    head,
+                    frame: hex_encode(&frame::encode(payload)),
+                });
+            }
+            ws.repl_subs.lock().insert(conn_id, tx.clone());
+            drop(wal);
+            *replicating = true;
+            Ok(Reply::Replicating { start_lsn, head })
+        }
+        Command::Promote => {
+            let Some(rs) = &inner.repl else {
+                return Err(WireError::new(
+                    "not_replica",
+                    "this server was not started as a replica",
+                ));
+            };
+            if !rs.promoted.load(Ordering::SeqCst) {
+                rs.stop.store(true, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !rs.finished.load(Ordering::SeqCst) {
+                    if Instant::now() >= deadline {
+                        return Err(WireError {
+                            code: "promote_timeout".to_string(),
+                            message: "replication stream did not drain in time; retry Promote"
+                                .to_string(),
+                            retryable: true,
+                        });
+                    }
+                    thread::sleep(inner.config.poll_interval);
+                }
+                rs.promoted.store(true, Ordering::SeqCst);
+            }
+            Ok(Reply::Promoted {
+                lsn: rs.applied.load(Ordering::SeqCst),
+            })
         }
     }
 }

@@ -1,0 +1,375 @@
+//! End-to-end replication: a read replica tailing a primary's WAL
+//! serves the same committed state, fires the same triggers in the
+//! same order with the same sequence numbers — through stream faults,
+//! a restart mid-stream, and a checkpoint-based snapshot bootstrap —
+//! and a promoted replica takes writes.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ode_core::Value;
+use ode_db::{Database, FsyncPolicy, SegmentReader, SharedDatabase, SharedIo, StdIo, WalConfig};
+use ode_server::protocol::{Command, Firing, Reply};
+use ode_server::spec::stockroom_spec;
+use ode_server::{Client, ClientError, ReplSource, Server, StreamFault};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ode-replication-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tiny segments so even short sessions rotate; fsync every op so the
+/// replica's local WAL head is exact at any restart boundary.
+fn cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 512,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn start_primary(dir: &PathBuf) -> Server {
+    Server::builder(SharedDatabase::new(Database::new()))
+        .tcp("127.0.0.1:0")
+        .wal_dir(dir)
+        .wal_config(cfg())
+        .start()
+        .expect("primary starts")
+}
+
+fn start_replica(dir: &PathBuf, primary: &Server, plan: HashMap<u64, StreamFault>) -> Server {
+    Server::builder(SharedDatabase::new(Database::new()))
+        .tcp("127.0.0.1:0")
+        .wal_dir(dir)
+        .wal_config(cfg())
+        .replicate_from(ReplSource::Tcp(
+            primary.tcp_addr().expect("primary tcp").to_string(),
+        ))
+        .repl_fault_plan(plan)
+        .start()
+        .expect("replica starts")
+}
+
+/// Poll the replica's stats until it has applied everything the
+/// primary has logged (`target` = the primary's `wal_lsn`).
+fn wait_applied(c: &mut Client, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats().expect("replica stats");
+        if stats.last_applied_lsn == Some(target) {
+            assert_eq!(stats.replica_lag_lsn, Some(0), "caught up means zero lag");
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never reached LSN {target}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn collect_firings(c: &mut Client, n: usize) -> Vec<Firing> {
+    let mut got = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while got.len() < n {
+        assert!(
+            Instant::now() < deadline,
+            "expected {n} firings, got {} so far: {got:?}",
+            got.len()
+        );
+        if let Some(f) = c.poll_firing(Duration::from_millis(100)).expect("poll") {
+            got.push(f);
+        }
+    }
+    got
+}
+
+/// The observable identity of a firing sequence.
+fn keys(firings: &[Firing]) -> Vec<(u64, u64, u64, String, String)> {
+    firings
+        .iter()
+        .map(|f| (f.seq, f.txn, f.object, f.trigger.clone(), f.event.clone()))
+        .collect()
+}
+
+/// The committed record stream of a (shut-down) server's WAL
+/// directory, as `(lsn, line)` pairs.
+fn wal_records(dir: &PathBuf) -> Vec<(u64, String)> {
+    let scan = SegmentReader::scan(dir, &SharedIo::new(StdIo::new())).expect("scan");
+    scan.records_from(0)
+        .map(|(lsn, p)| (lsn, String::from_utf8(p.to_vec()).expect("utf8")))
+        .collect()
+}
+
+fn bolt(c: &mut Client, room: u64) -> i64 {
+    c.peek_field(room, "items")
+        .expect("peek")
+        .member("bolt")
+        .and_then(Value::as_int)
+        .expect("bolt is an int")
+}
+
+fn withdraw(c: &mut Client, room: u64, user: &str, qty: i64) {
+    c.txn(user, |c| {
+        c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(qty)])
+    })
+    .expect("withdraw");
+}
+
+#[test]
+fn replica_fires_identically_even_across_a_restart_mid_stream() {
+    let pdir = tmp_dir("determinism-p");
+    let rdir = tmp_dir("determinism-r");
+
+    let mut primary = start_primary(&pdir);
+    let mut pc = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    pc.define_class(stockroom_spec()).expect("define");
+    let room = pc
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("room");
+    let mut psub = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    psub.subscribe().expect("subscribe");
+
+    // The replica bootstraps from the full log (no checkpoint yet), so
+    // its firing counter replays from zero exactly like the primary's.
+    let mut replica = start_replica(&rdir, &primary, HashMap::new());
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    let mut rsub = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    rsub.subscribe().expect("subscribe");
+
+    // Three large withdrawals, each firing T6 on the primary — and,
+    // through the log stream, on the replica.
+    for _ in 0..3 {
+        withdraw(&mut pc, room, "alice", 120);
+    }
+    let p1 = collect_firings(&mut psub, 3);
+    let r1 = collect_firings(&mut rsub, 3);
+    assert_eq!(
+        keys(&p1),
+        keys(&r1),
+        "identical (seq, txn, object, trigger, event) on both sides"
+    );
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    assert_eq!(bolt(&mut rc, room), bolt(&mut pc, room));
+
+    // Take the replica down mid-stream, advance the primary, and
+    // restart the replica from its own directory: it resumes from its
+    // local WAL head, catches up, and the firing sequence continues
+    // exactly where the primary's did — no repeats, no holes.
+    replica.shutdown();
+    for _ in 0..2 {
+        withdraw(&mut pc, room, "bob", 150);
+    }
+    let p2 = collect_firings(&mut psub, 2);
+
+    let mut replica = start_replica(&rdir, &primary, HashMap::new());
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("reconnect");
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    let mut rsub = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    rsub.subscribe().expect("subscribe");
+    withdraw(&mut pc, room, "alice", 130);
+    let p3 = collect_firings(&mut psub, 1);
+    let r3 = collect_firings(&mut rsub, 1);
+    assert_eq!(keys(&p3), keys(&r3));
+    assert_eq!(
+        r3[0].seq,
+        p2[1].seq + 1,
+        "the replica's counter rode through the restart"
+    );
+
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    let (ps, rs) = (pc.stats().expect("stats"), rc.stats().expect("stats"));
+    assert_eq!(
+        ps.triggers_fired, rs.triggers_fired,
+        "every firing happened exactly once on each side"
+    );
+    assert_eq!(ps.txns_committed, rs.txns_committed);
+    assert_eq!(bolt(&mut rc, room), bolt(&mut pc, room));
+
+    // The strongest determinism check: the replica re-logged what it
+    // applied, and the two logs are record-for-record identical.
+    replica.shutdown();
+    primary.shutdown();
+    let (p_log, r_log) = (wal_records(&pdir), wal_records(&rdir));
+    assert!(!p_log.is_empty());
+    assert_eq!(p_log, r_log, "replica WAL mirrors the primary exactly");
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+#[test]
+fn stream_faults_collapse_to_exactly_once_apply() {
+    let pdir = tmp_dir("faults-p");
+    let rdir = tmp_dir("faults-r");
+
+    let mut primary = start_primary(&pdir);
+    let mut pc = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    pc.define_class(stockroom_spec()).expect("define");
+    let room = pc
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("room");
+
+    // Deterministic damage, keyed by received-record count across
+    // reconnects: a dropped connection mid-catch-up, a duplicated
+    // frame, a CRC flip, and a torn (truncated) frame. Every one must
+    // collapse to "reconnect and resume from the cursor".
+    let plan: HashMap<u64, StreamFault> = [
+        (1, StreamFault::Disconnect),
+        (3, StreamFault::Duplicate),
+        (6, StreamFault::CorruptFrame),
+        (9, StreamFault::TornFrame),
+    ]
+    .into_iter()
+    .collect();
+    let mut replica = start_replica(&rdir, &primary, plan);
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+
+    for _ in 0..4 {
+        withdraw(&mut pc, room, "alice", 120);
+    }
+    let head = pc.stats().expect("stats").wal_lsn.expect("wal");
+    wait_applied(&mut rc, head);
+    let rstats = rc.stats().expect("stats");
+    assert!(rstats.repl_connected, "recovered from every injected fault");
+    assert_eq!(bolt(&mut rc, room), bolt(&mut pc, room));
+    assert_eq!(
+        rstats.triggers_fired,
+        pc.stats().expect("stats").triggers_fired
+    );
+
+    replica.shutdown();
+    primary.shutdown();
+    assert_eq!(
+        wal_records(&pdir),
+        wal_records(&rdir),
+        "duplicates were skipped and gaps re-fetched: the logs agree"
+    );
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+#[test]
+fn replica_refuses_writes_until_promoted() {
+    let pdir = tmp_dir("promote-p");
+    let rdir = tmp_dir("promote-r");
+
+    let mut primary = start_primary(&pdir);
+    let mut pc = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    pc.define_class(stockroom_spec()).expect("define");
+    let room = pc
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("room");
+    withdraw(&mut pc, room, "alice", 120);
+
+    let mut replica = start_replica(&rdir, &primary, HashMap::new());
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+
+    // Reads are served, writes are typed refusals that name the cure.
+    assert_eq!(bolt(&mut rc, room), bolt(&mut pc, room));
+    for refused in [
+        rc.begin("alice").err(),
+        rc.define_class(stockroom_spec()).err(),
+    ] {
+        match refused {
+            Some(ClientError::Server(e)) => {
+                assert_eq!(e.code, "read_only_replica");
+                assert!(!e.retryable);
+            }
+            other => panic!("replica must refuse writes, got {other:?}"),
+        }
+    }
+    let stats = rc.stats().expect("stats");
+    assert!(stats.replica && stats.read_only && stats.repl_connected);
+
+    // Promote is only meaningful on a replica.
+    match pc.promote() {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "not_replica"),
+        other => panic!("primary must refuse Promote, got {other:?}"),
+    }
+
+    // Promotion drains the stream, detaches, and flips writable —
+    // idempotently.
+    let lsn = rc.promote().expect("promote");
+    assert_eq!(lsn, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    assert_eq!(rc.promote().expect("promote again"), lsn);
+    let stats = rc.stats().expect("stats");
+    assert!(stats.replica, "history: it started as a replica");
+    assert!(!stats.read_only && !stats.repl_connected);
+    assert_eq!(stats.replica_lag_lsn, None, "lag is meaningless now");
+
+    // The ex-replica takes writes, and its triggers still guard.
+    withdraw(&mut rc, room, "alice", 10);
+    assert_eq!(bolt(&mut rc, room), 500 - 120 - 10);
+    rc.begin("mallory").expect("begin");
+    match rc.call(room, "withdraw", &[Value::from("bolt"), Value::Int(1)]) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, "aborted", "T1 still guards"),
+        other => panic!("mallory must be aborted, got {other:?}"),
+    }
+    rc.abort().expect("abort");
+
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+#[test]
+fn late_replica_bootstraps_from_a_checkpoint_snapshot() {
+    let pdir = tmp_dir("snapshot-p");
+    let rdir = tmp_dir("snapshot-r");
+
+    // The primary checkpoints and keeps writing, so generation zero's
+    // records are gone: a fresh replica cannot replay from LSN 0 and
+    // must take the snapshot path.
+    let mut primary = start_primary(&pdir);
+    let mut pc = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    pc.define_class(stockroom_spec()).expect("define");
+    let room = pc
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("room");
+    for _ in 0..3 {
+        withdraw(&mut pc, room, "alice", 120);
+    }
+    match pc.request(Command::Checkpoint).expect("checkpoint") {
+        Reply::Checkpointed { lsn } => assert!(lsn > 0),
+        other => panic!("expected Checkpointed, got {other:?}"),
+    }
+    withdraw(&mut pc, room, "bob", 150);
+
+    let mut replica = start_replica(&rdir, &primary, HashMap::new());
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    assert_eq!(bolt(&mut rc, room), 500 - 3 * 120 - 150);
+
+    // The stream stays live past the bootstrap: new commits flow, and
+    // the replica's own subscribers hear their firings.
+    let mut rsub = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    rsub.subscribe().expect("subscribe");
+    withdraw(&mut pc, room, "alice", 110);
+    let fired = collect_firings(&mut rsub, 1);
+    assert_eq!(fired[0].trigger, "T6");
+    assert_eq!(fired[0].object, room);
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    assert_eq!(bolt(&mut rc, room), bolt(&mut pc, room));
+
+    // A restart of a snapshot-bootstrapped replica recovers from the
+    // checkpoint it persisted locally and rejoins the stream.
+    replica.shutdown();
+    let mut replica = start_replica(&rdir, &primary, HashMap::new());
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("reconnect");
+    withdraw(&mut pc, room, "alice", 5);
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    assert_eq!(bolt(&mut rc, room), bolt(&mut pc, room));
+
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}

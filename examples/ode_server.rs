@@ -5,6 +5,8 @@
 //! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878
 //! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878 --seconds 60
 //! cargo run --release --example ode_server -- --wal-dir /var/lib/ode --fsync commit
+//! cargo run --release --example ode_server -- \
+//!     --tcp 127.0.0.1:7879 --wal-dir /tmp/ode-replica --replicate-from 127.0.0.1:7878
 //! ```
 //!
 //! Starts an empty database — clients define classes over the wire
@@ -12,13 +14,17 @@
 //! op is written to a crash-safe log in DIR, the directory is
 //! recovered on startup, and clients may issue `Checkpoint`; `--fsync`
 //! picks the append durability (`always`, `commit` [default], `never`,
-//! or a number N for every-N-ops). With `--seconds N` the server shuts
-//! down gracefully after N seconds (every session's open transaction
-//! is aborted and all threads are joined); otherwise it runs until the
-//! process is killed.
+//! or a number N for every-N-ops). With `--replicate-from SOURCE` the
+//! server runs as a read replica of the primary at SOURCE (`host:port`
+//! for TCP, a leading `/` or `.` for a Unix socket path): it tails the
+//! primary's WAL, refuses writes with `read_only_replica`, serves
+//! reads and subscriptions, and a client may `Promote` it. With
+//! `--seconds N` the server shuts down gracefully after N seconds
+//! (every session's open transaction is aborted and all threads are
+//! joined); otherwise it runs until the process is killed.
 
 use ode_db::{Database, FsyncPolicy, SharedDatabase, WalConfig};
-use ode_server::Server;
+use ode_server::{ReplSource, Server};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,6 +32,7 @@ fn main() {
     let mut unix: Option<String> = None;
     let mut seconds: Option<u64> = None;
     let mut wal_dir: Option<String> = None;
+    let mut replicate_from: Option<ReplSource> = None;
     let mut fsync = FsyncPolicy::OnCommit;
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag value");
@@ -34,6 +41,7 @@ fn main() {
             "--unix" => unix = Some(value()),
             "--seconds" => seconds = Some(value().parse().expect("numeric --seconds")),
             "--wal-dir" => wal_dir = Some(value()),
+            "--replicate-from" => replicate_from = Some(ReplSource::parse(&value())),
             "--fsync" => {
                 let v = value();
                 fsync = match v.as_str() {
@@ -46,7 +54,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
-                     --wal-dir DIR, --fsync always|commit|never|N"
+                     --wal-dir DIR, --replicate-from SOURCE, --fsync always|commit|never|N"
                 );
                 std::process::exit(2);
             }
@@ -70,10 +78,17 @@ fn main() {
             ..WalConfig::default()
         });
     }
+    let replica = replicate_from.is_some();
+    if let Some(source) = replicate_from {
+        builder = builder.replicate_from(source);
+    }
     let mut server = builder.start().expect("failed to bind or recover");
 
     if let Some(dir) = &wal_dir {
         println!("ode-server recovered write-ahead log in {dir}");
+    }
+    if replica {
+        println!("ode-server running as a read replica (Promote to take writes)");
     }
     if let Some(addr) = server.tcp_addr() {
         println!("ode-server listening on tcp {addr}");
