@@ -190,7 +190,7 @@ fn ref_every(inner: &Dfa, n: u32, w: &[Symbol]) -> bool {
             count += 1;
         }
     }
-    !w.is_empty() && last_is_occ && count % n == 0
+    !w.is_empty() && last_is_occ && count.is_multiple_of(n)
 }
 
 #[test]
@@ -248,9 +248,8 @@ fn fuzz_committed_wellformed() {
         let mut h: Vec<Symbol> = Vec::new();
         for _ in 0..rng.random_range(0..6) {
             h.push(sy.tbegin);
-            for _ in 0..rng.random_range(0..4) {
-                h.push(0);
-            }
+            let inner_len = rng.random_range(0..4);
+            h.extend(std::iter::repeat_n(0, inner_len));
             h.push(if rng.random_bool(0.4) {
                 sy.tabort
             } else {

@@ -21,7 +21,7 @@
 //! at the repository root.
 
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -42,7 +42,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn start_primary(dir: &PathBuf) -> Server {
+fn start_primary(dir: &Path) -> Server {
     Server::builder(SharedDatabase::new(Database::new()))
         .tcp("127.0.0.1:0")
         .wal_dir(dir)
@@ -51,7 +51,7 @@ fn start_primary(dir: &PathBuf) -> Server {
         .expect("primary starts")
 }
 
-fn start_replica(dir: &PathBuf, primary: &Server) -> Server {
+fn start_replica(dir: &Path, primary: &Server) -> Server {
     Server::builder(SharedDatabase::new(Database::new()))
         .tcp("127.0.0.1:0")
         .wal_dir(dir)

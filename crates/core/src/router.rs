@@ -367,7 +367,7 @@ mod tests {
             EventExpr::after_method("deposit").or(EventExpr::after_method("audit")),
         ];
         let alphas = alphabets(&exprs);
-        let router = ClassRouter::build(alphas.iter().enumerate().map(|(i, a)| (i, a)));
+        let router = ClassRouter::build(alphas.iter().enumerate());
         let dep = router.code(&BasicEvent::after_method("deposit")).unwrap();
         let hit: Vec<usize> = router.routes(dep).iter().map(|r| r.trigger).collect();
         assert_eq!(hit, [0, 2]);
@@ -390,7 +390,7 @@ mod tests {
                 .masked(MaskExpr::lt("balance", 500.0)),
         ];
         let alphas = alphabets(&exprs);
-        let router = ClassRouter::build(alphas.iter().enumerate().map(|(i, a)| (i, a)));
+        let router = ClassRouter::build(alphas.iter().enumerate());
         let ev = BasicEvent::after_method("withdraw");
         let mut memo = MaskMemo::default();
         for q in [5i64, 500, 5000] {
@@ -426,7 +426,7 @@ mod tests {
             .map(|_| EventExpr::after_method("m").masked(MaskExpr::lt("balance", 500.0)))
             .collect();
         let alphas = alphabets(&exprs);
-        let router = ClassRouter::build(alphas.iter().enumerate().map(|(i, a)| (i, a)));
+        let router = ClassRouter::build(alphas.iter().enumerate());
         assert_eq!(router.distinct_global_masks(), 1);
         let env = CountingEnv {
             balance: 100.0,
@@ -463,7 +463,7 @@ mod tests {
             ),
         ];
         let alphas = alphabets(&exprs);
-        let router = ClassRouter::build(alphas.iter().enumerate().map(|(i, a)| (i, a)));
+        let router = ClassRouter::build(alphas.iter().enumerate());
         assert_eq!(router.distinct_group_masks(), 2);
     }
 
@@ -471,7 +471,7 @@ mod tests {
     fn mask_errors_propagate_and_stay_memoized() {
         let exprs = [masked_withdraw(100), masked_withdraw(100)];
         let alphas = alphabets(&exprs);
-        let router = ClassRouter::build(alphas.iter().enumerate().map(|(i, a)| (i, a)));
+        let router = ClassRouter::build(alphas.iter().enumerate());
         let mut memo = MaskMemo::default();
         memo.begin(&router);
         let code = router.code(&BasicEvent::after_method("withdraw")).unwrap();

@@ -24,4 +24,7 @@ pub mod wal;
 
 pub use io::{Fault, FaultyIo, SharedIo, StdIo, WalIo};
 pub use reader::{SegmentReader, TornTail};
-pub use wal::{DiskWal, FsyncPolicy, Recovery, WalConfig, WalError};
+pub use wal::{
+    CheckpointReport, DiskWal, DurableRecord, DurableSink, FsyncPolicy, Recovery, WalConfig,
+    WalError, WalFlusher, WalStats,
+};

@@ -1,4 +1,5 @@
-//! The on-disk write-ahead log: segmented, checksummed, checkpointed.
+//! The on-disk write-ahead log: segmented, checksummed, checkpointed,
+//! group-committed.
 //!
 //! ## Layout
 //!
@@ -17,14 +18,68 @@
 //! born; a checkpoint's filename records the LSN it covers, so recovery
 //! knows the base without reading deleted generations.
 //!
+//! ## Two-phase append: buffer, then flush
+//!
+//! [`DiskWal::append`] is split into two steps so the fsync never runs
+//! under the lock that orders the log:
+//!
+//! 1. **buffer + assign LSN** — the record is framed, stamped with the
+//!    next LSN, and (under the group policies) pushed onto an in-memory
+//!    pending queue. This step does no I/O; callers holding an engine
+//!    lock pay only a queue push. The caller's lock still orders the
+//!    LSN assignment, so the log stays deterministic and replication
+//!    LSNs are unchanged.
+//! 2. **durability** — a flush (run by a dedicated flusher thread, by a
+//!    [`DiskWal::wait_durable`] caller when no flusher is attached, or
+//!    inline for the non-group policies) drains the pending queue,
+//!    writes the batch with one coalesced append per segment, fsyncs
+//!    once, and advances the published **durable watermark**. One fsync
+//!    releases every committer waiting at or below the watermark.
+//!
+//! Under [`FsyncPolicy::Always`], [`FsyncPolicy::EveryN`], and
+//! [`FsyncPolicy::Never`] appends still write (and sync, per policy)
+//! inline — those callers asked for per-append behavior. `OnCommit` is
+//! implemented on top of the group pipeline (`max_batch = 1`,
+//! `max_delay = 0`) whenever a flusher is attached, preserving its
+//! one-fsync-per-transaction-boundary semantics while moving the fsync
+//! off the appending thread; without a flusher it keeps its legacy
+//! inline behavior (write per op, sync at txn ends) so single-threaded
+//! users and deterministic tests observe the same I/O sequence as ever.
+//!
+//! ## The durable watermark and the ack rule
+//!
+//! [`DiskWal::durable_lsn`] publishes one past the highest LSN that is
+//! safe to acknowledge or ship: under the group policies it advances
+//! only when an fsync completes, so a record below the watermark can
+//! never be lost to a crash. Commit paths buffer under their own lock,
+//! release it, then block on [`DiskWal::wait_durable`] — acking only
+//! after durability, with the fsync cost shared by every transaction in
+//! the batch. Under the inline policies the watermark tracks appends
+//! (`Always` fsyncs each one; `EveryN`/`Never` keep their documented
+//! loss windows), which preserves their ship-on-append replication
+//! behavior.
+//!
+//! ## Lock order
+//!
+//! Internally the WAL splits into three locks, always taken in this
+//! order: `buf` (pending queue + LSN assignment) → `disk` (segment
+//! files, rotation, checkpoint installation) → `durable` (the
+//! watermark). Flushes steal the pending batch under `buf` + `disk`,
+//! release `buf`, and do the I/O under `disk` alone — so appends
+//! proceed while the fsync runs. [`DiskWal::frozen`] takes `buf` +
+//! `disk` together, giving callers (the replication handshake) a moment
+//! when no append, flush, or checkpoint is in flight.
+//!
 //! ## Checkpointing without a window of no-return
 //!
-//! `checkpoint()` writes the snapshot to `checkpoint.tmp`, fsyncs,
-//! renames it to its final generation-stamped name, fsyncs the
-//! directory, and only then deletes the previous generation's files. A
-//! crash anywhere in that sequence leaves either (a) the old generation
-//! fully intact (tmp is ignored by recovery) or (b) the new checkpoint
-//! durable plus stale older files that recovery skips and sweeps.
+//! `checkpoint()` first flushes (and ships) any pending records — the
+//! replication stream must never skip an LSN — then writes the snapshot
+//! to `checkpoint.tmp`, fsyncs, renames it to its final
+//! generation-stamped name, fsyncs the directory, and only then deletes
+//! the previous generation's files. A crash anywhere in that sequence
+//! leaves either (a) the old generation fully intact (tmp is ignored by
+//! recovery) or (b) the new checkpoint durable plus stale older files
+//! that recovery skips and sweeps.
 //!
 //! ## Recovery
 //!
@@ -33,10 +88,16 @@
 //! torn-tail rule (truncate a damaged final frame, hard-error on
 //! interior corruption), and returns a [`Recovery`] the caller feeds
 //! into a schema-bearing [`Database`]. Opening an empty directory is
-//! simply a recovery of nothing.
+//! simply a recovery of nothing. Records that were buffered but never
+//! flushed do not survive a crash — which is exactly why the ack rule
+//! above waits for the watermark.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::engine::Database;
 use crate::error::OdeError;
@@ -57,11 +118,57 @@ pub enum FsyncPolicy {
     /// Fsync after every `n` appended ops.
     EveryN(u64),
     /// Fsync whenever the appended op commits or aborts a transaction —
-    /// the classic group-commit point: no committed txn is ever lost.
+    /// one durability point per transaction boundary. With a flusher
+    /// attached this runs as [`FsyncPolicy::Group`] with `max_batch = 1`
+    /// and no delay (the fsync moves off the appending thread, batch
+    /// semantics preserved); standalone it syncs inline as it always
+    /// has.
     OnCommit,
     /// Never fsync on append (rotation and checkpoints still sync).
     /// An OS crash can lose the unsynced suffix; a process crash cannot.
     Never,
+    /// Group commit: buffer appends in memory and make them durable in
+    /// batches — one write, one fsync — releasing every waiting
+    /// committer at once. A flush happens when `max_batch` transaction
+    /// boundaries are pending or the oldest pending record has waited
+    /// `max_delay`, whichever comes first. Committers must ack only
+    /// after [`DiskWal::wait_durable`]; `max_delay` bounds their
+    /// latency.
+    Group {
+        /// Flush once this many txn-ending records (commits/aborts) are
+        /// pending. Clamped to at least 1.
+        max_batch: usize,
+        /// Flush once the oldest pending record has waited this long.
+        max_delay: Duration,
+    },
+}
+
+impl FsyncPolicy {
+    /// A `Group` policy with defaults that suit interactive servers:
+    /// batches of up to 64 commits, flushed at most 2ms after the
+    /// oldest buffered record — small enough that a lone committer
+    /// barely notices, large enough that concurrent committers share
+    /// fsyncs.
+    pub fn default_group() -> Self {
+        FsyncPolicy::Group {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+
+    /// The group-commit parameters `(max_batch, max_delay)` of a policy
+    /// that runs through the flusher pipeline; `None` for the inline
+    /// policies.
+    pub fn group_params(&self) -> Option<(usize, Duration)> {
+        match self {
+            FsyncPolicy::OnCommit => Some((1, Duration::ZERO)),
+            FsyncPolicy::Group {
+                max_batch,
+                max_delay,
+            } => Some(((*max_batch).max(1), *max_delay)),
+            _ => None,
+        }
+    }
 }
 
 /// Tuning knobs for a [`DiskWal`].
@@ -162,18 +269,114 @@ impl Recovery {
     }
 }
 
-/// An open, append-ready on-disk WAL. See the module docs for layout
-/// and crash-safety arguments.
-pub struct DiskWal {
-    io: SharedIo,
-    dir: PathBuf,
-    cfg: WalConfig,
+/// One record made durable by a flush, as handed to the durable sink.
+pub struct DurableRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The CRC-framed record bytes exactly as written to the segment.
+    pub frame: Vec<u8>,
+    /// Whether the record commits or aborts a transaction.
+    pub ends_txn: bool,
+}
+
+/// Observer invoked (on the flushing thread, with the WAL's disk lock
+/// held) after records become safe to ship — i.e. once the durable
+/// watermark covers them. A replication shipper hangs off this: because
+/// it only ever sees records at or below the watermark, a primary crash
+/// can never have shipped a record that recovery then loses. The sink
+/// must only enqueue; it must never call back into the WAL.
+pub type DurableSink = Arc<dyn Fn(&[DurableRecord]) + Send + Sync>;
+
+/// Counters describing the WAL's flush behavior (see `Stats` on the
+/// server's wire protocol).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalStats {
+    /// Total fsyncs issued (appends, batch flushes, segment seals, and
+    /// checkpoint installation).
+    pub fsyncs_total: u64,
+    /// Group-commit flush cycles completed (0 under inline policies).
+    pub group_commit_batches: u64,
+    /// The most txn-ending records (commits/aborts) ever made durable
+    /// by a single flush cycle — >1 proves batching engaged.
+    pub group_commit_max_batch: u64,
+    /// One past the highest LSN covered by the durable watermark.
+    pub durable_lsn: u64,
+}
+
+/// What a checkpoint did, for operator-facing reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointReport {
+    /// The LSN the checkpoint covers.
+    pub lsn: u64,
+    /// Superseded segment files deleted by the retention sweep.
+    pub swept_segments: u64,
+}
+
+/// A framed record buffered between the assign-LSN step and its flush.
+struct PendingRec {
+    lsn: u64,
+    frame: Vec<u8>,
+    ends_txn: bool,
+}
+
+/// Pending queue + LSN assignment. Guarded by the first lock in the
+/// order; held only for queue pushes and batch steals, never across
+/// I/O of a deferred flush.
+struct BufState {
+    next_lsn: u64,
+    pending: Vec<PendingRec>,
+    pending_txn_ends: usize,
+    first_pending_at: Option<Instant>,
+    stop: bool,
+}
+
+/// Segment-file state. Guarded by the second lock; held across the
+/// write + fsync of a flush, so flushes, checkpoints, and the
+/// replication handshake serialize without blocking appends.
+struct DiskState {
     generation: u64,
     seg_idx: u64,
     seg_bytes: u64,
-    lsn: u64,
     since_sync: u64,
-    poisoned: Option<String>,
+}
+
+/// The published watermark. Guarded by the last lock, paired with the
+/// condvar that releases durability waiters.
+struct DurableState {
+    durable_lsn: u64,
+    poison: Option<String>,
+}
+
+struct WalInner {
+    io: SharedIo,
+    dir: PathBuf,
+    cfg: WalConfig,
+    buf: Mutex<BufState>,
+    /// Wakes the flusher thread; paired with `buf`.
+    flush_cv: Condvar,
+    disk: Mutex<DiskState>,
+    durable: Mutex<DurableState>,
+    /// Releases `wait_durable` callers; paired with `durable`.
+    durable_cv: Condvar,
+    on_durable: Mutex<Option<DurableSink>>,
+    poisoned: AtomicBool,
+    flusher_running: AtomicBool,
+    fsyncs_total: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// Non-poisoning lock helper (a panicked holder just releases).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// An open, append-ready on-disk WAL. Cheap to clone — clones share the
+/// same directory, queue, and watermark. See the module docs for the
+/// two-phase pipeline and crash-safety arguments.
+#[derive(Clone)]
+pub struct DiskWal {
+    inner: Arc<WalInner>,
 }
 
 impl DiskWal {
@@ -223,137 +426,466 @@ impl DiskWal {
             segments: scan.segments.len(),
             ops,
         };
+        let head = recovery.base_lsn + recovery.ops.len() as u64;
         // New appends go to a fresh segment so a truncated tail is
-        // never appended into.
+        // never appended into. Everything recovered is on disk, so the
+        // watermark starts at the head.
         let wal = DiskWal {
-            io,
-            dir: dir.to_path_buf(),
-            cfg,
-            generation: scan.generation,
-            seg_idx: scan.segments.len() as u64,
-            seg_bytes: 0,
-            lsn: recovery.base_lsn + recovery.ops.len() as u64,
-            since_sync: 0,
-            poisoned: None,
+            inner: Arc::new(WalInner {
+                io,
+                dir: dir.to_path_buf(),
+                cfg,
+                buf: Mutex::new(BufState {
+                    next_lsn: head,
+                    pending: Vec::new(),
+                    pending_txn_ends: 0,
+                    first_pending_at: None,
+                    stop: false,
+                }),
+                flush_cv: Condvar::new(),
+                disk: Mutex::new(DiskState {
+                    generation: scan.generation,
+                    seg_idx: scan.segments.len() as u64,
+                    seg_bytes: 0,
+                    since_sync: 0,
+                }),
+                durable: Mutex::new(DurableState {
+                    durable_lsn: head,
+                    poison: None,
+                }),
+                durable_cv: Condvar::new(),
+                on_durable: Mutex::new(None),
+                poisoned: AtomicBool::new(false),
+                flusher_running: AtomicBool::new(false),
+                fsyncs_total: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                max_batch: AtomicU64::new(0),
+            }),
         };
         Ok((wal, recovery))
     }
 
     /// Next LSN to be assigned (== total ops this directory has seen).
     pub fn lsn(&self) -> u64 {
-        self.lsn
+        lock(&self.inner.buf).next_lsn
+    }
+
+    /// One past the highest LSN that is durable (group policies) or
+    /// appended (inline policies — see the module docs). Records below
+    /// this are safe to acknowledge and to ship to replicas.
+    pub fn durable_lsn(&self) -> u64 {
+        lock(&self.inner.durable).durable_lsn
     }
 
     /// Current checkpoint generation.
     pub fn generation(&self) -> u64 {
-        self.generation
+        lock(&self.inner.disk).generation
+    }
+
+    /// Flush-behavior counters plus the current watermark.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            fsyncs_total: self.inner.fsyncs_total.load(Ordering::Relaxed),
+            group_commit_batches: self.inner.batches.load(Ordering::Relaxed),
+            group_commit_max_batch: self.inner.max_batch.load(Ordering::Relaxed),
+            durable_lsn: self.durable_lsn(),
+        }
     }
 
     /// If a write or fsync has failed, the original error message. A
     /// poisoned WAL refuses further mutation; the database should be
     /// treated as read-only until re-opened.
-    pub fn poisoned(&self) -> Option<&str> {
-        self.poisoned.as_deref()
+    pub fn poisoned(&self) -> Option<String> {
+        if !self.inner.poisoned.load(Ordering::SeqCst) {
+            return None;
+        }
+        lock(&self.inner.durable).poison.clone()
+    }
+
+    /// Install (or clear) the durable sink (see [`DurableSink`]).
+    pub fn set_durable_sink(&self, sink: Option<DurableSink>) {
+        *lock(&self.inner.on_durable) = sink;
+    }
+
+    /// Run `f` while no append, flush, or checkpoint is in flight,
+    /// passing the durable watermark. The replication handshake uses
+    /// this to scan the log and register its subscriber without a gap
+    /// or duplicate against the live shipping path.
+    pub fn frozen<R>(&self, f: impl FnOnce(u64) -> R) -> R {
+        let _buf = lock(&self.inner.buf);
+        let _disk = lock(&self.inner.disk);
+        let head = lock(&self.inner.durable).durable_lsn;
+        f(head)
     }
 
     fn check_poison(&self) -> Result<(), WalError> {
-        match &self.poisoned {
-            Some(m) => Err(WalError::Poisoned(m.clone())),
+        match self.poisoned() {
+            Some(m) => Err(WalError::Poisoned(m)),
             None => Ok(()),
         }
     }
 
-    fn poison<T>(&mut self, e: WalError) -> Result<T, WalError> {
-        self.poisoned = Some(e.to_string());
+    /// Latch the failure and wake everyone who could be waiting on
+    /// progress that will never come.
+    fn poison<T>(&self, e: WalError) -> Result<T, WalError> {
+        {
+            let mut d = lock(&self.inner.durable);
+            if d.poison.is_none() {
+                d.poison = Some(e.to_string());
+            }
+        }
+        self.inner.poisoned.store(true, Ordering::SeqCst);
+        self.inner.durable_cv.notify_all();
+        self.inner.flush_cv.notify_all();
         Err(e)
     }
 
-    fn seg_path(&self) -> PathBuf {
-        self.dir.join(segment_name(self.generation, self.seg_idx))
+    /// Whether appends defer their durability to a flush (the buffer
+    /// step of the two-phase pipeline).
+    fn deferred(&self) -> bool {
+        match self.inner.cfg.fsync {
+            FsyncPolicy::Group { .. } => true,
+            FsyncPolicy::OnCommit => self.inner.flusher_running.load(Ordering::SeqCst),
+            _ => false,
+        }
     }
 
-    /// Append one op. Applies segment rotation and the fsync policy.
-    /// Any I/O failure poisons the WAL: the record may be torn on disk,
-    /// so no further appends are allowed (recovery will truncate it).
-    pub fn append(&mut self, op: &LogOp) -> Result<(), WalError> {
+    /// Append one op and return its assigned LSN.
+    ///
+    /// Under the group policies this is the cheap buffer+assign-LSN
+    /// step: no I/O happens here, and durability arrives when a flush
+    /// covers the record — ack only after [`DiskWal::wait_durable`].
+    /// Under the inline policies the record is written (and synced, per
+    /// policy) before returning, exactly as before. Any I/O failure
+    /// poisons the WAL: the record may be torn on disk, so no further
+    /// appends are allowed (recovery will truncate it).
+    pub fn append(&self, op: &LogOp) -> Result<u64, WalError> {
         self.check_poison()?;
         let line = op.to_json_line()?;
-        let framed = frame::encode(line.as_bytes());
-
-        if self.seg_bytes > 0 && self.seg_bytes + framed.len() as u64 > self.cfg.segment_bytes {
-            // Seal the full segment: sync it, then start the next.
-            if self.cfg.fsync != FsyncPolicy::Never {
-                let path = self.seg_path();
-                if let Err(e) = self.io.with(|f| f.fsync(&path)) {
-                    return self.poison(e.into());
-                }
-            }
-            self.seg_idx += 1;
-            self.seg_bytes = 0;
-            self.since_sync = 0;
-        }
-
-        let path = self.seg_path();
-        if let Err(e) = self.io.with(|f| f.append(&path, &framed)) {
-            return self.poison(e.into());
-        }
-        self.seg_bytes += framed.len() as u64;
-        self.lsn += 1;
-        self.since_sync += 1;
-
-        let sync_now = match self.cfg.fsync {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => self.since_sync >= n.max(1),
-            FsyncPolicy::OnCommit => op.ends_txn(),
-            FsyncPolicy::Never => false,
+        let rec = PendingRec {
+            lsn: 0, // assigned below, under the buf lock
+            frame: frame::encode(line.as_bytes()),
+            ends_txn: op.ends_txn(),
         };
-        if sync_now {
-            if let Err(e) = self.io.with(|f| f.fsync(&path)) {
-                return self.poison(e.into());
+
+        let i = &*self.inner;
+        let mut buf = lock(&i.buf);
+        let lsn = buf.next_lsn;
+        buf.next_lsn += 1;
+        let rec = PendingRec { lsn, ..rec };
+
+        if self.deferred() {
+            if rec.ends_txn {
+                buf.pending_txn_ends += 1;
             }
-            self.since_sync = 0;
+            if buf.first_pending_at.is_none() {
+                buf.first_pending_at = Some(Instant::now());
+            }
+            buf.pending.push(rec);
+            drop(buf);
+            i.flush_cv.notify_all();
+            return Ok(lsn);
+        }
+
+        // Inline policies: write (and maybe sync) now, holding `buf`
+        // so concurrent appenders stay LSN-ordered on disk.
+        let mut disk = lock(&i.disk);
+        let sync_now = match i.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => disk.since_sync + 1 >= n.max(1),
+            FsyncPolicy::OnCommit => rec.ends_txn,
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Group { .. } => unreachable!("group appends defer"),
+        };
+        let batch = [rec];
+        if let Err(e) = self.write_batch(&mut disk, &batch, sync_now) {
+            return self.poison(e);
+        }
+        let [rec] = batch;
+        self.publish(&mut disk, lsn + 1, vec![rec], None);
+        Ok(lsn)
+    }
+
+    /// Write a batch of framed records: segment rotation with
+    /// seal-syncs, one coalesced append per segment run, and optionally
+    /// one final fsync.
+    fn write_batch(
+        &self,
+        disk: &mut DiskState,
+        batch: &[PendingRec],
+        final_fsync: bool,
+    ) -> Result<(), WalError> {
+        let i = &*self.inner;
+        let mut run: Vec<u8> = Vec::new();
+        for rec in batch {
+            let projected = disk.seg_bytes + run.len() as u64 + rec.frame.len() as u64;
+            if projected > i.cfg.segment_bytes && (disk.seg_bytes > 0 || !run.is_empty()) {
+                // Seal the full segment: write the run, sync it, then
+                // start the next.
+                if !run.is_empty() {
+                    let path = self.seg_path(disk);
+                    i.io.with(|f| f.append(&path, &run))?;
+                    disk.seg_bytes += run.len() as u64;
+                    run.clear();
+                }
+                if i.cfg.fsync != FsyncPolicy::Never {
+                    let path = self.seg_path(disk);
+                    i.io.with(|f| f.fsync(&path))?;
+                    i.fsyncs_total.fetch_add(1, Ordering::Relaxed);
+                }
+                disk.seg_idx += 1;
+                disk.seg_bytes = 0;
+                disk.since_sync = 0;
+            }
+            run.extend_from_slice(&rec.frame);
+            disk.since_sync += 1;
+        }
+        if !run.is_empty() {
+            let path = self.seg_path(disk);
+            i.io.with(|f| f.append(&path, &run))?;
+            disk.seg_bytes += run.len() as u64;
+        }
+        if final_fsync && disk.since_sync > 0 {
+            let path = self.seg_path(disk);
+            i.io.with(|f| f.fsync(&path))?;
+            i.fsyncs_total.fetch_add(1, Ordering::Relaxed);
+            disk.since_sync = 0;
         }
         Ok(())
     }
 
-    /// Force the current segment to stable storage regardless of policy.
-    pub fn sync(&mut self) -> Result<(), WalError> {
+    /// Advance the watermark to `upto`, release durability waiters, and
+    /// hand the newly-covered records to the durable sink. Runs with
+    /// the disk lock held so shipping stays serialized against the
+    /// replication handshake.
+    fn publish(
+        &self,
+        _disk: &mut DiskState,
+        upto: u64,
+        batch: Vec<PendingRec>,
+        txn_ends: Option<usize>,
+    ) {
+        let i = &*self.inner;
+        {
+            let mut d = lock(&i.durable);
+            if upto > d.durable_lsn {
+                d.durable_lsn = upto;
+            }
+        }
+        i.durable_cv.notify_all();
+        if let Some(ends) = txn_ends {
+            i.batches.fetch_add(1, Ordering::Relaxed);
+            i.max_batch.fetch_max(ends as u64, Ordering::Relaxed);
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let sink = lock(&i.on_durable).clone();
+        if let Some(sink) = sink {
+            let records: Vec<DurableRecord> = batch
+                .into_iter()
+                .map(|r| DurableRecord {
+                    lsn: r.lsn,
+                    frame: r.frame,
+                    ends_txn: r.ends_txn,
+                })
+                .collect();
+            sink(&records);
+        }
+    }
+
+    /// Steal a batch from the pending queue: everything when
+    /// `drain_all` (or when no txn boundary is pending — a
+    /// delay-triggered flush), otherwise the prefix through the
+    /// `max_batch`-th txn-ending record.
+    fn steal(&self, buf: &mut BufState, drain_all: bool) -> Vec<PendingRec> {
+        let take = if drain_all || buf.pending_txn_ends == 0 {
+            buf.pending.len()
+        } else {
+            let (max_batch, _) = self
+                .inner
+                .cfg
+                .fsync
+                .group_params()
+                .unwrap_or((usize::MAX, Duration::ZERO));
+            let mut ends = 0usize;
+            let mut take = buf.pending.len();
+            for (idx, r) in buf.pending.iter().enumerate() {
+                if r.ends_txn {
+                    ends += 1;
+                    if ends >= max_batch {
+                        take = idx + 1;
+                        break;
+                    }
+                }
+            }
+            take
+        };
+        let batch: Vec<PendingRec> = buf.pending.drain(..take).collect();
+        buf.pending_txn_ends -= batch.iter().filter(|r| r.ends_txn).count();
+        buf.first_pending_at = if buf.pending.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        batch
+    }
+
+    /// One flush cycle: steal a pending batch (under `buf` + `disk`),
+    /// release `buf`, write once + fsync once (under `disk`), publish
+    /// the watermark. Returns the watermark afterwards.
+    fn flush_once(&self, drain_all: bool) -> Result<u64, WalError> {
         self.check_poison()?;
-        if self.seg_bytes == 0 || self.since_sync == 0 {
-            return Ok(());
+        let i = &*self.inner;
+        let mut buf = lock(&i.buf);
+        let mut disk = lock(&i.disk);
+        let batch = self.steal(&mut buf, drain_all);
+        let head = buf.next_lsn;
+        drop(buf); // appends may proceed while we do the I/O
+        if batch.is_empty() {
+            // Nothing pending; a drain still forces unsynced inline
+            // bytes (EveryN/Never) to disk.
+            if drain_all && disk.seg_bytes > 0 && disk.since_sync > 0 {
+                let path = self.seg_path(&disk);
+                if let Err(e) = i.io.with(|f| f.fsync(&path)) {
+                    return self.poison(e.into());
+                }
+                i.fsyncs_total.fetch_add(1, Ordering::Relaxed);
+                disk.since_sync = 0;
+            }
+            let _ = head;
+            return Ok(lock(&i.durable).durable_lsn);
         }
-        let path = self.seg_path();
-        if let Err(e) = self.io.with(|f| f.fsync(&path)) {
-            return self.poison(e.into());
+        let upto = batch.last().expect("non-empty").lsn + 1;
+        let ends = batch.iter().filter(|r| r.ends_txn).count();
+        if let Err(e) = self.write_batch(&mut disk, &batch, true) {
+            return self.poison(e);
         }
-        self.since_sync = 0;
-        Ok(())
+        self.publish(&mut disk, upto, batch, Some(ends));
+        Ok(upto)
+    }
+
+    /// Block until the record at `lsn` is durable (the watermark passes
+    /// it). With a flusher attached this just waits to be released by a
+    /// batch fsync; without one, the caller flushes the pending queue
+    /// itself — leader-style group commit. Errors if the WAL poisons
+    /// before the record is covered: the caller must not ack.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), WalError> {
+        let i = &*self.inner;
+        if lsn >= self.lsn() {
+            return Err(WalError::Io(format!(
+                "wait_durable({lsn}) is beyond the head"
+            )));
+        }
+        loop {
+            {
+                let mut d = lock(&i.durable);
+                loop {
+                    if let Some(m) = &d.poison {
+                        return Err(WalError::Poisoned(m.clone()));
+                    }
+                    if d.durable_lsn > lsn {
+                        return Ok(());
+                    }
+                    if !i.flusher_running.load(Ordering::SeqCst) {
+                        break; // self-service below
+                    }
+                    // The timeout is only a lost-wakeup backstop; the
+                    // flusher's max_delay bounds real latency.
+                    let (g, _) = i
+                        .durable_cv
+                        .wait_timeout(d, Duration::from_millis(250))
+                        .unwrap_or_else(|p| p.into_inner());
+                    d = g;
+                }
+            }
+            self.flush_once(true)?;
+        }
+    }
+
+    /// Force everything appended so far to stable storage regardless of
+    /// policy: drain the pending queue and fsync.
+    pub fn sync(&self) -> Result<(), WalError> {
+        self.flush_once(true).map(|_| ())
+    }
+
+    /// Spawn the dedicated flusher thread that drives the durability
+    /// step for [`FsyncPolicy::Group`] / [`FsyncPolicy::OnCommit`].
+    /// Returns `None` for inline policies. Dropping (or `stop`ping) the
+    /// handle drains the queue and joins the thread.
+    pub fn start_flusher(&self) -> Option<WalFlusher> {
+        let (max_batch, max_delay) = self.inner.cfg.fsync.group_params()?;
+        lock(&self.inner.buf).stop = false;
+        self.inner.flusher_running.store(true, Ordering::SeqCst);
+        let wal = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("wal-flusher".to_string())
+            .spawn(move || run_flusher(wal, max_batch, max_delay))
+            .expect("spawn wal flusher");
+        Some(WalFlusher {
+            wal: self.clone(),
+            handle: Some(handle),
+        })
+    }
+
+    fn seg_path(&self, disk: &DiskState) -> PathBuf {
+        self.inner
+            .dir
+            .join(segment_name(disk.generation, disk.seg_idx))
     }
 
     /// Durably install `snap` (typically `db.snapshot()` taken under
     /// the same lock that orders appends) as the new recovery base,
     /// then delete the log generation it supersedes.
-    pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<(), WalError> {
-        self.checkpoint_at(snap, self.lsn)
+    pub fn checkpoint(&self, snap: &Snapshot) -> Result<CheckpointReport, WalError> {
+        self.checkpoint_inner(snap, None)
     }
 
     /// Like [`DiskWal::checkpoint`], but stamp the checkpoint with an
     /// explicit LSN and adopt it as this log's position. A replica
     /// bootstrapping from a shipped snapshot uses this to jump its
     /// local log to the primary's LSN so subsequent appends line up.
-    pub fn checkpoint_at(&mut self, snap: &Snapshot, lsn: u64) -> Result<(), WalError> {
+    pub fn checkpoint_at(&self, snap: &Snapshot, lsn: u64) -> Result<CheckpointReport, WalError> {
+        self.checkpoint_inner(snap, Some(lsn))
+    }
+
+    fn checkpoint_inner(
+        &self,
+        snap: &Snapshot,
+        at: Option<u64>,
+    ) -> Result<CheckpointReport, WalError> {
         self.check_poison()?;
+        let i = &*self.inner;
         let body = snap.to_json()?;
         let framed = frame::encode(body.as_bytes());
-        let tmp = self.dir.join(TMP_NAME);
-        let next_generation = self.generation + 1;
-        let finalname = self.dir.join(checkpoint_name(next_generation, lsn));
+
+        // Hold `buf` for the whole installation: no append may
+        // interleave with the generation switch.
+        let mut buf = lock(&i.buf);
+        let mut disk = lock(&i.disk);
+
+        // First make the buffered tail durable — and shipped — so the
+        // replication stream never skips an LSN the snapshot covers.
+        let batch = self.steal(&mut buf, true);
+        if !batch.is_empty() {
+            let upto = batch.last().expect("non-empty").lsn + 1;
+            let ends = batch.iter().filter(|r| r.ends_txn).count();
+            if let Err(e) = self.write_batch(&mut disk, &batch, true) {
+                return self.poison(e);
+            }
+            self.publish(&mut disk, upto, batch, Some(ends));
+        }
+
+        let lsn = at.unwrap_or(buf.next_lsn);
+        let tmp = i.dir.join(TMP_NAME);
+        let next_generation = disk.generation + 1;
+        let finalname = i.dir.join(checkpoint_name(next_generation, lsn));
 
         // A leftover tmp from a crashed earlier attempt would otherwise
         // be appended after; clear it first.
-        let names = self.io.with(|f| f.list(&self.dir))?;
+        let names = i.io.with(|f| f.list(&i.dir))?;
         if names.iter().any(|n| n == TMP_NAME) {
-            if let Err(e) = self.io.with(|f| f.remove(&tmp)) {
+            if let Err(e) = i.io.with(|f| f.remove(&tmp)) {
                 return self.poison(e.into());
             }
         }
@@ -361,31 +893,133 @@ impl DiskWal {
         // write tmp -> fsync -> rename -> fsync dir: the checkpoint is
         // either fully durable under its final name or invisible.
         let res = (|| -> Result<(), WalError> {
-            self.io.with(|f| f.append(&tmp, &framed))?;
-            self.io.with(|f| f.fsync(&tmp))?;
-            self.io.with(|f| f.rename(&tmp, &finalname))?;
-            self.io.with(|f| f.fsync_dir(&self.dir))?;
+            i.io.with(|f| f.append(&tmp, &framed))?;
+            i.io.with(|f| f.fsync(&tmp))?;
+            i.io.with(|f| f.rename(&tmp, &finalname))?;
+            i.io.with(|f| f.fsync_dir(&i.dir))?;
             Ok(())
         })();
+        i.fsyncs_total.fetch_add(2, Ordering::Relaxed);
         if let Err(e) = res {
             return self.poison(e);
         }
 
         // The new checkpoint supersedes everything older. Deletion is
         // best-effort: a failure just leaves debris recovery ignores.
+        let mut swept = 0u64;
         for n in names {
-            let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= self.generation);
-            let old_ckpt = parse_checkpoint(&n).is_some_and(|(g, _)| g <= self.generation);
+            let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= disk.generation);
+            let old_ckpt = parse_checkpoint(&n).is_some_and(|(g, _)| g <= disk.generation);
             if old_seg || old_ckpt {
-                let _ = self.io.with(|f| f.remove(&self.dir.join(n)));
+                let removed = i.io.with(|f| f.remove(&i.dir.join(n))).is_ok();
+                if removed && old_seg {
+                    swept += 1;
+                }
             }
         }
 
-        self.generation = next_generation;
-        self.seg_idx = 0;
-        self.seg_bytes = 0;
-        self.since_sync = 0;
-        self.lsn = lsn;
-        Ok(())
+        disk.generation = next_generation;
+        disk.seg_idx = 0;
+        disk.seg_bytes = 0;
+        disk.since_sync = 0;
+        buf.next_lsn = lsn;
+        // The checkpoint itself is a durability point: everything at or
+        // below its LSN is covered by the durable snapshot.
+        self.publish(&mut disk, lsn, Vec::new(), None);
+        Ok(CheckpointReport {
+            lsn,
+            swept_segments: swept,
+        })
+    }
+}
+
+/// The dedicated flusher thread's loop: wait until `max_batch` txn
+/// boundaries are pending or the oldest pending record has waited
+/// `max_delay`, then run one flush cycle. On stop, drain what's left.
+fn run_flusher(wal: DiskWal, max_batch: usize, max_delay: Duration) {
+    let i = Arc::clone(&wal.inner);
+    loop {
+        let stopping;
+        {
+            let mut buf = lock(&i.buf);
+            loop {
+                if buf.stop {
+                    stopping = true;
+                    break;
+                }
+                if i.poisoned.load(Ordering::SeqCst) || buf.pending.is_empty() {
+                    // Nothing to do (or nothing we can do): park until
+                    // an append or a stop wakes us.
+                    let (g, _) = i
+                        .flush_cv
+                        .wait_timeout(buf, Duration::from_millis(250))
+                        .unwrap_or_else(|p| p.into_inner());
+                    buf = g;
+                    continue;
+                }
+                if buf.pending_txn_ends >= max_batch {
+                    stopping = false;
+                    break;
+                }
+                let elapsed = buf
+                    .first_pending_at
+                    .map(|t| t.elapsed())
+                    .unwrap_or_default();
+                if elapsed >= max_delay {
+                    stopping = false;
+                    break;
+                }
+                let (g, _) = i
+                    .flush_cv
+                    .wait_timeout(buf, max_delay - elapsed)
+                    .unwrap_or_else(|p| p.into_inner());
+                buf = g;
+            }
+        }
+        // Flush errors poison the WAL and wake every waiter; the loop
+        // then parks until stopped.
+        let _ = wal.flush_once(stopping);
+        if stopping {
+            let drained = lock(&i.buf).pending.is_empty();
+            if drained || i.poisoned.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+}
+
+/// Handle to the dedicated flusher thread. Dropping it stops the
+/// thread after a final drain of the pending queue.
+pub struct WalFlusher {
+    wal: DiskWal,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WalFlusher {
+    /// Drain the pending queue, stop the thread, and join it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        lock(&self.wal.inner.buf).stop = true;
+        self.wal.inner.flush_cv.notify_all();
+        let _ = handle.join();
+        self.wal
+            .inner
+            .flusher_running
+            .store(false, Ordering::SeqCst);
+        // Waiters must re-evaluate: with the flusher gone they
+        // self-serve (or observe the drained watermark).
+        self.wal.inner.durable_cv.notify_all();
+    }
+}
+
+impl Drop for WalFlusher {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }

@@ -70,8 +70,8 @@ pub use class::{
 pub use clock::{Clock, Recurrence, Timer, TimerScope};
 #[cfg(feature = "persistence")]
 pub use durability::{
-    DiskWal, Fault, FaultyIo, FsyncPolicy, Recovery, SegmentReader, SharedIo, StdIo, TornTail,
-    WalConfig, WalError, WalIo,
+    CheckpointReport, DiskWal, DurableRecord, DurableSink, Fault, FaultyIo, FsyncPolicy, Recovery,
+    SegmentReader, SharedIo, StdIo, TornTail, WalConfig, WalError, WalFlusher, WalIo, WalStats,
 };
 #[cfg(feature = "persistence")]
 pub use engine::LogSink;

@@ -12,8 +12,9 @@
 #![cfg(feature = "persistence")]
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use ode_core::event::calendar::HR;
 use ode_core::Value;
@@ -269,4 +270,221 @@ fn crash_at_every_io_op_recovers_a_consistent_prefix() {
     // nothing, late crashes recover almost everything.
     assert_eq!(recovered_counts[0], 0);
     assert!(*recovered_counts.last().unwrap() >= all_ops.len() - 1);
+}
+
+// ---------------------------------------------------------------------
+// Group-commit injection points: the two-phase append adds a new place
+// to die — after buffer/assign-LSN but before the batch fsync — and a
+// new shape of partial write — a multi-record batch torn mid-flush.
+// The invariant under test: the recovered prefix always contains every
+// *acked* transaction (one `wait_durable` returned Ok for) and the
+// harness is never told an unacked suffix made it (the wait/sync that
+// would have acked it errors).
+// ---------------------------------------------------------------------
+
+/// Group policy with a batch window nothing spontaneously closes: no
+/// flusher thread is started and `max_delay` is an hour, so the only
+/// flushes are the ones `wait_durable`/`sync` perform — giving every
+/// faulted run the same deterministic I/O sequence.
+fn group_cfg() -> WalConfig {
+    WalConfig {
+        segment_bytes: 256,
+        fsync: FsyncPolicy::Group {
+            max_batch: 64,
+            max_delay: Duration::from_secs(3600),
+        },
+    }
+}
+
+/// What the group-commit session observed before the (simulated) crash.
+struct GroupRun {
+    /// One past the last LSN an `Ok` from `wait_durable` acked.
+    acked_head: u64,
+    /// One past the last LSN the session buffered (acked or not).
+    buffered_head: u64,
+    /// Whether the ack wait succeeded.
+    wait_ok: bool,
+    /// Whether the final `sync` succeeded (`None`: not attempted).
+    sync_ok: Option<bool>,
+    /// Mutating-I/O count right after the ack wait / right after sync —
+    /// the faulted runs aim their crash between these.
+    ops_before_sync: u64,
+    ops_after_sync: u64,
+}
+
+/// The group-commit session: one acked withdrawal, then a buffered
+/// unacked tail, then (optionally) a multi-record batch flush.
+fn run_group_session(dir: &Path, io: FaultyIo, do_sync: bool) -> GroupRun {
+    let ops = io.op_counter();
+    let shared = SharedIo::new(io);
+    let (wal, recovery) = DiskWal::open(dir, group_cfg(), shared).expect("open empty dir");
+    assert!(recovery.is_empty());
+
+    let mut db = fresh();
+    let sink_wal = wal.clone();
+    let last = Arc::new(AtomicU64::new(0));
+    let sink_last = Arc::clone(&last);
+    db.set_log_sink(Some(Arc::new(move |op: &LogOp| {
+        if let Ok(lsn) = sink_wal.append(op) {
+            sink_last.store(lsn + 1, Ordering::SeqCst);
+        }
+    })));
+
+    db.advance_clock_to(9 * HR);
+    let t = db.begin_as(Value::Str("alice".into()));
+    let room = db.create_object(t, "stockRoom", &[]).unwrap();
+    db.commit(t).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "bolt", 120).unwrap(); // T6
+
+    // Ack point: everything so far must be durable before we proceed.
+    let acked_head = last.load(Ordering::SeqCst);
+    let wait_ok = wal.wait_durable(acked_head - 1).is_ok();
+    let ops_before_sync = ops.load(Ordering::SeqCst);
+
+    // Unacked tail: buffered + LSN-assigned, never waited on.
+    demo::withdraw_txn(&mut db, "bob", room, "gear", 30).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "bolt", 120).unwrap(); // T6 again
+    let buffered_head = last.load(Ordering::SeqCst);
+
+    let sync_ok = do_sync.then(|| wal.sync().is_ok());
+    GroupRun {
+        acked_head,
+        buffered_head,
+        wait_ok,
+        sync_ok,
+        ops_before_sync,
+        ops_after_sync: ops.load(Ordering::SeqCst),
+    }
+}
+
+/// The in-memory ground truth for the same session.
+fn group_truth() -> Vec<LogOp> {
+    let mut db = fresh();
+    db.enable_logging();
+    db.advance_clock_to(9 * HR);
+    let t = db.begin_as(Value::Str("alice".into()));
+    let room = db.create_object(t, "stockRoom", &[]).unwrap();
+    db.commit(t).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "bolt", 120).unwrap();
+    demo::withdraw_txn(&mut db, "bob", room, "gear", 30).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "bolt", 120).unwrap();
+    db.take_log().expect("logging enabled").ops
+}
+
+/// Recover `dir` with healthy I/O and check it against the truth
+/// prefix-oracle. Returns the recovered op count.
+fn recover_and_check(dir: &Path, all_ops: &[LogOp], tag: &str) -> u64 {
+    let io = SharedIo::new(StdIo::new());
+    let (_wal, recovery) = DiskWal::open(dir, group_cfg(), io)
+        .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+    assert_eq!(recovery.base_lsn, 0, "{tag}: no checkpoint in this test");
+    let m = recovery.ops.len();
+    assert!(m <= all_ops.len(), "{tag}: recovered more ops than issued");
+    let mut got = fresh();
+    recovery
+        .restore_into(&mut got)
+        .unwrap_or_else(|e| panic!("{tag}: restore failed: {e}"));
+    let (want, _) = oracle(all_ops, 0, m);
+    assert_eq!(
+        fingerprint(&got),
+        fingerprint(&want),
+        "{tag}: recovered state diverges from the op-prefix oracle"
+    );
+    m as u64
+}
+
+/// Crash point: after buffer/assign-LSN, before any flush. A process
+/// death here (modeled by dropping the WAL — the pending queue is
+/// memory) must lose exactly the unacked buffered suffix and nothing
+/// the ack wait covered.
+#[test]
+fn group_commit_crash_between_buffer_and_flush_loses_only_the_unacked_tail() {
+    let all_ops = group_truth();
+    let dir = tmp_dir("group-buffered");
+    let run = run_group_session(&dir, FaultyIo::counting(), false);
+    assert!(run.wait_ok, "healthy io: the ack wait flushes and succeeds");
+    assert!(
+        run.buffered_head > run.acked_head,
+        "the tail was buffered past the ack point"
+    );
+    assert_eq!(
+        run.buffered_head,
+        all_ops.len() as u64,
+        "the live session logged exactly the ground-truth ops"
+    );
+
+    let m = recover_and_check(&dir, &all_ops, "buffered-tail crash");
+    // Exactly the acked prefix: nothing acked is lost, and none of the
+    // unacked suffix is resurrected (its records never reached disk).
+    assert_eq!(
+        m, run.acked_head,
+        "recovery must return precisely the acked prefix"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash points *inside* the batch flush: for every mutating I/O op of
+/// the multi-record sync (segment appends, rotation seal-fsyncs, the
+/// final fsync), die there and prove the recovered prefix never loses
+/// an acked transaction and the harness was never told the batch made
+/// it (`sync` errors, so nothing in it was acked).
+#[test]
+fn group_commit_crash_mid_batch_flush_never_loses_an_acked_txn() {
+    let all_ops = group_truth();
+
+    // Fault-free counting run sizes the injection window.
+    let dir = tmp_dir("group-count");
+    let clean = run_group_session(&dir, FaultyIo::counting(), true);
+    assert!(clean.wait_ok && clean.sync_ok == Some(true));
+    assert!(
+        clean.ops_after_sync > clean.ops_before_sync + 2,
+        "the batch flush spans several I/O ops (got {} .. {})",
+        clean.ops_before_sync,
+        clean.ops_after_sync
+    );
+    // A clean run persists everything.
+    let m = recover_and_check(&dir, &all_ops, "clean group run");
+    assert_eq!(m, clean.buffered_head);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut recovered_counts = Vec::new();
+    for k in clean.ops_before_sync..clean.ops_after_sync {
+        let dir = tmp_dir(&format!("group-k{k}"));
+        let run = run_group_session(&dir, FaultyIo::crash_at(k), true);
+        assert!(
+            run.wait_ok,
+            "crash point {k} lies after the ack wait's flush"
+        );
+        assert_eq!(
+            run.sync_ok,
+            Some(false),
+            "crash point {k}: the dying batch flush must not report success"
+        );
+
+        let m = recover_and_check(&dir, &all_ops, &format!("mid-batch crash {k}"));
+        assert!(
+            m >= run.acked_head,
+            "crash point {k}: an acked txn was lost (recovered {m}, acked {})",
+            run.acked_head
+        );
+        recovered_counts.push(m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Deterministic I/O order makes durability monotone in the crash
+    // point, exactly like the main matrix.
+    for w in recovered_counts.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "group-commit durability regressed: {recovered_counts:?}"
+        );
+    }
+    // The window actually spans the batch: the earliest crash tears
+    // the batch write partway (a half-written coalesced run keeps at
+    // most a prefix, never the whole batch), while the last one (the
+    // fsync died after the write landed) keeps everything.
+    assert!(
+        recovered_counts[0] < clean.buffered_head,
+        "the first mid-batch crash must not persist the full batch: {recovered_counts:?}"
+    );
+    assert_eq!(*recovered_counts.last().unwrap(), clean.buffered_head);
 }

@@ -133,7 +133,7 @@ fn records_from_iterates_across_segment_rotation() {
         segment_bytes: 128,
         fsync: FsyncPolicy::Always,
     };
-    let (mut wal, _) = DiskWal::open(&dir, cfg, std_io()).unwrap();
+    let (wal, _) = DiskWal::open(&dir, cfg, std_io()).unwrap();
     let ops: Vec<LogOp> = (0..12)
         .map(|i| {
             if i % 3 == 2 {

@@ -5,7 +5,7 @@
 //! the framed round trip bit for bit.
 #![cfg(feature = "persistence")]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ode_core::Value;
@@ -46,7 +46,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
 
 /// Open a WAL in `dir`, hook it to a fresh database, run a short
 /// session (optionally checkpointing at the end), and drop everything.
-fn run_short_session(dir: &PathBuf, checkpoint_at_end: bool) {
+fn run_short_session(dir: &Path, checkpoint_at_end: bool) {
     let (wal, recovery) = DiskWal::open(dir, cfg(), std_io()).unwrap();
     let wal = Arc::new(Mutex::new(wal));
     let mut db = fresh();
@@ -222,7 +222,7 @@ fn fsync_failure_poisons_the_wal_but_keeps_prior_records() {
     // OnCommit policy: op 0 = append(Begin), 1 = append(Create),
     // 2 = append(Commit), 3 = fsync <- fail it.
     let io = FaultyIo::new(std::collections::HashMap::from([(3, Fault::FailOp)]));
-    let (mut wal, _) = DiskWal::open(&dir, cfg(), SharedIo::new(io)).unwrap();
+    let (wal, _) = DiskWal::open(&dir, cfg(), SharedIo::new(io)).unwrap();
     let begin = LogOp::Begin {
         txn: 1,
         user: Value::Str("alice".into()),

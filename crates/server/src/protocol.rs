@@ -233,6 +233,14 @@ pub enum Reply {
     Checkpointed {
         /// The log sequence number the checkpoint covers.
         lsn: u64,
+        /// Superseded segment files the retention sweep deleted —
+        /// `0` here over and over means retention is not reclaiming,
+        /// and Replicate handshakes will keep falling back to
+        /// snapshot bootstraps.
+        swept_segments: u64,
+        /// How long the snapshot + checkpoint held the engine lock —
+        /// every session stalls for this long.
+        stall_ms: u64,
     },
     /// Answer to [`Command::Replicate`]: the stream is established.
     /// (The stream's first messages may already be queued before this
@@ -326,6 +334,21 @@ pub struct WireStats {
     /// a WAL). On a replica this is the *local* WAL's head, which
     /// trails `last_applied_lsn` only by records not yet flushed.
     pub wal_lsn: Option<u64>,
+    /// One past the highest LSN the WAL guarantees durable (`None`
+    /// without a WAL). Under group commit this trails `wal_lsn` by the
+    /// records buffered for the next batch fsync; commits are only
+    /// acked at or below it.
+    pub durable_lsn: Option<u64>,
+    /// Total fsyncs the WAL has issued since startup (`0` without a
+    /// WAL). With group commit this grows far slower than
+    /// `txns_committed` — that gap is the batching win.
+    pub fsyncs_total: u64,
+    /// Group-commit flush cycles completed (`0` under inline fsync
+    /// policies).
+    pub group_commit_batches: u64,
+    /// The most commits/aborts ever made durable by one fsync — `>1`
+    /// proves batching engaged.
+    pub group_commit_max_batch: u64,
     /// Whether this server was started as a replica
     /// (`--replicate-from`). Stays `true` after promotion.
     pub replica: bool,

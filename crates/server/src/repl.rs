@@ -314,7 +314,7 @@ fn handle_msg(
                     if let Some(ws) = &inner.wal {
                         // Persist the jump so a restart resumes from
                         // `lsn` instead of a stale local head.
-                        let _ = ws.wal.lock().checkpoint_at(&snap, lsn);
+                        let _ = ws.wal.checkpoint_at(&snap, lsn);
                     }
                     *applier = next;
                     rs.applied.store(lsn, Ordering::SeqCst);

@@ -43,6 +43,7 @@
 //! refused; reads, aborts, and subscriptions keep working) instead of
 //! panicking or serving un-durable writes.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
@@ -58,8 +59,8 @@ use ode_db::durability::frame;
 use ode_db::engine::{FiringSink, LogSink};
 use ode_db::replication::Applier;
 use ode_db::{
-    DiskWal, FiringNotice, LogOp, ObjectId, SegmentReader, SharedDatabase, SharedIo, Snapshot,
-    StdIo, TxnId, WalConfig,
+    DiskWal, DurableRecord, FiringNotice, LogOp, ObjectId, SegmentReader, SharedDatabase, SharedIo,
+    Snapshot, StdIo, TxnId, WalConfig, WalFlusher,
 };
 use parking_lot::Mutex;
 
@@ -100,7 +101,10 @@ type Subscribers = Arc<Mutex<HashMap<u64, Outbox>>>;
 
 /// The server's durability state (present when started with a WAL dir).
 pub(crate) struct WalState {
-    pub(crate) wal: Mutex<DiskWal>,
+    /// The WAL handle (internally synchronized; see [`DiskWal`]'s lock
+    /// order — the engine lock is only ever held around the cheap
+    /// buffer+assign-LSN step, never an fsync).
+    pub(crate) wal: DiskWal,
     pub(crate) io: SharedIo,
     /// The WAL directory, re-scanned by `Replicate` handshakes.
     pub(crate) dir: PathBuf,
@@ -112,9 +116,20 @@ pub(crate) struct WalState {
     /// commands answer a retryable `wal` error until restart.
     pub(crate) read_only: AtomicBool,
     /// Replication subscribers: connections that sent `Replicate`. The
-    /// log sink ships each appended record to them while still holding
-    /// the wal lock, so live shipping serializes with handshakes.
-    pub(crate) repl_subs: Mutex<HashMap<u64, Outbox>>,
+    /// WAL's durable sink ships each record to them as it becomes
+    /// durable (under the WAL's disk lock), so live shipping
+    /// serializes with `frozen` handshakes and a primary crash can
+    /// never have shipped a record recovery then loses.
+    pub(crate) repl_subs: Subscribers,
+}
+
+thread_local! {
+    /// LSN of the last record this thread appended through the log
+    /// sink. The sink runs synchronously on the committing thread (with
+    /// the engine locked), so after `commit()` returns this holds the
+    /// commit record's LSN — the one the session must wait on before
+    /// acking.
+    static LAST_WAL_LSN: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 pub(crate) struct Shared {
@@ -251,45 +266,56 @@ impl ServerBuilder {
                     })
                     .map_err(std::io::Error::other)?;
                 Some(Arc::new(WalState {
-                    wal: Mutex::new(wal),
+                    wal,
                     io,
                     dir: dir.clone(),
                     schema_path,
                     read_only: AtomicBool::new(false),
-                    repl_subs: Mutex::new(HashMap::new()),
+                    repl_subs: Arc::new(Mutex::new(HashMap::new())),
                 }))
             }
         };
         let mut log_sink: Option<LogSink> = None;
+        let mut wal_flusher = None;
         if let Some(ws) = &wal {
-            let sink_ws = Arc::clone(ws);
-            // Runs with the engine locked (lock order engine → wal →
-            // repl_subs, matching Checkpoint and Replicate). Errors
-            // poison the wal; the session that triggered the write
-            // surfaces them from `handle_line`. Each durably appended
-            // record ships to replication subscribers under the same
-            // wal lock, so no handshake can interleave a gap.
+            // Shipping moves to the WAL's durable sink: records reach
+            // replication subscribers only once the durable watermark
+            // covers them, so a primary crash can never have shipped a
+            // record its own recovery then loses. The sink runs under
+            // the WAL's disk lock — the same lock `frozen` handshakes
+            // hold — so the handoff from history to live stream still
+            // has no gap and no duplicate. Capturing only the subscriber
+            // map (not the WalState) keeps the WAL out of an Arc cycle.
+            let sink_subs = Arc::clone(&ws.repl_subs);
+            ws.wal
+                .set_durable_sink(Some(Arc::new(move |records: &[DurableRecord]| {
+                    let subs = sink_subs.lock();
+                    if subs.is_empty() || records.is_empty() {
+                        return;
+                    }
+                    let head = records.last().expect("non-empty").lsn + 1;
+                    for r in records {
+                        let msg = ServerMsg::ReplOp {
+                            lsn: r.lsn,
+                            head,
+                            frame: hex_encode(&r.frame),
+                        };
+                        for tx in subs.values() {
+                            let _ = tx.send(msg.clone());
+                        }
+                    }
+                })));
+            wal_flusher = ws.wal.start_flusher();
+            let sink_wal = ws.wal.clone();
+            // Runs with the engine locked, on the committing thread.
+            // Under the group policies this only buffers and assigns
+            // the LSN — the fsync happens on the flusher thread, and
+            // the session waits for it *outside* the engine lock (see
+            // `Command::Commit`). Errors poison the wal; the session
+            // that triggered the write surfaces them from `handle_line`.
             let sink: LogSink = Arc::new(move |op: &LogOp| {
-                let mut wal = sink_ws.wal.lock();
-                let lsn = wal.lsn();
-                if wal.append(op).is_err() {
-                    return;
-                }
-                let head = wal.lsn();
-                let subs = sink_ws.repl_subs.lock();
-                if subs.is_empty() {
-                    return;
-                }
-                let Ok(line) = op.to_json_line() else {
-                    return;
-                };
-                let msg = ServerMsg::ReplOp {
-                    lsn,
-                    head,
-                    frame: hex_encode(&frame::encode(line.as_bytes())),
-                };
-                for tx in subs.values() {
-                    let _ = tx.send(msg.clone());
+                if let Ok(lsn) = sink_wal.append(op) {
+                    LAST_WAL_LSN.with(|c| c.set(Some(lsn)));
                 }
             });
             log_sink = Some(Arc::clone(&sink));
@@ -362,6 +388,7 @@ impl ServerBuilder {
             inner,
             accept_threads,
             repl_thread,
+            wal_flusher,
             tcp_addr,
             unix_path,
             stopped: false,
@@ -374,6 +401,7 @@ pub struct Server {
     inner: Arc<Shared>,
     accept_threads: Vec<JoinHandle<()>>,
     repl_thread: Option<JoinHandle<()>>,
+    wal_flusher: Option<WalFlusher>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     stopped: bool,
@@ -432,10 +460,15 @@ impl Server {
         }
         self.inner.db.set_firing_sink(None);
         self.inner.db.set_log_sink(None);
+        // Every session is gone, so no more appends: drain the pending
+        // queue (the flusher's stop does a final flush), then push any
+        // EveryN/Never-policy unsynced bytes to disk, best effort.
+        if let Some(f) = self.wal_flusher.take() {
+            f.stop();
+        }
         if let Some(ws) = &self.inner.wal {
-            // Best effort: push any EveryN/Never-policy unsynced bytes
-            // to disk before the process goes away.
-            let _ = ws.wal.lock().sync();
+            let _ = ws.wal.sync();
+            ws.wal.set_durable_sink(None);
         }
         if let Some(p) = &self.unix_path {
             let _ = std::fs::remove_file(p);
@@ -531,7 +564,9 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
         if replicating && last_heartbeat.elapsed() >= Duration::from_millis(250) {
             last_heartbeat = Instant::now();
             if let Some(ws) = &inner.wal {
-                let head = ws.wal.lock().lsn();
+                // The head a replica should chase is the durable one:
+                // buffered-but-unflushed records aren't shippable yet.
+                let head = ws.wal.durable_lsn();
                 let _ = tx.send(ServerMsg::ReplHeartbeat { head });
             }
         }
@@ -605,8 +640,7 @@ fn handle_line(
     let refused = matches!(&result, ReplyResult::Err(e) if e.code == "read_only");
     if is_mutation && !refused {
         if let Some(ws) = &inner.wal {
-            let poisoned = ws.wal.lock().poisoned().map(str::to_string);
-            if let Some(msg) = poisoned {
+            if let Some(msg) = ws.wal.poisoned() {
                 ws.read_only.store(true, Ordering::SeqCst);
                 if let Some(t) = open_txn.take() {
                     let _ = inner.db.abort(t);
@@ -755,13 +789,14 @@ fn execute(
                             retryable: true,
                         }
                     })?;
-                    // Ship the new class under the wal lock so it
+                    // Ship the new class while the WAL is frozen so it
                     // serializes with Replicate handshakes (which read
-                    // schema.wal while holding that lock).
-                    let _wal = ws.wal.lock();
-                    for rtx in ws.repl_subs.lock().values() {
-                        let _ = rtx.send(ServerMsg::ReplSchema(spec.clone()));
-                    }
+                    // schema.wal under the same freeze).
+                    ws.wal.frozen(|_| {
+                        for rtx in ws.repl_subs.lock().values() {
+                            let _ = rtx.send(ServerMsg::ReplSchema(spec.clone()));
+                        }
+                    });
                     Ok(())
                 })?,
             }
@@ -780,11 +815,28 @@ fn execute(
         }
         Command::Commit => {
             let t = open_txn.ok_or_else(no_txn)?;
+            LAST_WAL_LSN.with(|c| c.set(None));
             let r = inner.db.commit(t);
             if !inner.db.txn_open(t) {
                 *open_txn = None;
             }
             r.map_err(|e| WireError::from_ode(&e))?;
+            // The in-memory commit is done and the engine mutex is
+            // released; other sessions proceed. Ack only once the
+            // commit record is durable — under group commit this blocks
+            // (outside every lock) until a batch fsync covers it, and
+            // one fsync releases every session waiting here. Inline
+            // policies are already durable to their own standard, so
+            // the wait returns immediately.
+            if let Some(ws) = &inner.wal {
+                if let Some(lsn) = LAST_WAL_LSN.with(|c| c.get()) {
+                    ws.wal.wait_durable(lsn).map_err(|e| WireError {
+                        code: "wal".to_string(),
+                        message: e.to_string(),
+                        retryable: true,
+                    })?;
+                }
+            }
             Ok(Reply::Unit)
         }
         Command::Abort => {
@@ -878,27 +930,38 @@ fn execute(
             };
             // Snapshot and checkpoint under one engine lock so the
             // checkpoint's LSN exactly matches the snapshotted state
-            // (lock order engine → wal, same as the log sink).
-            let lsn = inner.db.with(|db| -> Result<u64, WireError> {
+            // (lock order engine → wal, same as the log sink). That
+            // means every session stalls for the duration — measure and
+            // report it so operators see the cost.
+            let started = Instant::now();
+            let report = inner.db.with(|db| -> Result<_, WireError> {
                 let snap = db.snapshot().map_err(|e| WireError::from_ode(&e))?;
-                let mut wal = ws.wal.lock();
-                wal.checkpoint(&snap).map_err(|e| WireError {
+                ws.wal.checkpoint(&snap).map_err(|e| WireError {
                     code: "wal".to_string(),
                     message: e.to_string(),
                     retryable: true,
-                })?;
-                Ok(wal.lsn())
+                })
             })?;
-            Ok(Reply::Checkpointed { lsn })
+            let stall = started.elapsed();
+            eprintln!(
+                "checkpoint: lsn {} in {:?} (engine stalled), swept {} segment file(s)",
+                report.lsn, stall, report.swept_segments
+            );
+            Ok(Reply::Checkpointed {
+                lsn: report.lsn,
+                swept_segments: report.swept_segments,
+                stall_ms: stall.as_millis() as u64,
+            })
         }
         Command::Stats => {
             let (s, clock_ms) = inner.db.with(|db| (db.stats(), db.now()));
-            let (mut read_only, wal_lsn) = match &inner.wal {
+            let (mut read_only, wal_lsn, wal_stats) = match &inner.wal {
                 Some(ws) => (
                     ws.read_only.load(Ordering::SeqCst),
-                    Some(ws.wal.lock().lsn()),
+                    Some(ws.wal.lsn()),
+                    Some(ws.wal.stats()),
                 ),
-                None => (false, None),
+                None => (false, None, None),
             };
             let (replica, repl_connected, last_applied_lsn, replica_lag_lsn) = match &inner.repl {
                 Some(rs) => {
@@ -925,6 +988,10 @@ fn execute(
                 subscriber_drops: inner.subscriber_drops.load(Ordering::Relaxed),
                 read_only,
                 wal_lsn,
+                durable_lsn: wal_stats.as_ref().map(|s| s.durable_lsn),
+                fsyncs_total: wal_stats.as_ref().map_or(0, |s| s.fsyncs_total),
+                group_commit_batches: wal_stats.as_ref().map_or(0, |s| s.group_commit_batches),
+                group_commit_max_batch: wal_stats.as_ref().map_or(0, |s| s.group_commit_max_batch),
                 replica,
                 repl_connected,
                 last_applied_lsn,
@@ -954,51 +1021,53 @@ fn execute(
                     "server was started without a WAL directory; nothing to replicate",
                 ));
             };
-            // Hold the wal lock across scan + registration: the log
-            // sink ships under the same lock, so the handoff from
-            // historical records to live shipping has no gap and no
-            // duplicate.
-            let wal = ws.wal.lock();
-            let head = wal.lsn();
-            if from_lsn > head {
-                return Err(WireError::new(
-                    "bad_lsn",
-                    format!("requested lsn {from_lsn} is beyond the head {head}"),
-                ));
-            }
-            let scan = SegmentReader::scan(&ws.dir, &ws.io)
-                .map_err(|e| WireError::new("wal", format!("log scan failed: {e}")))?;
-            let schema = load_schema(&ws.io, &ws.schema_path)
-                .map_err(|msg| WireError::new("wal", format!("schema scan failed: {msg}")))?;
-            let (start_lsn, snapshot) = if from_lsn < scan.base_lsn {
-                // The log before the checkpoint is gone; bootstrap the
-                // replica from the checkpoint snapshot instead.
-                let bytes = scan.checkpoint.clone().ok_or_else(|| {
-                    WireError::new(
-                        "wal",
-                        "log starts past the requested lsn with no checkpoint",
-                    )
-                })?;
-                let json = String::from_utf8(bytes)
-                    .map_err(|e| WireError::new("wal", format!("checkpoint not utf-8: {e}")))?;
-                (scan.base_lsn, Some(json))
-            } else {
-                (from_lsn, None)
-            };
-            let _ = tx.send(ServerMsg::ReplSnapshot {
-                lsn: start_lsn,
-                schema,
-                snapshot,
-            });
-            for (lsn, payload) in scan.records_from(start_lsn) {
-                let _ = tx.send(ServerMsg::ReplOp {
-                    lsn,
-                    head,
-                    frame: hex_encode(&frame::encode(payload)),
+            // Freeze the WAL across scan + registration: the durable
+            // sink ships under the disk lock the freeze holds, so the
+            // handoff from historical records to live shipping has no
+            // gap and no duplicate. The freeze's head is the durable
+            // watermark — exactly what the on-disk scan contains, and
+            // the most a primary may ever ship.
+            let (start_lsn, head) = ws.wal.frozen(|head| -> Result<(u64, u64), WireError> {
+                if from_lsn > head {
+                    return Err(WireError::new(
+                        "bad_lsn",
+                        format!("requested lsn {from_lsn} is beyond the durable head {head}"),
+                    ));
+                }
+                let scan = SegmentReader::scan(&ws.dir, &ws.io)
+                    .map_err(|e| WireError::new("wal", format!("log scan failed: {e}")))?;
+                let schema = load_schema(&ws.io, &ws.schema_path)
+                    .map_err(|msg| WireError::new("wal", format!("schema scan failed: {msg}")))?;
+                let (start_lsn, snapshot) = if from_lsn < scan.base_lsn {
+                    // The log before the checkpoint is gone; bootstrap
+                    // the replica from the checkpoint snapshot instead.
+                    let bytes = scan.checkpoint.clone().ok_or_else(|| {
+                        WireError::new(
+                            "wal",
+                            "log starts past the requested lsn with no checkpoint",
+                        )
+                    })?;
+                    let json = String::from_utf8(bytes)
+                        .map_err(|e| WireError::new("wal", format!("checkpoint not utf-8: {e}")))?;
+                    (scan.base_lsn, Some(json))
+                } else {
+                    (from_lsn, None)
+                };
+                let _ = tx.send(ServerMsg::ReplSnapshot {
+                    lsn: start_lsn,
+                    schema,
+                    snapshot,
                 });
-            }
-            ws.repl_subs.lock().insert(conn_id, tx.clone());
-            drop(wal);
+                for (lsn, payload) in scan.records_from(start_lsn) {
+                    let _ = tx.send(ServerMsg::ReplOp {
+                        lsn,
+                        head,
+                        frame: hex_encode(&frame::encode(payload)),
+                    });
+                }
+                ws.repl_subs.lock().insert(conn_id, tx.clone());
+                Ok((start_lsn, head))
+            })?;
             *replicating = true;
             Ok(Reply::Replicating { start_lsn, head })
         }

@@ -5,7 +5,7 @@
 //! and a promoted replica takes writes.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use ode_core::Value;
@@ -33,7 +33,7 @@ fn cfg() -> WalConfig {
     }
 }
 
-fn start_primary(dir: &PathBuf) -> Server {
+fn start_primary(dir: &Path) -> Server {
     Server::builder(SharedDatabase::new(Database::new()))
         .tcp("127.0.0.1:0")
         .wal_dir(dir)
@@ -42,7 +42,7 @@ fn start_primary(dir: &PathBuf) -> Server {
         .expect("primary starts")
 }
 
-fn start_replica(dir: &PathBuf, primary: &Server, plan: HashMap<u64, StreamFault>) -> Server {
+fn start_replica(dir: &Path, primary: &Server, plan: HashMap<u64, StreamFault>) -> Server {
     Server::builder(SharedDatabase::new(Database::new()))
         .tcp("127.0.0.1:0")
         .wal_dir(dir)
@@ -99,7 +99,7 @@ fn keys(firings: &[Firing]) -> Vec<(u64, u64, u64, String, String)> {
 
 /// The committed record stream of a (shut-down) server's WAL
 /// directory, as `(lsn, line)` pairs.
-fn wal_records(dir: &PathBuf) -> Vec<(u64, String)> {
+fn wal_records(dir: &Path) -> Vec<(u64, String)> {
     let scan = SegmentReader::scan(dir, &SharedIo::new(StdIo::new())).expect("scan");
     scan.records_from(0)
         .map(|(lsn, p)| (lsn, String::from_utf8(p.to_vec()).expect("utf8")))
@@ -338,7 +338,7 @@ fn late_replica_bootstraps_from_a_checkpoint_snapshot() {
         withdraw(&mut pc, room, "alice", 120);
     }
     match pc.request(Command::Checkpoint).expect("checkpoint") {
-        Reply::Checkpointed { lsn } => assert!(lsn > 0),
+        Reply::Checkpointed { lsn, .. } => assert!(lsn > 0),
         other => panic!("expected Checkpointed, got {other:?}"),
     }
     withdraw(&mut pc, room, "bob", 150);

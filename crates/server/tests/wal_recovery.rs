@@ -5,7 +5,7 @@
 //! panicking or silently serving un-durable writes.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use ode_core::Value;
 use ode_db::{Database, Fault, FaultyIo, FsyncPolicy, SharedDatabase, SharedIo, WalConfig};
@@ -32,7 +32,7 @@ fn small_cfg() -> WalConfig {
     }
 }
 
-fn start_server(dir: &PathBuf) -> Server {
+fn start_server(dir: &Path) -> Server {
     Server::builder(SharedDatabase::new(Database::new()))
         .tcp("127.0.0.1:0")
         .wal_dir(dir)
@@ -129,7 +129,16 @@ fn checkpoint_truncates_and_recovery_stays_exact() {
         }
 
         match c.request(Command::Checkpoint).expect("checkpoint") {
-            ode_server::protocol::Reply::Checkpointed { lsn } => assert!(lsn > 0),
+            ode_server::protocol::Reply::Checkpointed {
+                lsn,
+                swept_segments,
+                ..
+            } => {
+                assert!(lsn > 0);
+                // Generation zero had live segments; the sweep must
+                // report reclaiming them.
+                assert!(swept_segments > 0, "checkpoint swept no segments");
+            }
             other => panic!("expected Checkpointed, got {other:?}"),
         }
         // The checkpoint superseded generation zero's segments.

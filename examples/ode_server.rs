@@ -5,6 +5,7 @@
 //! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878
 //! cargo run --release --example ode_server -- --tcp 127.0.0.1:7878 --seconds 60
 //! cargo run --release --example ode_server -- --wal-dir /var/lib/ode --fsync commit
+//! cargo run --release --example ode_server -- --wal-dir /var/lib/ode --fsync group
 //! cargo run --release --example ode_server -- \
 //!     --tcp 127.0.0.1:7879 --wal-dir /tmp/ode-replica --replicate-from 127.0.0.1:7878
 //! ```
@@ -13,8 +14,9 @@
 //! (see `examples/ode_client.rs`). With `--wal-dir DIR` every engine
 //! op is written to a crash-safe log in DIR, the directory is
 //! recovered on startup, and clients may issue `Checkpoint`; `--fsync`
-//! picks the append durability (`always`, `commit` [default], `never`,
-//! or a number N for every-N-ops). With `--replicate-from SOURCE` the
+//! picks the append durability (`always`, `commit` [default], `group`
+//! or `group:BATCH:DELAYMS` for batched group commit, `never`, or a
+//! number N for every-N-ops). With `--replicate-from SOURCE` the
 //! server runs as a read replica of the primary at SOURCE (`host:port`
 //! for TCP, a leading `/` or `.` for a Unix socket path): it tails the
 //! primary's WAL, refuses writes with `read_only_replica`, serves
@@ -48,13 +50,30 @@ fn main() {
                     "always" => FsyncPolicy::Always,
                     "commit" => FsyncPolicy::OnCommit,
                     "never" => FsyncPolicy::Never,
+                    "group" => FsyncPolicy::default_group(),
+                    spec if spec.starts_with("group:") => {
+                        let mut parts = spec.split(':').skip(1);
+                        let max_batch = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .expect("--fsync group:BATCH:DELAYMS needs a numeric BATCH");
+                        let delay_ms = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .expect("--fsync group:BATCH:DELAYMS needs a numeric DELAYMS");
+                        FsyncPolicy::Group {
+                            max_batch,
+                            max_delay: std::time::Duration::from_millis(delay_ms),
+                        }
+                    }
                     n => FsyncPolicy::EveryN(n.parse().expect("numeric --fsync interval")),
                 };
             }
             other => {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
-                     --wal-dir DIR, --replicate-from SOURCE, --fsync always|commit|never|N"
+                     --wal-dir DIR, --replicate-from SOURCE, \
+                     --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
                 );
                 std::process::exit(2);
             }
