@@ -308,6 +308,7 @@ pub struct TriggerDef {
 }
 
 /// A class definition.
+#[derive(Clone)]
 pub struct ClassDef {
     /// Class name.
     pub name: String,

@@ -169,6 +169,73 @@ impl FsyncPolicy {
             _ => None,
         }
     }
+
+    /// Upper bound a parsed `group:BATCH:DELAYMS` delay may take.
+    /// `max_delay` is the worst-case ack latency of every committer in a
+    /// batch; past a few seconds it stops being group commit and starts
+    /// being a hang, so [`FsyncPolicy::parse`] refuses it.
+    pub const MAX_GROUP_DELAY_MS: u64 = 10_000;
+
+    /// Parse a `--fsync` operand: `always`, `commit`, `never`, `group`,
+    /// `group:BATCH:DELAYMS`, or a bare number `N` for every-N-ops.
+    /// Invalid specs return an error naming the offending piece instead
+    /// of silently degrading durability: a batch of 0 would never flush
+    /// on count (every committer would ride the delay timer), `N = 0`
+    /// would mean "sync constantly or never" depending on reading, and
+    /// a delay beyond [`FsyncPolicy::MAX_GROUP_DELAY_MS`] stalls every
+    /// ack behind a sleeping flusher.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => return Ok(FsyncPolicy::Always),
+            "commit" => return Ok(FsyncPolicy::OnCommit),
+            "never" => return Ok(FsyncPolicy::Never),
+            "group" => return Ok(FsyncPolicy::default_group()),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("group:") {
+            let mut parts = rest.split(':');
+            let batch = parts.next().unwrap_or("");
+            let delay = parts
+                .next()
+                .ok_or_else(|| format!("fsync policy {s:?}: expected group:BATCH:DELAYMS"))?;
+            if parts.next().is_some() {
+                return Err(format!(
+                    "fsync policy {s:?}: expected exactly group:BATCH:DELAYMS"
+                ));
+            }
+            let max_batch: usize = batch
+                .parse()
+                .map_err(|_| format!("fsync policy {s:?}: BATCH {batch:?} is not a number"))?;
+            if max_batch == 0 {
+                return Err(format!(
+                    "fsync policy {s:?}: a batch of 0 would never flush on count; use BATCH >= 1"
+                ));
+            }
+            let delay_ms: u64 = delay
+                .parse()
+                .map_err(|_| format!("fsync policy {s:?}: DELAYMS {delay:?} is not a number"))?;
+            if delay_ms > Self::MAX_GROUP_DELAY_MS {
+                return Err(format!(
+                    "fsync policy {s:?}: a {delay_ms}ms flush delay stalls every commit ack; \
+                     the maximum is {}ms",
+                    Self::MAX_GROUP_DELAY_MS
+                ));
+            }
+            return Ok(FsyncPolicy::Group {
+                max_batch,
+                max_delay: Duration::from_millis(delay_ms),
+            });
+        }
+        let n: u64 = s.parse().map_err(|_| {
+            format!("fsync policy {s:?}: expected always|commit|group|group:BATCH:DELAYMS|never|N")
+        })?;
+        if n == 0 {
+            return Err(format!(
+                "fsync policy {s:?}: every-0-ops is meaningless; use `never` or N >= 1"
+            ));
+        }
+        Ok(FsyncPolicy::EveryN(n))
+    }
 }
 
 /// Tuning knobs for a [`DiskWal`].
@@ -1021,5 +1088,71 @@ impl WalFlusher {
 impl Drop for WalFlusher {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_valid_surface_form() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("commit").unwrap(), FsyncPolicy::OnCommit);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("group").unwrap(),
+            FsyncPolicy::default_group()
+        );
+        assert_eq!(FsyncPolicy::parse("64").unwrap(), FsyncPolicy::EveryN(64));
+        assert_eq!(
+            FsyncPolicy::parse("group:32:5").unwrap(),
+            FsyncPolicy::Group {
+                max_batch: 32,
+                max_delay: Duration::from_millis(5),
+            }
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:1:0").unwrap(),
+            FsyncPolicy::Group {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_zero_batch_with_a_message_naming_the_cause() {
+        let err = FsyncPolicy::parse("group:0:2").unwrap_err();
+        assert!(err.contains("batch of 0"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_absurd_delays() {
+        let max = FsyncPolicy::MAX_GROUP_DELAY_MS;
+        assert!(FsyncPolicy::parse(&format!("group:64:{max}")).is_ok());
+        let err = FsyncPolicy::parse(&format!("group:64:{}", max + 1)).unwrap_err();
+        assert!(err.contains("stalls every commit ack"), "bad error: {err}");
+        let err = FsyncPolicy::parse("group:64:86400000").unwrap_err();
+        assert!(err.contains("maximum"), "bad error: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "Group",
+            "group:",
+            "group:8",
+            "group:8:2:9",
+            "group:x:2",
+            "group:8:y",
+            "0",
+            "-3",
+            "3.5",
+            "sometimes",
+        ] {
+            assert!(FsyncPolicy::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 }

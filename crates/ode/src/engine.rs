@@ -166,6 +166,9 @@ struct TxnState {
     accessed: Vec<ObjectId>,
     undo: Vec<UndoOp>,
     aborted: Option<AbortReason>,
+    /// The `before tcomplete` fixpoint already ran ([`Database::prepare`]);
+    /// a later commit must not run it again.
+    prepared: bool,
 }
 
 /// The database: classes, objects, transactions, clock, triggers.
@@ -177,6 +180,10 @@ pub struct Database {
     objects: HashMap<u64, Object>,
     next_object: u64,
     next_txn: u64,
+    /// Highest cross-shard commit sequence applied here (see
+    /// [`Database::commit_sharded`]); carried by snapshots so sharded
+    /// recovery can vouch for checkpoint-pruned `Commit2pc` records.
+    gtxn_floor: u64,
     txns: HashMap<u64, TxnState>,
     locks: HashMap<ObjectId, TxnId>,
     clock: Clock,
@@ -226,6 +233,7 @@ impl Database {
             objects: HashMap::new(),
             next_object: 1,
             next_txn: 1,
+            gtxn_floor: 0,
             txns: HashMap::new(),
             locks: HashMap::new(),
             clock: Clock::default(),
@@ -440,6 +448,7 @@ impl Database {
                 accessed: Vec::new(),
                 undo: Vec::new(),
                 aborted: None,
+                prepared: false,
             },
         );
         id
@@ -456,6 +465,7 @@ impl Database {
                 accessed: Vec::new(),
                 undo: Vec::new(),
                 aborted: None,
+                prepared: false,
             },
         );
         id
@@ -467,6 +477,56 @@ impl Database {
         #[cfg(feature = "persistence")]
         self.log_op(|| crate::wal::LogOp::Commit { txn: txn.0 });
         self.user_entry(txn, |db| db.commit_inner(txn))
+    }
+
+    /// Phase one of a two-phase (cross-shard) commit: run the `before
+    /// tcomplete` fixpoint now, but defer the commit decision. On `Ok`
+    /// the transaction is *prepared* — every trigger that wanted to veto
+    /// has had its chance, so a following [`Database::commit_sharded`]
+    /// cannot fail. On `Err` the transaction has aborted (exactly as a
+    /// failing [`Database::commit`] would have).
+    ///
+    /// The `Prepare` record is logged *before* the fixpoint runs,
+    /// mirroring [`Database::commit`]: replay re-attempts the fixpoint
+    /// and reproduces even an aborted outcome deterministically.
+    pub fn prepare(&mut self, txn: TxnId) -> Result<(), OdeError> {
+        #[cfg(feature = "persistence")]
+        self.log_op(|| crate::wal::LogOp::Prepare { txn: txn.0 });
+        self.user_entry(txn, |db| {
+            let state = db.txn_state(txn)?;
+            if !state.is_system && !state.prepared {
+                db.tcomplete_fixpoint(txn)?;
+            }
+            db.txns.get_mut(&txn.0).expect("open above").prepared = true;
+            Ok(())
+        })
+    }
+
+    /// Phase two of a two-phase commit: commit the local branch `txn` of
+    /// global transaction `gtxn`, logging a [`crate::wal::LogOp::Commit2pc`]
+    /// record naming every participating shard. The caller must have
+    /// [`Database::prepare`]d the transaction first; the fixpoint is then
+    /// skipped and the commit cannot fail.
+    pub fn commit_sharded(&mut self, txn: TxnId, gtxn: u64, parts: &[u64]) -> Result<(), OdeError> {
+        #[cfg(feature = "persistence")]
+        {
+            let parts = parts.to_vec();
+            self.log_op(|| crate::wal::LogOp::Commit2pc {
+                txn: txn.0,
+                gtxn,
+                parts,
+            });
+        }
+        #[cfg(not(feature = "persistence"))]
+        let _ = parts;
+        self.gtxn_floor = self.gtxn_floor.max(gtxn);
+        self.user_entry(txn, |db| db.commit_inner(txn))
+    }
+
+    /// Highest cross-shard commit sequence applied here (see
+    /// [`Database::commit_sharded`]).
+    pub fn gtxn_floor(&self) -> u64 {
+        self.gtxn_floor
     }
 
     /// Explicitly abort the transaction.
@@ -481,6 +541,20 @@ impl Database {
     /// Is `txn` currently open (begun, not yet committed or aborted)?
     pub fn txn_open(&self, txn: TxnId) -> bool {
         self.txns.contains_key(&txn.0)
+    }
+
+    /// Every open user transaction, in id order — the transactions a
+    /// crash-recovered log left unfinished (still holding their object
+    /// locks) that a coordinator may want to abort.
+    pub fn open_user_txns(&self) -> Vec<TxnId> {
+        let mut open: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, s)| !s.is_system)
+            .map(|(id, _)| TxnId(*id))
+            .collect();
+        open.sort();
+        open
     }
 
     /// Run `f` inside a fresh transaction, committing on `Ok` and
@@ -513,36 +587,41 @@ impl Database {
         }
     }
 
-    fn commit_inner(&mut self, txn: TxnId) -> Result<(), OdeError> {
-        let is_system = self.txn_state(txn)?.is_system;
-        // Section 6: post `before tcomplete` until no triggers fire. The
-        // accessed set may grow between rounds if actions touch new
-        // objects. System transactions post only their payload events,
-        // so they skip the fixpoint.
-        if !is_system {
-            let mut rounds = 0u32;
-            loop {
-                let accessed = self.txn_state(txn)?.accessed.clone();
-                let mut fired = 0u32;
-                for obj in accessed {
-                    fired += self.post(
-                        txn,
-                        obj,
-                        &BasicEvent::before(EventKind::TComplete),
-                        &[],
-                        None,
-                    )?;
-                }
-                if fired == 0 {
-                    break;
-                }
-                rounds += 1;
-                if rounds > self.config.max_tcomplete_rounds {
-                    return self
-                        .request_abort(txn, AbortReason::TCompleteDivergence)
-                        .map(|_| ());
-                }
+    /// Section 6: post `before tcomplete` until no triggers fire. The
+    /// accessed set may grow between rounds if actions touch new
+    /// objects.
+    fn tcomplete_fixpoint(&mut self, txn: TxnId) -> Result<(), OdeError> {
+        let mut rounds = 0u32;
+        loop {
+            let accessed = self.txn_state(txn)?.accessed.clone();
+            let mut fired = 0u32;
+            for obj in accessed {
+                fired += self.post(
+                    txn,
+                    obj,
+                    &BasicEvent::before(EventKind::TComplete),
+                    &[],
+                    None,
+                )?;
             }
+            if fired == 0 {
+                return Ok(());
+            }
+            rounds += 1;
+            if rounds > self.config.max_tcomplete_rounds {
+                return self
+                    .request_abort(txn, AbortReason::TCompleteDivergence)
+                    .map(|_| ());
+            }
+        }
+    }
+
+    fn commit_inner(&mut self, txn: TxnId) -> Result<(), OdeError> {
+        let state = self.txn_state(txn)?;
+        // System transactions post only their payload events, so they
+        // skip the fixpoint; prepared transactions already ran it.
+        if !state.is_system && !state.prepared {
+            self.tcomplete_fixpoint(txn)?;
         }
 
         // Commit proper.
@@ -1462,6 +1541,7 @@ impl Database {
             seq: self.seq,
             clock_now: self.clock.now(),
             timers: self.clock.export_timers(),
+            gtxn_floor: self.gtxn_floor,
             objects,
         })
     }
@@ -1544,6 +1624,7 @@ impl Database {
         }
         self.next_object = snap.next_object;
         self.next_txn = snap.next_txn.max(self.next_txn);
+        self.gtxn_floor = self.gtxn_floor.max(snap.gtxn_floor);
         self.seq = snap.seq;
         self.clock.import(snap.clock_now, snap.timers.clone());
         // Rebuild the at-pattern dedup registry from the live timers.

@@ -59,6 +59,7 @@ pub mod persist;
 pub mod replication;
 pub mod report;
 pub mod schema;
+pub mod sharded;
 pub mod shared;
 #[cfg(feature = "persistence")]
 pub mod wal;
@@ -86,6 +87,12 @@ pub use persist::Snapshot;
 pub use replication::{Applied, Applier, ApplyError};
 pub use report::describe;
 pub use schema::{SchemaAction, SchemaCtx, SchemaTrigger};
+#[cfg(feature = "persistence")]
+pub use sharded::{
+    reconcile_cross_shard, recover_sharded, shard_dir, ReconcileReport, ShardedRecovery,
+    ShardedWal, SHARDS_META,
+};
+pub use sharded::{shard_of, to_global, to_local, ShardStats, ShardedDatabase};
 pub use shared::{SharedDatabase, SharedTxn};
 #[cfg(feature = "persistence")]
 pub use wal::{replay, LogOp, RedoLog};

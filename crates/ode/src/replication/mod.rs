@@ -249,6 +249,14 @@ impl Applier {
                 let t = self.map_txn(*txn)?;
                 let _ = db.commit(t);
             }
+            LogOp::Prepare { txn } => {
+                let t = self.map_txn(*txn)?;
+                let _ = db.prepare(t);
+            }
+            LogOp::Commit2pc { txn, gtxn, parts } => {
+                let t = self.map_txn(*txn)?;
+                let _ = db.commit_sharded(t, *gtxn, parts);
+            }
             LogOp::Abort { txn } => {
                 let t = self.map_txn(*txn)?;
                 let _ = db.abort(t);

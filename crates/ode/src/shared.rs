@@ -58,6 +58,23 @@ impl SharedDatabase {
         f(&mut self.inner.lock())
     }
 
+    /// Acquire the engine mutex and return the raw guard. For
+    /// coordinators that must hold several engines at once (the sharded
+    /// two-phase commit acquires shard guards in index order); everything
+    /// else should go through [`SharedDatabase::with`].
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, Database> {
+        self.inner.lock()
+    }
+
+    /// Like [`SharedDatabase::lock`], but also reports how long the
+    /// caller waited for the mutex — the engine-lock contention signal
+    /// surfaced by sharded stats.
+    pub fn lock_timed(&self) -> (parking_lot::MutexGuard<'_, Database>, std::time::Duration) {
+        let t0 = std::time::Instant::now();
+        let guard = self.inner.lock();
+        (guard, t0.elapsed())
+    }
+
     /// Execute `f` inside a transaction as `user`. Commits on `Ok`,
     /// aborts on `Err`. [`OdeError::LockConflict`] aborts and retries
     /// (up to the retry budget) with the engine lock released in

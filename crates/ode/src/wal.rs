@@ -87,6 +87,26 @@ pub enum LogOp {
         /// Transaction.
         txn: u64,
     },
+    /// `prepare` — phase one of a cross-shard commit: the `before
+    /// tcomplete` fixpoint runs (and may abort the transaction), but the
+    /// commit decision is deferred to a later [`LogOp::Commit2pc`].
+    Prepare {
+        /// Transaction.
+        txn: u64,
+    },
+    /// Phase two of a cross-shard commit: the local branch `txn` of
+    /// global transaction `gtxn` commits. `parts` names every shard that
+    /// participated — recovery treats the commit as effective only when
+    /// *all* participants' logs carry the matching record (all-or-nothing
+    /// across shard WALs).
+    Commit2pc {
+        /// Local (per-shard) transaction.
+        txn: u64,
+        /// Global transaction id, shared by all participating shards.
+        gtxn: u64,
+        /// Indices of every participating shard, in ascending order.
+        parts: Vec<u64>,
+    },
     /// `abort`.
     Abort {
         /// Transaction.
@@ -118,7 +138,10 @@ impl LogOp {
     /// Does this op end a transaction? (Commit or abort — the points an
     /// `OnCommit` fsync policy must make durable.)
     pub fn ends_txn(&self) -> bool {
-        matches!(self, LogOp::Commit { .. } | LogOp::Abort { .. })
+        matches!(
+            self,
+            LogOp::Commit { .. } | LogOp::Commit2pc { .. } | LogOp::Abort { .. }
+        )
     }
 }
 

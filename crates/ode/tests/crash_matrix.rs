@@ -21,8 +21,8 @@ use ode_core::Value;
 use parking_lot::Mutex;
 
 use ode_db::{
-    demo, replay, Database, DiskWal, FaultyIo, FsyncPolicy, LogOp, RedoLog, SharedIo, Stats, StdIo,
-    WalConfig,
+    demo, replay, shard_dir, Database, DiskWal, FaultyIo, FsyncPolicy, LogOp, ObjectId, RedoLog,
+    ShardedDatabase, ShardedWal, SharedIo, Stats, StdIo, WalConfig,
 };
 
 /// Tiny segments + fsync-per-op maximize the number of distinct I/O
@@ -487,4 +487,243 @@ fn group_commit_crash_mid_batch_flush_never_loses_an_acked_txn() {
         "the first mid-batch crash must not persist the full batch: {recovered_counts:?}"
     );
     assert_eq!(*recovered_counts.last().unwrap(), clean.buffered_head);
+}
+
+// ---------------------------------------------------------------------
+// Per-shard injection points: with N WAL streams a crash can now take
+// down *one* shard's flusher while its siblings keep flushing. The
+// invariants under test: an *acked* cross-shard transaction (both
+// participants' watermarks covered it) survives on every shard; an
+// unacked one is all-or-nothing after reconciliation — never applied on
+// one shard only — and repeated recoveries of the same directory reach
+// the identical verdict (presumed abort is deterministic).
+// ---------------------------------------------------------------------
+
+/// What the two-shard group-commit session observed.
+struct ShardedRun {
+    /// The merged-watermark ack for the gear withdrawal succeeded.
+    acked_ok: bool,
+    /// Shard 1's final batch flush result (`None`: not attempted).
+    sync1_ok: Option<bool>,
+    /// Shard 1's mutating-I/O count just before / after its final
+    /// flush — the faulted runs aim their crash between these.
+    ops_before_sync: u64,
+    ops_after_sync: u64,
+}
+
+/// The session: one cross-shard txn creating a room on each shard, an
+/// *acked* cross-shard gear withdrawal, then an *unacked* buffered
+/// cross-shard bolt withdrawal. Shard 1 flushes first (the crash
+/// target), then shard 0 — healthy — flushes everything it has,
+/// including its half of the unacked transaction.
+fn run_sharded_session(root: &Path, io0: FaultyIo, io1: FaultyIo, do_sync: bool) -> ShardedRun {
+    let ops1 = io1.op_counter();
+    let (wal0, rec0) =
+        DiskWal::open(&shard_dir(root, 0, 2), group_cfg(), SharedIo::new(io0)).expect("shard 0");
+    let (wal1, rec1) =
+        DiskWal::open(&shard_dir(root, 1, 2), group_cfg(), SharedIo::new(io1)).expect("shard 1");
+    assert!(rec0.is_empty() && rec1.is_empty());
+
+    let db = ShardedDatabase::new(2);
+    db.define_class(&demo::stockroom_class()).unwrap();
+    let lasts: [Arc<AtomicU64>; 2] = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+    for (s, wal) in [wal0.clone(), wal1.clone()].into_iter().enumerate() {
+        let last = Arc::clone(&lasts[s]);
+        db.shard(s).with(|d| {
+            d.set_log_sink(Some(Arc::new(move |op: &LogOp| {
+                if let Ok(lsn) = wal.append(op) {
+                    last.store(lsn + 1, Ordering::SeqCst);
+                }
+            })));
+        });
+    }
+
+    // One room per shard, created in a single cross-shard transaction.
+    let (rooms, parts) = db
+        .run_txn("alice", |db, t| {
+            let a = db.create_object_on(t, 0, "stockRoom", &[])?;
+            let b = db.create_object_on(t, 1, "stockRoom", &[])?;
+            Ok((a, b))
+        })
+        .unwrap();
+    assert_eq!(parts, vec![0, 1]);
+
+    // The acked transaction: withdraw 5 gear from each room, then hold
+    // the ack until *both* shards' durable watermarks cover their
+    // commit records (the merged-watermark rule).
+    db.run_txn("alice", |db, t| {
+        db.call(
+            t,
+            rooms.0,
+            "withdraw",
+            &[Value::Str("gear".into()), Value::Int(5)],
+        )?;
+        db.call(
+            t,
+            rooms.1,
+            "withdraw",
+            &[Value::Str("gear".into()), Value::Int(5)],
+        )
+    })
+    .unwrap();
+    let acked_ok = [&wal0, &wal1].iter().zip(&lasts).all(|(wal, last)| {
+        let head = last.load(Ordering::SeqCst);
+        head > 0 && wal.wait_durable(head - 1).is_ok()
+    });
+    let ops_before_sync = ops1.load(Ordering::SeqCst);
+
+    // The unacked tail: withdraw 7 bolts from each room. Buffered and
+    // LSN-assigned on both shards, never waited on.
+    db.run_txn("alice", |db, t| {
+        db.call(
+            t,
+            rooms.0,
+            "withdraw",
+            &[Value::Str("bolt".into()), Value::Int(7)],
+        )?;
+        db.call(
+            t,
+            rooms.1,
+            "withdraw",
+            &[Value::Str("bolt".into()), Value::Int(7)],
+        )
+    })
+    .unwrap();
+
+    let sync1_ok = do_sync.then(|| wal1.sync().is_ok());
+    let ops_after_sync = ops1.load(Ordering::SeqCst);
+    // Shard 0's flusher was untouched by the fault: it lands its whole
+    // stream, including its half of the unacked transaction.
+    wal0.sync().expect("shard 0's io is healthy");
+
+    ShardedRun {
+        acked_ok,
+        sync1_ok,
+        ops_before_sync,
+        ops_after_sync,
+    }
+}
+
+/// Recover the two-shard root with healthy I/O twice (the second pass
+/// proves the presumed-abort verdict is deterministic), then report
+/// `(gear, bolt)` for each room plus the demotions the reconciliation
+/// pass made.
+fn recover_sharded_rooms(root: &Path, tag: &str) -> ([i64; 2], [i64; 2], Vec<(usize, u64)>) {
+    let open = || {
+        let io = SharedIo::new(StdIo::new());
+        let (_wal, recovery) = ShardedWal::open(root, 2, group_cfg(), io)
+            .unwrap_or_else(|e| panic!("{tag}: sharded recovery failed: {e}"));
+        let engines: Vec<Database> = recovery
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, rec)| {
+                let mut db = fresh();
+                rec.restore_into(&mut db)
+                    .unwrap_or_else(|e| panic!("{tag}: shard {s} restore failed: {e}"));
+                db
+            })
+            .collect();
+        (engines, recovery.report.demoted)
+    };
+    let (engines, demoted) = open();
+    let (again, demoted2) = open();
+    assert_eq!(demoted, demoted2, "{tag}: reconciliation not deterministic");
+    for (s, (a, b)) in engines.iter().zip(&again).enumerate() {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "{tag}: shard {s} recovers differently on the second pass"
+        );
+    }
+    // Each room is its shard's first local object.
+    let item = |s: usize, name: &str| {
+        engines[s]
+            .peek_field(ObjectId(1), "items")
+            .expect("room exists on every recovery")
+            .member(name)
+            .and_then(Value::as_int)
+            .expect("item count")
+    };
+    (
+        [item(0, "gear"), item(1, "gear")],
+        [item(0, "bolt"), item(1, "bolt")],
+        demoted,
+    )
+}
+
+#[test]
+fn sharded_crash_in_one_flusher_keeps_acked_cross_shard_txns_atomic() {
+    // Fault-free counting run: sizes shard 1's injection window and
+    // pins down the fully-durable end state.
+    let root = tmp_dir("shard-count");
+    let clean = run_sharded_session(&root, FaultyIo::counting(), FaultyIo::counting(), true);
+    assert!(clean.acked_ok, "healthy io acks the gear withdrawal");
+    assert_eq!(clean.sync1_ok, Some(true));
+    assert!(
+        clean.ops_after_sync > clean.ops_before_sync,
+        "shard 1's final flush performs mutating I/O"
+    );
+    let (gear, bolt, demoted) = recover_sharded_rooms(&root, "clean");
+    assert_eq!(gear, [95, 95]);
+    assert_eq!(bolt, [493, 493]);
+    assert!(
+        demoted.is_empty(),
+        "a clean run demotes nothing: {demoted:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
+    // The matrix: kill shard 1's I/O at every op of its final flush.
+    let mut saw_demotion = false;
+    let mut last_bolt = 0;
+    for k in clean.ops_before_sync..clean.ops_after_sync {
+        let root = tmp_dir(&format!("shard-k{k}"));
+        let run = run_sharded_session(&root, FaultyIo::counting(), FaultyIo::crash_at(k), true);
+        assert!(
+            run.acked_ok,
+            "crash point {k} lies after the merged-watermark ack"
+        );
+        assert_eq!(
+            run.sync1_ok,
+            Some(false),
+            "crash point {k}: the dying flush must not report success"
+        );
+
+        let (gear, bolt, demoted) = recover_sharded_rooms(&root, &format!("crash {k}"));
+        // The acked transaction is durable on *both* shards, no matter
+        // where shard 1's flusher died.
+        assert_eq!(
+            gear,
+            [95, 95],
+            "crash point {k}: an acked cross-shard txn was lost"
+        );
+        // The unacked transaction is atomic: shard 0 flushed its half,
+        // but reconciliation demotes it unless shard 1's copy landed
+        // too — it must never be applied on one room only.
+        assert_eq!(
+            bolt[0], bolt[1],
+            "crash point {k}: unacked cross-shard txn applied on one shard only"
+        );
+        assert!(
+            bolt[0] == 500 || bolt[0] == 493,
+            "crash point {k}: bolts are pre- or post-txn, got {bolt:?}"
+        );
+        if !demoted.is_empty() {
+            saw_demotion = true;
+            assert_eq!(
+                bolt,
+                [500, 500],
+                "crash point {k}: a demoted txn must not leave effects"
+            );
+        }
+        last_bolt = bolt[0];
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    assert!(
+        saw_demotion,
+        "the window never exercised the demotion path — the matrix lost its teeth"
+    );
+    // The final crash point dies after shard 1's batch hit the disk:
+    // everything recovers, exactly like the clean run.
+    assert_eq!(last_bolt, 493, "the last crash point keeps the full batch");
 }

@@ -1,0 +1,226 @@
+//! Sharding regressions: (a) the object-id ⇄ shard mapping is a pure,
+//! stable bijection — the property that lets a restarted server or a
+//! replica route every global id to the same shard without a lookup
+//! table — and (b) disjoint-shard transactions actually scale: eight
+//! threads on eight shards beat eight threads fighting over one engine
+//! lock, and the per-shard contention counters show why.
+
+use ode_core::Value;
+use ode_db::{demo, shard_of, to_global, to_local, ObjectId, ShardedDatabase};
+
+/// Deterministic pseudo-random stream (no external dependency): the
+/// constants are from Knuth's MMIX LCG.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+#[test]
+fn shard_assignment_round_trips_for_random_ids() {
+    let mut rng = Lcg(0x5eed);
+    for _ in 0..10_000 {
+        let shards = (rng.next() % 16 + 1) as usize;
+        let global = ObjectId(rng.next() % 1_000_000 + 1);
+        let s = shard_of(global, shards);
+        let local = to_local(global, shards);
+        assert!(s < shards);
+        assert!(local.0 >= 1);
+        assert_eq!(
+            to_global(local, s, shards),
+            global,
+            "decode/encode must round-trip (shards={shards}, id={global:?})"
+        );
+        // Single-shard layout is the identity map — existing unsharded
+        // deployments keep their object ids.
+        assert_eq!(to_local(global, 1), global);
+        assert_eq!(shard_of(global, 1), 0);
+    }
+}
+
+#[test]
+fn shard_assignment_is_stable_across_instances() {
+    // The mapping must be a pure function of (id, shard count): two
+    // independently built databases — a restart, a replica — route the
+    // same global id to the same shard. Also pin a few literal values
+    // so an accidental change to the arithmetic cannot slip through as
+    // "still a bijection, different layout" (which would scramble every
+    // object in an existing WAL directory).
+    for shards in [1, 2, 3, 4, 8, 16] {
+        let mut rng = Lcg(0xfeed ^ shards as u64);
+        for _ in 0..1_000 {
+            let global = ObjectId(rng.next() % 100_000 + 1);
+            let a = (shard_of(global, shards), to_local(global, shards));
+            let b = (shard_of(global, shards), to_local(global, shards));
+            assert_eq!(a, b);
+        }
+    }
+    assert_eq!(shard_of(ObjectId(1), 4), 0);
+    assert_eq!(shard_of(ObjectId(2), 4), 1);
+    assert_eq!(shard_of(ObjectId(5), 4), 0);
+    assert_eq!(to_local(ObjectId(5), 4), ObjectId(2));
+    assert_eq!(to_global(ObjectId(2), 0, 4), ObjectId(5));
+}
+
+#[test]
+fn round_robin_placement_spreads_objects_evenly() {
+    let db = ShardedDatabase::new(4);
+    db.define_class(&demo::stockroom_class()).unwrap();
+    let ids: Vec<ObjectId> = (0..40)
+        .map(|_| {
+            db.run_txn("alice", |db, t| db.create_object(t, "stockRoom", &[]))
+                .unwrap()
+                .0
+        })
+        .collect();
+    let mut per_shard = [0usize; 4];
+    for id in &ids {
+        per_shard[db.shard_of(*id)] += 1;
+    }
+    assert_eq!(per_shard, [10, 10, 10, 10], "round-robin placement");
+}
+
+/// Eight threads on eight disjoint rooms: with one shard they all fight
+/// over a single engine lock; with eight shards each thread owns its
+/// shard end to end. Timing-sensitive, so it runs in release only.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "timing: run with --release")]
+fn disjoint_shard_transactions_scale_near_linearly() {
+    const THREADS: usize = 8;
+    const TXNS: usize = 60;
+    /// Deposit/withdraw pairs per transaction — enough engine work under
+    /// the shard lock that lock hold time (not scheduling or coordinator
+    /// bookkeeping) dominates the measurement.
+    const PAIRS: usize = 25;
+
+    let run = |shards: usize| -> (std::time::Duration, ShardedDatabase) {
+        let db = ShardedDatabase::new(shards);
+        db.define_class(&demo::stockroom_class()).unwrap();
+        // One room per thread, placed so that with 8 shards every
+        // thread has its own shard (and with 1 shard they collide).
+        let rooms: Vec<ObjectId> = (0..THREADS)
+            .map(|i| {
+                db.run_txn("alice", |db, t| {
+                    db.create_object_on(t, i % shards, "stockRoom", &[])
+                })
+                .unwrap()
+                .0
+            })
+            .collect();
+        let started = std::time::Instant::now();
+        crossbeam::scope(|s| {
+            for room in rooms.iter().copied() {
+                let db = db.clone();
+                s.spawn(move |_| {
+                    for _ in 0..TXNS {
+                        db.run_txn("alice", |db, t| {
+                            for _ in 0..PAIRS {
+                                db.call(
+                                    t,
+                                    room,
+                                    "deposit",
+                                    &[Value::Str("bolt".into()), Value::Int(150)],
+                                )?;
+                                db.call(
+                                    t,
+                                    room,
+                                    "withdraw",
+                                    &[Value::Str("bolt".into()), Value::Int(150)],
+                                )?;
+                            }
+                            Ok(())
+                        })
+                        .expect("disjoint rooms never exhaust retries");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        (started.elapsed(), db)
+    };
+
+    let (one_shard, _db1) = run(1);
+    let (eight_shards, db8) = run(8);
+
+    // Every thread worked a distinct shard, so commits spread evenly.
+    let stats = db8.stats();
+    assert_eq!(stats.commits.len(), 8);
+    for (s, c) in stats.commits.iter().enumerate() {
+        assert_eq!(
+            *c,
+            TXNS as u64 + 1,
+            "shard {s} commit count (txns + its room's creation)"
+        );
+    }
+
+    // "Near-linear" scaled to the machine: wall-clock speedup is
+    // bounded by the cores actually available, so the bar rises with
+    // `available_parallelism`. On a single-core box the regression
+    // still bites — sharding must not make the same workload slower
+    // (the coordinator adds no serial bottleneck of its own).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = one_shard.as_secs_f64() / eight_shards.as_secs_f64().max(1e-9);
+    let floor = match cores.min(THREADS) {
+        1 => 0.7,
+        2..=3 => 1.3,
+        4..=7 => 2.0,
+        _ => 3.0,
+    };
+    assert!(
+        speedup >= floor,
+        "8 shards gave only {speedup:.2}x over 1 shard with {cores} cores \
+         (wanted >= {floor}; {one_shard:?} vs {eight_shards:?})"
+    );
+}
+
+/// The contention counters surfaced by `ShardedDatabase::stats` move
+/// the right way: threads hammering one shard record lock wait; the
+/// same work spread across shards records commits on each shard.
+#[test]
+fn lock_wait_accounting_attributes_contention_to_the_hot_shard() {
+    let db = ShardedDatabase::new(2);
+    db.define_class(&demo::stockroom_class()).unwrap();
+    let hot = db
+        .run_txn("alice", |db, t| db.create_object_on(t, 0, "stockRoom", &[]))
+        .unwrap()
+        .0;
+    crossbeam::scope(|s| {
+        for _ in 0..4 {
+            let db = db.clone();
+            s.spawn(move |_| {
+                for _ in 0..50 {
+                    db.run_txn("alice", |db, t| {
+                        db.call(
+                            t,
+                            hot,
+                            "deposit",
+                            &[Value::Str("bolt".into()), Value::Int(1)],
+                        )
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+    let stats = db.stats();
+    assert_eq!(stats.commits[0], 4 * 50 + 1, "all commits hit shard 0");
+    assert_eq!(stats.commits[1], 0, "shard 1 idled");
+    // The hot shard's lock was acquired ~hundreds of times under
+    // contention; the idle shard's only for the class broadcast.
+    assert!(
+        stats.lock_wait_ns[0] >= stats.lock_wait_ns[1],
+        "wait attribution inverted: {:?}",
+        stats.lock_wait_ns
+    );
+    assert_eq!(
+        stats.total_lock_wait_ns(),
+        stats.lock_wait_ns.iter().sum::<u64>()
+    );
+}

@@ -133,9 +133,11 @@ pub enum Command {
     /// with [`ServerMsg::ReplHeartbeat`] lines. Sent by a replica server,
     /// not by ordinary clients.
     Replicate {
-        /// The first LSN the replica still needs (its local head).
-        /// Must not exceed the primary's head.
-        from_lsn: u64,
+        /// Per-shard: the first LSN the replica still needs from that
+        /// shard's stream (its local head). The vector length must
+        /// match the primary's shard count, and no entry may exceed
+        /// that shard's head. A single-shard replica sends one entry.
+        from_lsns: Vec<u64>,
     },
     /// Promote a replica to writable: stop the tailing loop, abort
     /// transactions the stream left open, and accept mutations from now
@@ -159,6 +161,9 @@ pub enum ServerMsg {
     /// and, when the replica's `from_lsn` predates the primary's oldest
     /// retained record, the checkpoint snapshot to bootstrap from.
     ReplSnapshot {
+        /// Which shard stream this bootstrap belongs to (always `0`
+        /// on a single-shard primary).
+        shard: u64,
         /// The LSN the stream starts at. With a snapshot this is the
         /// LSN the snapshot covers; records follow from here.
         lsn: u64,
@@ -172,9 +177,12 @@ pub enum ServerMsg {
     },
     /// One shipped WAL record.
     ReplOp {
-        /// The record's log sequence number.
+        /// Which shard's WAL stream the record belongs to (always `0`
+        /// on a single-shard primary). LSNs are per-shard sequences.
+        shard: u64,
+        /// The record's log sequence number within its shard stream.
         lsn: u64,
-        /// The primary's head LSN at ship time (drives lag reporting).
+        /// That shard's head LSN at ship time (drives lag reporting).
         head: u64,
         /// The record as a hex-encoded CRC32 frame
         /// ([`ode_db::durability::frame`]) — the replica verifies the
@@ -186,7 +194,9 @@ pub enum ServerMsg {
     /// Periodic head report so an idle replica still tracks lag and
     /// detects a dead link.
     ReplHeartbeat {
-        /// The primary's current head LSN.
+        /// Which shard stream the head report is for.
+        shard: u64,
+        /// That shard's current head LSN on the primary.
         head: u64,
     },
 }
@@ -246,12 +256,12 @@ pub enum Reply {
     /// (The stream's first messages may already be queued before this
     /// reply; replicas must tolerate either order.)
     Replicating {
-        /// The LSN the stream starts at (≥ the requested `from_lsn`
-        /// only when a snapshot bootstrap jumps past it; otherwise
-        /// equal to it).
-        start_lsn: u64,
-        /// The primary's head LSN at handshake time.
-        head: u64,
+        /// Per shard: the LSN that shard's stream starts at (≥ the
+        /// requested `from_lsns[s]` only when a snapshot bootstrap
+        /// jumps past it; otherwise equal to it).
+        start_lsns: Vec<u64>,
+        /// Per shard: that shard's head LSN at handshake time.
+        heads: Vec<u64>,
     },
     /// Answer to [`Command::Promote`]: the replica is now writable.
     Promoted {
@@ -363,13 +373,29 @@ pub struct WireStats {
     /// minus `last_applied_lsn`. `None` on non-replicas and after
     /// promotion; `0` when caught up.
     pub replica_lag_lsn: Option<u64>,
+    /// How many engine shards the server runs (`1` unless started with
+    /// `--shards N`).
+    pub shards: u64,
+    /// Per shard: transactions committed wholly on that shard plus
+    /// cross-shard commits it participated in. Skew here means the
+    /// workload's objects hash unevenly.
+    pub shard_commits: Vec<u64>,
+    /// Per shard: cumulative microseconds sessions spent *waiting* for
+    /// that shard's engine lock — the contention signal sharding is
+    /// meant to drive down. Flat and near-zero at `--shards N` with a
+    /// partitionable workload; one hot entry means a hot shard.
+    pub shard_lock_wait_us: Vec<u64>,
 }
 
 /// A trigger firing as streamed to subscribers — the wire image of
 /// [`ode_db::FiringNotice`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Firing {
-    /// Global firing sequence number: strictly increasing, unique.
+    /// The engine shard the firing was detected on (`0` unless the
+    /// server runs sharded).
+    pub shard: u64,
+    /// Firing sequence number, strictly increasing and unique *within
+    /// its shard* (each shard's engine numbers its own firings).
     pub seq: u64,
     /// The detecting transaction (firings of transactions that later
     /// abort are still streamed; correlate by this id).
@@ -399,12 +425,15 @@ pub struct CapturedEvent {
 }
 
 impl Firing {
-    /// Convert an engine notice to its wire image.
-    pub fn from_notice(n: &ode_db::FiringNotice) -> Firing {
+    /// Convert an engine notice to its wire image. The notice's object
+    /// id is shard-local; `shard`/`shard_count` translate it to the
+    /// global id clients address (the identity map when unsharded).
+    pub fn from_notice(n: &ode_db::FiringNotice, shard: usize, shard_count: usize) -> Firing {
         Firing {
+            shard: shard as u64,
             seq: n.seq,
             txn: n.txn.0,
-            object: n.object.0,
+            object: ode_db::to_global(n.object, shard, shard_count).0,
             class: n.class.clone(),
             trigger: n.trigger.clone(),
             event: n.event.to_string(),

@@ -99,11 +99,14 @@ pub enum StreamFault {
 }
 
 /// Shared replica status, read by `Stats` and flipped by `Promote`.
+/// LSN cursors are per shard stream; `Stats` reports their sums (a
+/// record count across the whole partitioned log).
 pub(crate) struct ReplicaState {
-    /// One past the last applied LSN.
-    pub(crate) applied: AtomicU64,
-    /// The primary's head LSN as last reported (ship or heartbeat).
-    pub(crate) head: AtomicU64,
+    /// Per shard: one past the last applied LSN.
+    pub(crate) applied: Vec<AtomicU64>,
+    /// Per shard: the primary's head LSN as last reported (ship or
+    /// heartbeat).
+    pub(crate) head: Vec<AtomicU64>,
     /// Whether the stream is currently established.
     pub(crate) connected: AtomicBool,
     /// Set by `Promote` before it takes effect.
@@ -115,15 +118,29 @@ pub(crate) struct ReplicaState {
 }
 
 impl ReplicaState {
-    pub(crate) fn new(applied: u64) -> ReplicaState {
+    pub(crate) fn new(applied: Vec<u64>) -> ReplicaState {
         ReplicaState {
-            applied: AtomicU64::new(applied),
-            head: AtomicU64::new(applied),
+            head: applied.iter().map(|&a| AtomicU64::new(a)).collect(),
+            applied: applied.into_iter().map(AtomicU64::new).collect(),
             connected: AtomicBool::new(false),
             promoted: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             finished: AtomicBool::new(false),
         }
+    }
+
+    /// Total records applied across every shard stream.
+    pub(crate) fn applied_sum(&self) -> u64 {
+        self.applied.iter().map(|a| a.load(Ordering::SeqCst)).sum()
+    }
+
+    /// Total reported head across every shard stream.
+    pub(crate) fn head_sum(&self) -> u64 {
+        self.head
+            .iter()
+            .zip(&self.applied)
+            .map(|(h, a)| h.load(Ordering::SeqCst).max(a.load(Ordering::SeqCst)))
+            .sum()
     }
 }
 
@@ -141,7 +158,7 @@ enum Flow {
 pub(crate) fn run_replica(
     inner: Arc<Shared>,
     source: ReplSource,
-    mut applier: Applier,
+    mut appliers: Vec<Applier>,
     plan: HashMap<u64, StreamFault>,
 ) {
     let rs = Arc::clone(inner.repl.as_ref().expect("replica state"));
@@ -166,7 +183,7 @@ pub(crate) fn run_replica(
         let req = Request {
             id: 1,
             cmd: Command::Replicate {
-                from_lsn: applier.next_lsn(),
+                from_lsns: appliers.iter().map(|a| a.next_lsn()).collect(),
             },
         };
         let handshake = serde_json::to_string(&req).expect("request encodes") + "\n";
@@ -188,7 +205,7 @@ pub(crate) fn run_replica(
                     match handle_msg(
                         &inner,
                         &rs,
-                        &mut applier,
+                        &mut appliers,
                         &plan,
                         &mut ops_seen,
                         &mut attempt,
@@ -218,7 +235,9 @@ pub(crate) fn run_replica(
     rs.connected.store(false, Ordering::SeqCst);
     // Transactions the stream left open will never see their commits;
     // release their locks before the server (if promoted) takes writes.
-    let _ = inner.db.with(|db| applier.abort_open(db));
+    for (s, applier) in appliers.iter_mut().enumerate() {
+        inner.db.shard(s).with(|db| applier.abort_open(db));
+    }
     rs.finished.store(true, Ordering::SeqCst);
 }
 
@@ -245,7 +264,7 @@ fn sleep_backoff(inner: &Shared, rs: &ReplicaState, attempt: &mut u32) -> bool {
 fn handle_msg(
     inner: &Arc<Shared>,
     rs: &ReplicaState,
-    applier: &mut Applier,
+    appliers: &mut [Applier],
     plan: &HashMap<u64, StreamFault>,
     ops_seen: &mut u64,
     attempt: &mut u32,
@@ -265,36 +284,47 @@ fn handle_msg(
             ..
         } => Flow::Resync,
         ServerMsg::Reply { .. } | ServerMsg::Firing(_) => Flow::Continue,
-        ServerMsg::ReplHeartbeat { head } => {
-            rs.head.store(head, Ordering::SeqCst);
+        ServerMsg::ReplHeartbeat { shard, head } => {
+            let Some(h) = rs.head.get(shard as usize) else {
+                return Flow::Fatal;
+            };
+            h.store(head, Ordering::SeqCst);
             Flow::Continue
         }
         ServerMsg::ReplSchema(spec) => define_spec(inner, &spec),
         ServerMsg::ReplSnapshot {
+            shard,
             lsn,
             schema,
             snapshot,
         } => {
+            let s = shard as usize;
+            if s >= appliers.len() {
+                return Flow::Fatal;
+            }
             for spec in &schema {
                 if let Flow::Fatal = define_spec(inner, spec) {
                     return Flow::Fatal;
                 }
             }
-            if lsn <= applier.next_lsn() {
-                // Pure log catch-up: the stream continues from where
-                // this replica already is.
+            if lsn <= appliers[s].next_lsn() {
+                // Pure log catch-up: this shard's stream continues from
+                // where the replica already is.
                 return Flow::Continue;
             }
-            // Snapshot jump: the primary no longer retains the records
-            // between our cursor and `lsn`. Rebuild the engine from the
-            // shipped snapshot; `restore` needs an empty store.
+            // Snapshot jump: the primary no longer retains this shard's
+            // records between our cursor and `lsn`. Rebuild *that
+            // shard's* engine from the shipped snapshot (`restore`
+            // needs an empty store); the other shards' streams are
+            // negotiated independently and are not disturbed.
             let Some(json) = snapshot else {
                 return Flow::Resync;
             };
             let Ok(snap) = Snapshot::from_json(&json) else {
                 return Flow::Fatal;
             };
-            let rebuilt = inner.db.with(|db| -> Result<Applier, String> {
+            let applier = &mut appliers[s];
+            let rebuilt = inner.db.shard(s).with(|db| -> Result<Applier, String> {
                 applier.abort_open(db);
                 let mut fresh = Database::new();
                 for spec in &schema {
@@ -303,8 +333,8 @@ fn handle_msg(
                 }
                 fresh.restore(&snap).map_err(|e| e.to_string())?;
                 fresh.take_output();
-                fresh.set_firing_sink(inner.firing_sink.clone());
-                fresh.set_log_sink(inner.log_sink.clone());
+                fresh.set_firing_sink(inner.firing_sinks.get(s).cloned());
+                fresh.set_log_sink(inner.log_sinks.get(s).cloned());
                 let next = Applier::resume(&fresh, lsn);
                 *db = fresh;
                 Ok(next)
@@ -312,19 +342,29 @@ fn handle_msg(
             match rebuilt {
                 Ok(next) => {
                     if let Some(ws) = &inner.wal {
-                        // Persist the jump so a restart resumes from
-                        // `lsn` instead of a stale local head.
-                        let _ = ws.wal.checkpoint_at(&snap, lsn);
+                        // Persist the jump so a restart resumes this
+                        // shard from `lsn` instead of a stale local
+                        // head.
+                        let _ = ws.wal.wal(s).checkpoint_at(&snap, lsn);
                     }
                     *applier = next;
-                    rs.applied.store(lsn, Ordering::SeqCst);
+                    rs.applied[s].store(lsn, Ordering::SeqCst);
                     Flow::Continue
                 }
                 Err(_) => Flow::Fatal,
             }
         }
-        ServerMsg::ReplOp { lsn, head, frame } => {
-            rs.head.store(head, Ordering::SeqCst);
+        ServerMsg::ReplOp {
+            shard,
+            lsn,
+            head,
+            frame,
+        } => {
+            let s = shard as usize;
+            if s >= appliers.len() {
+                return Flow::Fatal;
+            }
+            rs.head[s].store(head, Ordering::SeqCst);
             let fault = plan.get(ops_seen).copied();
             *ops_seen += 1;
             if let Some(StreamFault::Disconnect) = fault {
@@ -363,37 +403,49 @@ fn handle_msg(
             } else {
                 1
             };
+            let applier = &mut appliers[s];
             for _ in 0..applies {
-                match inner.db.with(|db| applier.apply(db, lsn, &op)) {
+                match inner.db.shard(s).with(|db| applier.apply(db, lsn, &op)) {
                     Ok(_) => {}
                     Err(ApplyError::Gap { .. }) => return Flow::Resync,
                     Err(ApplyError::Logical(_)) => return Flow::Fatal,
                 }
             }
-            rs.applied.store(applier.next_lsn(), Ordering::SeqCst);
+            rs.applied[s].store(applier.next_lsn(), Ordering::SeqCst);
             Flow::Continue
         }
     }
 }
 
-/// Define a shipped class if this replica doesn't have it yet, and
-/// record it in the local `schema.wal` so a restart recovers it before
-/// the op log replays.
+/// Define a shipped class on every shard engine (classes exist on all
+/// shards in lockstep) if this replica doesn't have it yet, and record
+/// it in the local `schema.wal` so a restart recovers it before the op
+/// logs replay.
 fn define_spec(inner: &Arc<Shared>, spec: &ClassSpec) -> Flow {
     let Ok(def) = compile_class(spec) else {
         return Flow::Fatal;
     };
-    inner.db.with(|db| {
-        match db.define_class(def) {
-            Ok(_) => {
-                if let Some(ws) = &inner.wal {
-                    let _ = append_schema(&ws.io, &ws.schema_path, spec);
+    let mut fresh = false;
+    for shard in inner.db.shards() {
+        let flow = shard.with(|db| {
+            match db.define_class(def.clone()) {
+                Ok(_) => {
+                    fresh = true;
+                    Flow::Continue
                 }
-                Flow::Continue
+                // Already defined (schema catch-up re-ships everything).
+                Err(ode_db::OdeError::ClassExists(_)) => Flow::Continue,
+                Err(_) => Flow::Fatal,
             }
-            // Already defined (schema catch-up re-ships everything).
-            Err(ode_db::OdeError::ClassExists(_)) => Flow::Continue,
-            Err(_) => Flow::Fatal,
+        });
+        if let Flow::Fatal = flow {
+            return Flow::Fatal;
         }
-    })
+    }
+    if fresh {
+        if let Some(ws) = &inner.wal {
+            let _ = append_schema(&ws.io, &ws.schema_path, spec);
+        }
+    }
+    Flow::Continue
 }

@@ -43,7 +43,7 @@
 //! refused; reads, aborts, and subscriptions keep working) instead of
 //! panicking or serving un-durable writes.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
@@ -59,8 +59,9 @@ use ode_db::durability::frame;
 use ode_db::engine::{FiringSink, LogSink};
 use ode_db::replication::Applier;
 use ode_db::{
-    DiskWal, DurableRecord, FiringNotice, LogOp, ObjectId, SegmentReader, SharedDatabase, SharedIo,
-    Snapshot, StdIo, TxnId, WalConfig, WalFlusher,
+    shard_dir, Database, DurableRecord, FiringNotice, LogOp, ObjectId, SegmentReader,
+    ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot, StdIo, TxnId, WalConfig,
+    WalFlusher,
 };
 use parking_lot::Mutex;
 
@@ -101,39 +102,63 @@ type Subscribers = Arc<Mutex<HashMap<u64, Outbox>>>;
 
 /// The server's durability state (present when started with a WAL dir).
 pub(crate) struct WalState {
-    /// The WAL handle (internally synchronized; see [`DiskWal`]'s lock
-    /// order — the engine lock is only ever held around the cheap
-    /// buffer+assign-LSN step, never an fsync).
-    pub(crate) wal: DiskWal,
+    /// One WAL stream per engine shard (internally synchronized; the
+    /// engine lock is only ever held around the cheap buffer+assign-LSN
+    /// step, never an fsync). Unsharded servers run a single stream in
+    /// the legacy flat layout.
+    pub(crate) wal: ShardedWal,
     pub(crate) io: SharedIo,
-    /// The WAL directory, re-scanned by `Replicate` handshakes.
+    /// The WAL root directory; `Replicate` handshakes re-scan the
+    /// per-shard subdirectories under it.
     pub(crate) dir: PathBuf,
     /// `<wal-dir>/schema.wal`: framed `ClassSpec` JSON, one record per
     /// wire-defined class, replayed (in `ClassId` order) before the op
-    /// WAL on recovery.
+    /// WAL on recovery. Shared by every shard — classes are defined on
+    /// all shards in lockstep.
     pub(crate) schema_path: PathBuf,
     /// Latched after the first WAL write/fsync failure: mutating
     /// commands answer a retryable `wal` error until restart.
     pub(crate) read_only: AtomicBool,
-    /// Replication subscribers: connections that sent `Replicate`. The
-    /// WAL's durable sink ships each record to them as it becomes
-    /// durable (under the WAL's disk lock), so live shipping
-    /// serializes with `frozen` handshakes and a primary crash can
-    /// never have shipped a record recovery then loses.
-    pub(crate) repl_subs: Subscribers,
+    /// Replication subscribers, one map per shard: connections that
+    /// sent `Replicate`. Each shard's durable sink ships its records to
+    /// its own map (under that shard's disk lock), so live shipping
+    /// serializes with that shard's `frozen` handshake and a primary
+    /// crash can never have shipped a record recovery then loses. The
+    /// maps are per shard because a handshake registers with each shard
+    /// stream only after scanning *that* shard's history.
+    pub(crate) repl_subs: Vec<Subscribers>,
 }
 
 thread_local! {
-    /// LSN of the last record this thread appended through the log
-    /// sink. The sink runs synchronously on the committing thread (with
-    /// the engine locked), so after `commit()` returns this holds the
-    /// commit record's LSN — the one the session must wait on before
-    /// acking.
-    static LAST_WAL_LSN: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Per shard, the LSN of the last record this thread appended
+    /// through that shard's log sink. The sinks run synchronously on
+    /// the committing thread (with the shard's engine locked), so after
+    /// `commit()` returns this holds each participating shard's commit
+    /// record LSN — the merged watermark the session must wait on
+    /// before acking.
+    static LAST_WAL_LSNS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lsns_clear() {
+    LAST_WAL_LSNS.with(|c| c.borrow_mut().clear());
+}
+
+fn lsns_note(shard: usize, lsn: u64) {
+    LAST_WAL_LSNS.with(|c| {
+        let mut v = c.borrow_mut();
+        match v.iter_mut().find(|(s, _)| *s == shard) {
+            Some(e) => e.1 = lsn,
+            None => v.push((shard, lsn)),
+        }
+    });
+}
+
+fn lsns_take() -> Vec<(usize, u64)> {
+    LAST_WAL_LSNS.with(|c| std::mem::take(&mut *c.borrow_mut()))
 }
 
 pub(crate) struct Shared {
-    pub(crate) db: SharedDatabase,
+    pub(crate) db: ShardedDatabase,
     pub(crate) config: ServerConfig,
     pub(crate) shutdown: AtomicBool,
     pub(crate) subs: Subscribers,
@@ -145,15 +170,17 @@ pub(crate) struct Shared {
     pub(crate) subscriber_drops: Arc<AtomicU64>,
     /// Replica status when started with `replicate_from`.
     pub(crate) repl: Option<Arc<ReplicaState>>,
-    /// The installed sinks, kept so the replica runner can re-install
-    /// them after rebuilding the engine for a snapshot jump.
-    pub(crate) log_sink: Option<LogSink>,
-    pub(crate) firing_sink: Option<FiringSink>,
+    /// The installed per-shard sinks, kept so the replica runner can
+    /// re-install them after rebuilding a shard's engine for a
+    /// snapshot jump.
+    pub(crate) log_sinks: Vec<LogSink>,
+    pub(crate) firing_sinks: Vec<FiringSink>,
 }
 
 /// Configures and starts a [`Server`].
 pub struct ServerBuilder {
     db: SharedDatabase,
+    shards: usize,
     config: ServerConfig,
     tcp: Option<String>,
     unix: Option<PathBuf>,
@@ -182,6 +209,21 @@ impl ServerBuilder {
     /// Override the default [`ServerConfig`].
     pub fn config(mut self, config: ServerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Hash-partition objects and trigger state into `n` engine shards,
+    /// each with its own engine lock, WAL segment stream, and
+    /// group-commit flusher, so single-shard transactions run fully
+    /// parallel end to end. The database handle given to
+    /// [`Server::builder`] becomes shard 0 (external clones of it stay
+    /// live); shards 1..n start empty, so with `n > 1` define classes
+    /// through the wire (or pre-populate every shard), not on the
+    /// handle alone. A WAL directory written with one shard count
+    /// refuses to reopen with another.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one shard");
+        self.shards = n;
         self
     }
 
@@ -230,12 +272,23 @@ impl ServerBuilder {
     /// install the firing and log sinks, and start the accept threads.
     pub fn start(self) -> std::io::Result<Server> {
         let is_replica = self.replicate_from.is_some();
-        // Recover *before* installing the log sink: replayed ops must
-        // not be re-appended to the log they came from. A replica
-        // bootstraps through an `Applier` instead of `restore_into` so
-        // the id maps of transactions its local log left open stay
-        // live for the stream to resume mid-transaction.
-        let mut applier = Applier::new();
+        let n = self.shards;
+        // Shard 0 is the caller's handle (its external clones stay
+        // live); the rest start empty.
+        let mut handles = vec![self.db];
+        for _ in 1..n {
+            handles.push(SharedDatabase::new(Database::new()));
+        }
+        // Recover *before* installing the log sinks: replayed ops must
+        // not be re-appended to the logs they came from. A replica
+        // bootstraps through per-shard `Applier`s instead of
+        // `restore_into` so the id maps of transactions its local logs
+        // left open stay live for the stream to resume mid-transaction.
+        // A replica also recovers *raw* (no cross-shard reconciliation):
+        // everything in its local logs was shipped by a primary that
+        // had already decided commit, so demoting a `Commit2pc` whose
+        // sibling hasn't arrived yet would fork its history.
+        let mut appliers: Vec<Applier> = (0..n).map(|_| Applier::new()).collect();
         let wal = match &self.wal_dir {
             None => None,
             Some(dir) => {
@@ -244,104 +297,139 @@ impl ServerBuilder {
                     .clone()
                     .unwrap_or_else(|| SharedIo::new(StdIo::new()));
                 let schema_path = dir.join("schema.wal");
-                let (wal, recovery) = DiskWal::open(dir, self.wal_config, io.clone())
-                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                // An injected io (fault plans in tests) is shared by
+                // every shard so the plan sees all traffic; the default
+                // gives each shard its own handle, so shard flushers
+                // fsync in parallel instead of queuing on one io mutex.
+                let ios: Vec<SharedIo> = match &self.wal_io {
+                    Some(custom) => vec![custom.clone(); n],
+                    None => std::iter::once(io.clone())
+                        .chain((1..n).map(|_| SharedIo::new(StdIo::new())))
+                        .collect(),
+                };
+                let open = if is_replica {
+                    ShardedWal::open_raw_per_shard(dir, self.wal_config, ios)
+                } else {
+                    ShardedWal::open_per_shard(dir, self.wal_config, ios)
+                };
+                let (wal, recovery) = open.map_err(|e| std::io::Error::other(e.to_string()))?;
                 let specs = load_schema(&io, &schema_path).map_err(std::io::Error::other)?;
-                applier = self
-                    .db
-                    .with(|db| -> Result<Applier, String> {
-                        for spec in &specs {
-                            let def = compile_class(spec).map_err(|e| e.to_string())?;
-                            db.define_class(def).map_err(|e| e.to_string())?;
-                        }
-                        if is_replica {
-                            Applier::bootstrap(db, &recovery).map_err(|e| e.to_string())
-                        } else {
-                            recovery.restore_into(db).map_err(|e| e.to_string())?;
-                            // Replay re-emits historical firing lines;
-                            // don't serve them as fresh output.
-                            db.take_output();
-                            Ok(Applier::new())
-                        }
-                    })
-                    .map_err(std::io::Error::other)?;
+                for (s, rec) in recovery.shards.iter().enumerate() {
+                    appliers[s] = handles[s]
+                        .with(|db| -> Result<Applier, String> {
+                            for spec in &specs {
+                                let def = compile_class(spec).map_err(|e| e.to_string())?;
+                                db.define_class(def).map_err(|e| e.to_string())?;
+                            }
+                            if is_replica {
+                                Applier::bootstrap(db, rec).map_err(|e| e.to_string())
+                            } else {
+                                rec.restore_into(db).map_err(|e| e.to_string())?;
+                                // Replay re-emits historical firing
+                                // lines; don't serve them as fresh
+                                // output.
+                                db.take_output();
+                                Ok(Applier::new())
+                            }
+                        })
+                        .map_err(std::io::Error::other)?;
+                }
                 Some(Arc::new(WalState {
                     wal,
                     io,
                     dir: dir.clone(),
                     schema_path,
                     read_only: AtomicBool::new(false),
-                    repl_subs: Arc::new(Mutex::new(HashMap::new())),
+                    repl_subs: (0..n)
+                        .map(|_| Arc::new(Mutex::new(HashMap::new())))
+                        .collect(),
                 }))
             }
         };
-        let mut log_sink: Option<LogSink> = None;
-        let mut wal_flusher = None;
+        // Wrap the recovered engines; the global commit sequence
+        // resumes above every shard's recovered floor.
+        let db = ShardedDatabase::from_shared(handles);
+
+        let mut log_sinks: Vec<LogSink> = Vec::new();
+        let mut wal_flushers = Vec::new();
         if let Some(ws) = &wal {
-            // Shipping moves to the WAL's durable sink: records reach
-            // replication subscribers only once the durable watermark
-            // covers them, so a primary crash can never have shipped a
-            // record its own recovery then loses. The sink runs under
-            // the WAL's disk lock — the same lock `frozen` handshakes
-            // hold — so the handoff from history to live stream still
-            // has no gap and no duplicate. Capturing only the subscriber
-            // map (not the WalState) keeps the WAL out of an Arc cycle.
-            let sink_subs = Arc::clone(&ws.repl_subs);
-            ws.wal
-                .set_durable_sink(Some(Arc::new(move |records: &[DurableRecord]| {
-                    let subs = sink_subs.lock();
-                    if subs.is_empty() || records.is_empty() {
-                        return;
-                    }
-                    let head = records.last().expect("non-empty").lsn + 1;
-                    for r in records {
-                        let msg = ServerMsg::ReplOp {
-                            lsn: r.lsn,
-                            head,
-                            frame: hex_encode(&r.frame),
-                        };
-                        for tx in subs.values() {
-                            let _ = tx.send(msg.clone());
+            for s in 0..n {
+                // Shipping happens in each shard's durable sink:
+                // records reach that shard's replication subscribers
+                // only once its durable watermark covers them, so a
+                // primary crash can never have shipped a record its own
+                // recovery then loses. The sink runs under the shard
+                // WAL's disk lock — the same lock its `frozen`
+                // handshake holds — so the handoff from history to live
+                // stream has no gap and no duplicate. Capturing only
+                // the subscriber map (not the WalState) keeps the WAL
+                // out of an Arc cycle.
+                let sink_subs = Arc::clone(&ws.repl_subs[s]);
+                let shard = s as u64;
+                ws.wal.wal(s).set_durable_sink(Some(Arc::new(
+                    move |records: &[DurableRecord]| {
+                        let subs = sink_subs.lock();
+                        if subs.is_empty() || records.is_empty() {
+                            return;
                         }
+                        let head = records.last().expect("non-empty").lsn + 1;
+                        for r in records {
+                            let msg = ServerMsg::ReplOp {
+                                shard,
+                                lsn: r.lsn,
+                                head,
+                                frame: hex_encode(&r.frame),
+                            };
+                            for tx in subs.values() {
+                                let _ = tx.send(msg.clone());
+                            }
+                        }
+                    },
+                )));
+                // Runs with the shard's engine locked, on the
+                // committing thread. Under the group policies this only
+                // buffers and assigns the LSN — the fsync happens on
+                // the shard's flusher thread, and the session waits for
+                // it *outside* every lock (see `Command::Commit`).
+                // Errors poison that shard's wal; the session that
+                // triggered the write surfaces them from `handle_line`.
+                let sink_wal = ws.wal.wal(s).clone();
+                let sink: LogSink = Arc::new(move |op: &LogOp| {
+                    if let Ok(lsn) = sink_wal.append(op) {
+                        lsns_note(s, lsn);
                     }
-                })));
-            wal_flusher = ws.wal.start_flusher();
-            let sink_wal = ws.wal.clone();
-            // Runs with the engine locked, on the committing thread.
-            // Under the group policies this only buffers and assigns
-            // the LSN — the fsync happens on the flusher thread, and
-            // the session waits for it *outside* the engine lock (see
-            // `Command::Commit`). Errors poison the wal; the session
-            // that triggered the write surfaces them from `handle_line`.
-            let sink: LogSink = Arc::new(move |op: &LogOp| {
-                if let Ok(lsn) = sink_wal.append(op) {
-                    LAST_WAL_LSN.with(|c| c.set(Some(lsn)));
-                }
-            });
-            log_sink = Some(Arc::clone(&sink));
-            self.db.set_log_sink(Some(sink));
+                });
+                log_sinks.push(Arc::clone(&sink));
+                db.shard(s).set_log_sink(Some(sink));
+            }
+            wal_flushers = ws.wal.start_flushers();
         }
 
         let subscriber_drops = Arc::new(AtomicU64::new(0));
         let subs: Subscribers = Arc::new(Mutex::new(HashMap::new()));
-        let sink_subs = Arc::clone(&subs);
-        let sink_drops = Arc::clone(&subscriber_drops);
-        let firing_sink: FiringSink = Arc::new(move |n: &FiringNotice| {
-            let msg = ServerMsg::Firing(Firing::from_notice(n));
-            for tx in sink_subs.lock().values() {
-                if tx.send(msg.clone()).is_err() {
-                    sink_drops.fetch_add(1, Ordering::Relaxed);
+        let mut firing_sinks: Vec<FiringSink> = Vec::new();
+        for s in 0..n {
+            let sink_subs = Arc::clone(&subs);
+            let sink_drops = Arc::clone(&subscriber_drops);
+            let sink: FiringSink = Arc::new(move |notice: &FiringNotice| {
+                let msg = ServerMsg::Firing(Firing::from_notice(notice, s, n));
+                for tx in sink_subs.lock().values() {
+                    if tx.send(msg.clone()).is_err() {
+                        sink_drops.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-            }
-        });
-        self.db.set_firing_sink(Some(Arc::clone(&firing_sink)));
+            });
+            firing_sinks.push(Arc::clone(&sink));
+            db.shard(s).set_firing_sink(Some(sink));
+        }
 
-        let repl = self
-            .replicate_from
-            .as_ref()
-            .map(|_| Arc::new(ReplicaState::new(applier.next_lsn())));
+        let repl = self.replicate_from.as_ref().map(|_| {
+            Arc::new(ReplicaState::new(
+                appliers.iter().map(|a| a.next_lsn()).collect(),
+            ))
+        });
         let inner = Arc::new(Shared {
-            db: self.db,
+            db,
             config: self.config,
             shutdown: AtomicBool::new(false),
             subs,
@@ -350,8 +438,8 @@ impl ServerBuilder {
             wal,
             subscriber_drops,
             repl,
-            log_sink,
-            firing_sink: Some(firing_sink),
+            log_sinks,
+            firing_sinks,
         });
 
         let mut repl_thread = None;
@@ -359,7 +447,7 @@ impl ServerBuilder {
             let inner2 = Arc::clone(&inner);
             let plan = self.repl_fault_plan;
             repl_thread = Some(thread::spawn(move || {
-                run_replica(inner2, source, applier, plan)
+                run_replica(inner2, source, appliers, plan)
             }));
         }
 
@@ -388,7 +476,7 @@ impl ServerBuilder {
             inner,
             accept_threads,
             repl_thread,
-            wal_flusher,
+            wal_flushers,
             tcp_addr,
             unix_path,
             stopped: false,
@@ -401,7 +489,7 @@ pub struct Server {
     inner: Arc<Shared>,
     accept_threads: Vec<JoinHandle<()>>,
     repl_thread: Option<JoinHandle<()>>,
-    wal_flusher: Option<WalFlusher>,
+    wal_flushers: Vec<WalFlusher>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     stopped: bool,
@@ -413,6 +501,7 @@ impl Server {
     pub fn builder(db: SharedDatabase) -> ServerBuilder {
         ServerBuilder {
             db,
+            shards: 1,
             config: ServerConfig::default(),
             tcp: None,
             unix: None,
@@ -434,8 +523,14 @@ impl Server {
         self.unix_path.as_deref()
     }
 
-    /// The underlying database handle.
+    /// The underlying database handle (shard 0 — the whole database
+    /// unless the server runs sharded).
     pub fn db(&self) -> &SharedDatabase {
+        self.inner.db.shard(0)
+    }
+
+    /// The sharded database coordinator (all shards).
+    pub fn sharded_db(&self) -> &ShardedDatabase {
         &self.inner.db
     }
 
@@ -458,17 +553,21 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
-        self.inner.db.set_firing_sink(None);
-        self.inner.db.set_log_sink(None);
+        for shard in self.inner.db.shards() {
+            shard.set_firing_sink(None);
+            shard.set_log_sink(None);
+        }
         // Every session is gone, so no more appends: drain the pending
-        // queue (the flusher's stop does a final flush), then push any
-        // EveryN/Never-policy unsynced bytes to disk, best effort.
-        if let Some(f) = self.wal_flusher.take() {
+        // queues (each flusher's stop does a final flush), then push
+        // any EveryN/Never-policy unsynced bytes to disk, best effort.
+        for f in self.wal_flushers.drain(..) {
             f.stop();
         }
         if let Some(ws) = &self.inner.wal {
-            let _ = ws.wal.sync();
-            ws.wal.set_durable_sink(None);
+            let _ = ws.wal.sync_all();
+            for w in ws.wal.wals() {
+                w.set_durable_sink(None);
+            }
         }
         if let Some(p) = &self.unix_path {
             let _ = std::fs::remove_file(p);
@@ -564,10 +663,15 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
         if replicating && last_heartbeat.elapsed() >= Duration::from_millis(250) {
             last_heartbeat = Instant::now();
             if let Some(ws) = &inner.wal {
-                // The head a replica should chase is the durable one:
-                // buffered-but-unflushed records aren't shippable yet.
-                let head = ws.wal.durable_lsn();
-                let _ = tx.send(ServerMsg::ReplHeartbeat { head });
+                // The heads a replica should chase are the durable
+                // ones: buffered-but-unflushed records aren't
+                // shippable yet. One report per shard stream.
+                for s in 0..ws.wal.shard_count() {
+                    let _ = tx.send(ServerMsg::ReplHeartbeat {
+                        shard: s as u64,
+                        head: ws.wal.wal(s).durable_lsn(),
+                    });
+                }
             }
         }
         if let (Some(t), Some(limit)) = (open_txn, inner.config.txn_idle_timeout) {
@@ -599,7 +703,9 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
     // Disconnect (or shutdown): release everything the session held.
     inner.subs.lock().remove(&conn_id);
     if let Some(ws) = &inner.wal {
-        ws.repl_subs.lock().remove(&conn_id);
+        for subs in &ws.repl_subs {
+            subs.lock().remove(&conn_id);
+        }
     }
     if let Some(t) = open_txn {
         let _ = inner.db.abort(t);
@@ -772,15 +878,23 @@ fn execute(
                 None => {
                     inner
                         .db
-                        .with(|db| db.define_class(def))
+                        .define_class(&def)
                         .map_err(|e| WireError::from_ode(&e))?;
                 }
-                // Define and append under one engine lock so no op that
-                // references the class can be logged before the class
-                // record is durable. A crash between the two tears the
-                // schema.wal tail harmlessly (truncated on recovery).
-                Some(ws) => inner.db.with(|db| -> Result<(), WireError> {
-                    db.define_class(def).map_err(|e| WireError::from_ode(&e))?;
+                // Define on every shard and append the schema record
+                // while holding *all* engine locks (acquired in shard
+                // order, like 2PC), so no shard can log an op that
+                // references the class before the class record is
+                // durable. A crash between the two tears the schema.wal
+                // tail harmlessly (truncated on recovery).
+                Some(ws) => {
+                    let shard_count = inner.db.shard_count();
+                    let mut guards: Vec<_> =
+                        (0..shard_count).map(|s| inner.db.shard(s).lock()).collect();
+                    for g in guards.iter_mut() {
+                        g.define_class(def.clone())
+                            .map_err(|e| WireError::from_ode(&e))?;
+                    }
                     append_schema(&ws.io, &ws.schema_path, &spec).map_err(|msg| {
                         ws.read_only.store(true, Ordering::SeqCst);
                         WireError {
@@ -789,16 +903,18 @@ fn execute(
                             retryable: true,
                         }
                     })?;
-                    // Ship the new class while the WAL is frozen so it
-                    // serializes with Replicate handshakes (which read
-                    // schema.wal under the same freeze).
-                    ws.wal.frozen(|_| {
-                        for rtx in ws.repl_subs.lock().values() {
-                            let _ = rtx.send(ServerMsg::ReplSchema(spec.clone()));
-                        }
-                    });
-                    Ok(())
-                })?,
+                    // Ship the new class while each shard's WAL is
+                    // frozen so it serializes with that shard's
+                    // Replicate handshake (which reads schema.wal under
+                    // the same freeze).
+                    for s in 0..shard_count {
+                        ws.wal.wal(s).frozen(|_| {
+                            for rtx in ws.repl_subs[s].lock().values() {
+                                let _ = rtx.send(ServerMsg::ReplSchema(spec.clone()));
+                            }
+                        });
+                    }
+                }
             }
             Ok(Reply::Unit)
         }
@@ -815,22 +931,25 @@ fn execute(
         }
         Command::Commit => {
             let t = open_txn.ok_or_else(no_txn)?;
-            LAST_WAL_LSN.with(|c| c.set(None));
+            lsns_clear();
             let r = inner.db.commit(t);
             if !inner.db.txn_open(t) {
                 *open_txn = None;
             }
             r.map_err(|e| WireError::from_ode(&e))?;
-            // The in-memory commit is done and the engine mutex is
-            // released; other sessions proceed. Ack only once the
-            // commit record is durable — under group commit this blocks
-            // (outside every lock) until a batch fsync covers it, and
-            // one fsync releases every session waiting here. Inline
-            // policies are already durable to their own standard, so
-            // the wait returns immediately.
+            // The in-memory commit is done and every engine mutex is
+            // released; other sessions proceed. Ack only once each
+            // participating shard's commit record is durable — the
+            // merged-watermark rule. Under group commit this blocks
+            // (outside every lock) until each shard's batch fsync
+            // covers its record, and one fsync releases every session
+            // waiting on that shard. Inline policies are already
+            // durable to their own standard, so the wait returns
+            // immediately.
             if let Some(ws) = &inner.wal {
-                if let Some(lsn) = LAST_WAL_LSN.with(|c| c.get()) {
-                    ws.wal.wait_durable(lsn).map_err(|e| WireError {
+                let acks = lsns_take();
+                if !acks.is_empty() {
+                    ws.wal.wait_durable(&acks).map_err(|e| WireError {
                         code: "wal".to_string(),
                         message: e.to_string(),
                         retryable: true,
@@ -853,7 +972,7 @@ fn execute(
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.clone()))
                 .collect();
-            let r = inner.db.with(|db| db.create_object(t, &class, &ovr));
+            let r = inner.db.create_object(t, &class, &ovr);
             finish(inner, open_txn, t, r).map(|id| Reply::Object { id: id.0 })
         }
         Command::Call {
@@ -862,14 +981,12 @@ fn execute(
             args,
         } => {
             let t = open_txn.ok_or_else(no_txn)?;
-            let r = inner
-                .db
-                .with(|db| db.call(t, ObjectId(object), &method, &args));
+            let r = inner.db.call(t, ObjectId(object), &method, &args);
             finish(inner, open_txn, t, r).map(Reply::Value)
         }
         Command::Delete { object } => {
             let t = open_txn.ok_or_else(no_txn)?;
-            let r = inner.db.with(|db| db.delete_object(t, ObjectId(object)));
+            let r = inner.db.delete_object(t, ObjectId(object));
             finish(inner, open_txn, t, r).map(|()| Reply::Unit)
         }
         Command::Activate {
@@ -880,30 +997,41 @@ fn execute(
             let t = open_txn.ok_or_else(no_txn)?;
             let r = inner
                 .db
-                .with(|db| db.activate_trigger(t, ObjectId(object), &trigger, &params));
+                .activate_trigger(t, ObjectId(object), &trigger, &params);
             finish(inner, open_txn, t, r).map(|()| Reply::Unit)
         }
         Command::Deactivate { object, trigger } => {
             let t = open_txn.ok_or_else(no_txn)?;
-            let r = inner
-                .db
-                .with(|db| db.deactivate_trigger(t, ObjectId(object), &trigger));
+            let r = inner.db.deactivate_trigger(t, ObjectId(object), &trigger);
             finish(inner, open_txn, t, r).map(|()| Reply::Unit)
         }
         Command::AdvanceClockBy { ms } => {
-            inner.db.with(|db| db.advance_clock_by(ms));
+            inner.db.advance_clock_by(ms);
             Ok(Reply::Unit)
         }
         Command::AdvanceClockTo { ms } => {
-            inner.db.with(|db| db.advance_clock_to(ms));
+            inner.db.advance_clock_to(ms);
             Ok(Reply::Unit)
         }
         Command::Snapshot => {
-            let snap = inner
-                .db
-                .with(|db| db.snapshot())
-                .map_err(|e| WireError::from_ode(&e))?;
-            let json = snap.to_json().map_err(|e| WireError::from_ode(&e))?;
+            // Lock every shard (in shard order) so the snapshot is one
+            // consistent cut across the whole partitioned store. A
+            // single shard serializes to the legacy flat snapshot; more
+            // serialize to a JSON array of per-shard snapshots.
+            let shard_count = inner.db.shard_count();
+            let mut guards: Vec<_> = (0..shard_count).map(|s| inner.db.shard(s).lock()).collect();
+            let mut parts = Vec::with_capacity(shard_count);
+            for g in guards.iter_mut() {
+                let snap = g.snapshot().map_err(|e| WireError::from_ode(&e))?;
+                parts.push(snap.to_json().map_err(|e| WireError::from_ode(&e))?);
+            }
+            drop(guards);
+            let json = if shard_count == 1 {
+                parts.pop().expect("one shard")
+            } else {
+                serde_json::to_string(&parts)
+                    .map_err(|e| WireError::new("engine", e.to_string()))?
+            };
             Ok(Reply::SnapshotTaken { json })
         }
         Command::Restore { snapshot } => {
@@ -914,11 +1042,34 @@ fn execute(
                     "Restore is not allowed on a WAL-backed server; use Checkpoint and recovery",
                 ));
             }
-            let snap = Snapshot::from_json(&snapshot).map_err(|e| WireError::from_ode(&e))?;
-            inner
-                .db
-                .with(|db| db.restore(&snap))
-                .map_err(|e| WireError::from_ode(&e))?;
+            let shard_count = inner.db.shard_count();
+            let parts: Vec<String> = if shard_count == 1 {
+                vec![snapshot]
+            } else {
+                serde_json::from_str(&snapshot).map_err(|e| {
+                    WireError::new(
+                        "bad_snapshot",
+                        format!("a {shard_count}-shard server restores a JSON array of {shard_count} per-shard snapshots: {e}"),
+                    )
+                })?
+            };
+            if parts.len() != shard_count {
+                return Err(WireError::new(
+                    "bad_snapshot",
+                    format!(
+                        "snapshot has {} shard part(s), server runs {shard_count}",
+                        parts.len()
+                    ),
+                ));
+            }
+            let mut snaps = Vec::with_capacity(shard_count);
+            for p in &parts {
+                snaps.push(Snapshot::from_json(p).map_err(|e| WireError::from_ode(&e))?);
+            }
+            let mut guards: Vec<_> = (0..shard_count).map(|s| inner.db.shard(s).lock()).collect();
+            for (g, snap) in guards.iter_mut().zip(&snaps) {
+                g.restore(snap).map_err(|e| WireError::from_ode(&e))?;
+            }
             Ok(Reply::Unit)
         }
         Command::Checkpoint => {
@@ -928,45 +1079,82 @@ fn execute(
                     "server was started without a WAL directory",
                 ));
             };
-            // Snapshot and checkpoint under one engine lock so the
-            // checkpoint's LSN exactly matches the snapshotted state
-            // (lock order engine → wal, same as the log sink). That
-            // means every session stalls for the duration — measure and
-            // report it so operators see the cost.
+            // Snapshot and checkpoint each shard while holding *all*
+            // engine locks (in shard order), so every shard's
+            // checkpoint LSN matches one consistent cut (lock order
+            // engine → wal, same as the log sinks). That means every
+            // session stalls for the duration — measure and report it
+            // so operators see the cost.
             let started = Instant::now();
-            let report = inner.db.with(|db| -> Result<_, WireError> {
-                let snap = db.snapshot().map_err(|e| WireError::from_ode(&e))?;
-                ws.wal.checkpoint(&snap).map_err(|e| WireError {
+            let shard_count = inner.db.shard_count();
+            let mut guards: Vec<_> = (0..shard_count).map(|s| inner.db.shard(s).lock()).collect();
+            let mut lsn_max = 0u64;
+            let mut swept = 0u64;
+            for (s, g) in guards.iter_mut().enumerate() {
+                let snap = g.snapshot().map_err(|e| WireError::from_ode(&e))?;
+                let report = ws.wal.wal(s).checkpoint(&snap).map_err(|e| WireError {
                     code: "wal".to_string(),
                     message: e.to_string(),
                     retryable: true,
-                })
-            })?;
+                })?;
+                lsn_max = lsn_max.max(report.lsn);
+                swept += report.swept_segments;
+            }
+            drop(guards);
             let stall = started.elapsed();
             eprintln!(
                 "checkpoint: lsn {} in {:?} (engine stalled), swept {} segment file(s)",
-                report.lsn, stall, report.swept_segments
+                lsn_max, stall, swept
             );
             Ok(Reply::Checkpointed {
-                lsn: report.lsn,
-                swept_segments: report.swept_segments,
+                lsn: lsn_max,
+                swept_segments: swept,
                 stall_ms: stall.as_millis() as u64,
             })
         }
         Command::Stats => {
-            let (s, clock_ms) = inner.db.with(|db| (db.stats(), db.now()));
-            let (mut read_only, wal_lsn, wal_stats) = match &inner.wal {
-                Some(ws) => (
-                    ws.read_only.load(Ordering::SeqCst),
-                    Some(ws.wal.lsn()),
-                    Some(ws.wal.stats()),
-                ),
-                None => (false, None, None),
-            };
+            // Engine counters sum across shards; the clock is the max
+            // (shards advance in lockstep, but a broadcast in flight
+            // may have reached only a prefix).
+            let shard_count = inner.db.shard_count();
+            let mut events_posted = 0;
+            let mut symbols_stepped = 0;
+            let mut triggers_fired = 0;
+            let mut txns_committed = 0;
+            let mut txns_aborted = 0;
+            let mut clock_ms = 0;
+            for shard in inner.db.shards() {
+                let (s, now) = shard.with(|db| (db.stats(), db.now()));
+                events_posted += s.events_posted;
+                symbols_stepped += s.symbols_stepped;
+                triggers_fired += s.triggers_fired;
+                txns_committed += s.txns_committed;
+                txns_aborted += s.txns_aborted;
+                clock_ms = clock_ms.max(now);
+            }
+            // WAL counters likewise sum across shard streams (LSNs are
+            // per-shard sequences, so the sums are record counts).
+            let (mut read_only, mut wal_lsn, mut durable_lsn) = (false, None, None);
+            let (mut fsyncs_total, mut batches, mut max_batch) = (0, 0, 0);
+            if let Some(ws) = &inner.wal {
+                read_only = ws.read_only.load(Ordering::SeqCst);
+                let mut lsn_sum = 0;
+                let mut durable_sum = 0;
+                for w in ws.wal.wals() {
+                    let st = w.stats();
+                    lsn_sum += w.lsn();
+                    durable_sum += st.durable_lsn;
+                    fsyncs_total += st.fsyncs_total;
+                    batches += st.group_commit_batches;
+                    max_batch = max_batch.max(st.group_commit_max_batch);
+                }
+                wal_lsn = Some(lsn_sum);
+                durable_lsn = Some(durable_sum);
+            }
             let (replica, repl_connected, last_applied_lsn, replica_lag_lsn) = match &inner.repl {
                 Some(rs) => {
-                    let applied = rs.applied.load(Ordering::SeqCst);
-                    let head = rs.head.load(Ordering::SeqCst).max(applied);
+                    let applied = rs.applied_sum();
+                    let head = rs.head_sum().max(applied);
                     let promoted = rs.promoted.load(Ordering::SeqCst);
                     read_only = read_only || !promoted;
                     (
@@ -978,24 +1166,32 @@ fn execute(
                 }
                 None => (false, false, None, None),
             };
+            let shard_stats = inner.db.stats();
             Ok(Reply::Stats(WireStats {
-                events_posted: s.events_posted,
-                symbols_stepped: s.symbols_stepped,
-                triggers_fired: s.triggers_fired,
-                txns_committed: s.txns_committed,
-                txns_aborted: s.txns_aborted,
+                events_posted,
+                symbols_stepped,
+                triggers_fired,
+                txns_committed,
+                txns_aborted,
                 clock_ms,
                 subscriber_drops: inner.subscriber_drops.load(Ordering::Relaxed),
                 read_only,
                 wal_lsn,
-                durable_lsn: wal_stats.as_ref().map(|s| s.durable_lsn),
-                fsyncs_total: wal_stats.as_ref().map_or(0, |s| s.fsyncs_total),
-                group_commit_batches: wal_stats.as_ref().map_or(0, |s| s.group_commit_batches),
-                group_commit_max_batch: wal_stats.as_ref().map_or(0, |s| s.group_commit_max_batch),
+                durable_lsn,
+                fsyncs_total,
+                group_commit_batches: batches,
+                group_commit_max_batch: max_batch,
                 replica,
                 repl_connected,
                 last_applied_lsn,
                 replica_lag_lsn,
+                shards: shard_count as u64,
+                shard_commits: shard_stats.commits,
+                shard_lock_wait_us: shard_stats
+                    .lock_wait_ns
+                    .iter()
+                    .map(|ns| ns / 1_000)
+                    .collect(),
             }))
         }
         Command::Subscribe => {
@@ -1006,70 +1202,102 @@ fn execute(
             inner.subs.lock().remove(&conn_id);
             Ok(Reply::Unit)
         }
-        Command::TakeOutput => {
-            let out = inner.db.with(|db| db.take_output());
-            Ok(Reply::Output(out))
-        }
+        Command::TakeOutput => Ok(Reply::Output(inner.db.take_output())),
         Command::PeekField { object, field } => {
-            let v = inner.db.with(|db| db.peek_field(ObjectId(object), &field));
+            let v = inner
+                .db
+                .with_obj(ObjectId(object), |db, local| db.peek_field(local, &field));
             Ok(Reply::Value(v.unwrap_or(Value::Null)))
         }
-        Command::Replicate { from_lsn } => {
+        Command::Replicate { from_lsns } => {
             let Some(ws) = &inner.wal else {
                 return Err(WireError::new(
                     "no_wal",
                     "server was started without a WAL directory; nothing to replicate",
                 ));
             };
-            // Freeze the WAL across scan + registration: the durable
-            // sink ships under the disk lock the freeze holds, so the
-            // handoff from historical records to live shipping has no
-            // gap and no duplicate. The freeze's head is the durable
+            let shard_count = ws.wal.shard_count();
+            if from_lsns.len() != shard_count {
+                return Err(WireError::new(
+                    "shard_mismatch",
+                    format!(
+                        "replica negotiated {} shard stream(s); this primary runs {shard_count}",
+                        from_lsns.len()
+                    ),
+                ));
+            }
+            // Per shard stream: freeze that shard's WAL across scan +
+            // registration. Each shard's durable sink ships under the
+            // disk lock its freeze holds, so the handoff from
+            // historical records to live shipping has no gap and no
+            // duplicate per stream. The freeze's head is the durable
             // watermark — exactly what the on-disk scan contains, and
-            // the most a primary may ever ship.
-            let (start_lsn, head) = ws.wal.frozen(|head| -> Result<(u64, u64), WireError> {
-                if from_lsn > head {
-                    return Err(WireError::new(
-                        "bad_lsn",
-                        format!("requested lsn {from_lsn} is beyond the durable head {head}"),
-                    ));
-                }
-                let scan = SegmentReader::scan(&ws.dir, &ws.io)
-                    .map_err(|e| WireError::new("wal", format!("log scan failed: {e}")))?;
-                let schema = load_schema(&ws.io, &ws.schema_path)
-                    .map_err(|msg| WireError::new("wal", format!("schema scan failed: {msg}")))?;
-                let (start_lsn, snapshot) = if from_lsn < scan.base_lsn {
-                    // The log before the checkpoint is gone; bootstrap
-                    // the replica from the checkpoint snapshot instead.
-                    let bytes = scan.checkpoint.clone().ok_or_else(|| {
-                        WireError::new(
-                            "wal",
-                            "log starts past the requested lsn with no checkpoint",
-                        )
-                    })?;
-                    let json = String::from_utf8(bytes)
-                        .map_err(|e| WireError::new("wal", format!("checkpoint not utf-8: {e}")))?;
-                    (scan.base_lsn, Some(json))
-                } else {
-                    (from_lsn, None)
-                };
-                let _ = tx.send(ServerMsg::ReplSnapshot {
-                    lsn: start_lsn,
-                    schema,
-                    snapshot,
-                });
-                for (lsn, payload) in scan.records_from(start_lsn) {
-                    let _ = tx.send(ServerMsg::ReplOp {
-                        lsn,
-                        head,
-                        frame: hex_encode(&frame::encode(payload)),
-                    });
-                }
-                ws.repl_subs.lock().insert(conn_id, tx.clone());
-                Ok((start_lsn, head))
-            })?;
+            // the most a primary may ever ship. Streams are negotiated
+            // independently: a shard past the catch-up window
+            // bootstraps from its own checkpoint snapshot.
+            let mut start_lsns = Vec::with_capacity(shard_count);
+            let mut heads = Vec::with_capacity(shard_count);
+            for (s, &from_lsn) in from_lsns.iter().enumerate() {
+                let dir = shard_dir(&ws.dir, s, shard_count);
+                let (start_lsn, head) =
+                    ws.wal
+                        .wal(s)
+                        .frozen(|head| -> Result<(u64, u64), WireError> {
+                            if from_lsn > head {
+                                return Err(WireError::new(
+                                    "bad_lsn",
+                                    format!(
+                                "shard {s}: requested lsn {from_lsn} is beyond the durable head {head}"
+                            ),
+                                ));
+                            }
+                            let scan = SegmentReader::scan(&dir, &ws.io).map_err(|e| {
+                                WireError::new("wal", format!("shard {s} log scan failed: {e}"))
+                            })?;
+                            let schema = load_schema(&ws.io, &ws.schema_path).map_err(|msg| {
+                                WireError::new("wal", format!("schema scan failed: {msg}"))
+                            })?;
+                            let (start_lsn, snapshot) = if from_lsn < scan.base_lsn {
+                                // The log before the checkpoint is
+                                // gone; bootstrap this shard from the
+                                // checkpoint snapshot instead.
+                                let bytes = scan.checkpoint.clone().ok_or_else(|| {
+                                    WireError::new(
+                                        "wal",
+                                        format!(
+                                    "shard {s} log starts past the requested lsn with no checkpoint"
+                                ),
+                                    )
+                                })?;
+                                let json = String::from_utf8(bytes).map_err(|e| {
+                                    WireError::new("wal", format!("checkpoint not utf-8: {e}"))
+                                })?;
+                                (scan.base_lsn, Some(json))
+                            } else {
+                                (from_lsn, None)
+                            };
+                            let _ = tx.send(ServerMsg::ReplSnapshot {
+                                shard: s as u64,
+                                lsn: start_lsn,
+                                schema,
+                                snapshot,
+                            });
+                            for (lsn, payload) in scan.records_from(start_lsn) {
+                                let _ = tx.send(ServerMsg::ReplOp {
+                                    shard: s as u64,
+                                    lsn,
+                                    head,
+                                    frame: hex_encode(&frame::encode(payload)),
+                                });
+                            }
+                            ws.repl_subs[s].lock().insert(conn_id, tx.clone());
+                            Ok((start_lsn, head))
+                        })?;
+                start_lsns.push(start_lsn);
+                heads.push(head);
+            }
             *replicating = true;
-            Ok(Reply::Replicating { start_lsn, head })
+            Ok(Reply::Replicating { start_lsns, heads })
         }
         Command::Promote => {
             let Some(rs) = &inner.repl else {
@@ -1095,7 +1323,7 @@ fn execute(
                 rs.promoted.store(true, Ordering::SeqCst);
             }
             Ok(Reply::Promoted {
-                lsn: rs.applied.load(Ordering::SeqCst),
+                lsn: rs.applied_sum(),
             })
         }
     }

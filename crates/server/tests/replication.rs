@@ -9,7 +9,10 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use ode_core::Value;
-use ode_db::{Database, FsyncPolicy, SegmentReader, SharedDatabase, SharedIo, StdIo, WalConfig};
+use ode_db::{
+    shard_dir, shard_of, Database, FsyncPolicy, ObjectId, SegmentReader, SharedDatabase, SharedIo,
+    StdIo, WalConfig,
+};
 use ode_server::protocol::{Command, Firing, Reply};
 use ode_server::spec::stockroom_spec;
 use ode_server::{Client, ClientError, ReplSource, Server, StreamFault};
@@ -119,6 +122,156 @@ fn withdraw(c: &mut Client, room: u64, user: &str, qty: i64) {
         c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(qty)])
     })
     .expect("withdraw");
+}
+
+fn start_primary_sharded(dir: &Path, shards: usize) -> Server {
+    Server::builder(SharedDatabase::new(Database::new()))
+        .shards(shards)
+        .tcp("127.0.0.1:0")
+        .wal_dir(dir)
+        .wal_config(cfg())
+        .start()
+        .expect("sharded primary starts")
+}
+
+fn start_replica_sharded(dir: &Path, primary: &Server, shards: usize) -> Server {
+    Server::builder(SharedDatabase::new(Database::new()))
+        .shards(shards)
+        .tcp("127.0.0.1:0")
+        .wal_dir(dir)
+        .wal_config(cfg())
+        .replicate_from(ReplSource::Tcp(
+            primary.tcp_addr().expect("primary tcp").to_string(),
+        ))
+        .start()
+        .expect("sharded replica starts")
+}
+
+/// The observable identity of a sharded firing set. Per-shard streams
+/// guarantee order *within* a shard, not across shards, so compare
+/// sorted by (shard, seq).
+fn shard_keys(firings: &[Firing]) -> Vec<(u64, u64, u64, u64, String, String)> {
+    let mut v: Vec<_> = firings
+        .iter()
+        .map(|f| {
+            (
+                f.shard,
+                f.seq,
+                f.txn,
+                f.object,
+                f.trigger.clone(),
+                f.event.clone(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// A cross-shard withdrawal: one transaction touching both rooms, so
+/// commit runs the ordered 2PC and stamps both shards' WALs.
+fn cross_withdraw(c: &mut Client, rooms: (u64, u64), user: &str, qty: i64) {
+    c.txn(user, |c| {
+        c.call(rooms.0, "withdraw", &[Value::from("bolt"), Value::Int(qty)])?;
+        c.call(rooms.1, "withdraw", &[Value::from("bolt"), Value::Int(qty)])
+    })
+    .expect("cross-shard withdraw");
+}
+
+#[test]
+fn sharded_replica_mirrors_per_shard_streams_exactly() {
+    let pdir = tmp_dir("sharded-p");
+    let rdir = tmp_dir("sharded-r");
+
+    let mut primary = start_primary_sharded(&pdir, 2);
+    let mut pc = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    pc.define_class(stockroom_spec()).expect("define");
+    // Round-robin placement: the first room lands on shard 0, the
+    // second on shard 1.
+    let room_a = pc.txn("admin", |c| c.new_object("room", &[])).expect("a");
+    let room_b = pc.txn("admin", |c| c.new_object("room", &[])).expect("b");
+    let rooms = (room_a, room_b);
+    assert_ne!(
+        shard_of(ObjectId(room_a), 2),
+        shard_of(ObjectId(room_b), 2),
+        "rooms live on distinct shards"
+    );
+    let mut psub = Client::connect_tcp(primary.tcp_addr().unwrap()).expect("connect");
+    psub.subscribe().expect("subscribe");
+
+    let mut replica = start_replica_sharded(&rdir, &primary, 2);
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    let mut rsub = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    rsub.subscribe().expect("subscribe");
+
+    // Two single-shard T6 withdrawals plus one cross-shard transaction
+    // that fires T6 on both shards: four firings, two per shard.
+    withdraw(&mut pc, room_a, "alice", 101);
+    withdraw(&mut pc, room_b, "alice", 102);
+    cross_withdraw(&mut pc, rooms, "bob", 103);
+    let p1 = collect_firings(&mut psub, 4);
+    let r1 = collect_firings(&mut rsub, 4);
+    assert_eq!(shard_keys(&p1), shard_keys(&r1));
+    for s in [0u64, 1] {
+        assert!(p1.iter().any(|f| f.shard == s), "shard {s} fired: {p1:?}");
+    }
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    assert_eq!(bolt(&mut rc, room_a), 500 - 101 - 103);
+    assert_eq!(bolt(&mut rc, room_b), 500 - 102 - 103);
+
+    // Down the replica mid-stream, commit a cross-shard transaction it
+    // never saw, and restart it: per-shard cursors resume, no repeats,
+    // no holes, and the per-shard firing counters ride through.
+    replica.shutdown();
+    cross_withdraw(&mut pc, rooms, "alice", 104);
+    let p2 = collect_firings(&mut psub, 2);
+
+    let mut replica = start_replica_sharded(&rdir, &primary, 2);
+    let mut rc = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("reconnect");
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    let mut rsub = Client::connect_tcp(replica.tcp_addr().unwrap()).expect("connect");
+    rsub.subscribe().expect("subscribe");
+
+    cross_withdraw(&mut pc, rooms, "bob", 105);
+    let p3 = collect_firings(&mut psub, 2);
+    let r3 = collect_firings(&mut rsub, 2);
+    assert_eq!(shard_keys(&p3), shard_keys(&r3));
+    for f in &r3 {
+        let prev = p2.iter().find(|p| p.shard == f.shard).expect("same shard");
+        assert_eq!(
+            f.seq,
+            prev.seq + 1,
+            "shard {}'s firing counter rode through the restart",
+            f.shard
+        );
+    }
+
+    wait_applied(&mut rc, pc.stats().expect("stats").wal_lsn.expect("wal"));
+    let (ps, rs) = (pc.stats().expect("stats"), rc.stats().expect("stats"));
+    assert_eq!(ps.triggers_fired, rs.triggers_fired);
+    assert_eq!(ps.txns_committed, rs.txns_committed);
+    assert_eq!(ps.shards, 2);
+    assert_eq!(ps.shard_commits.len(), 2);
+    assert!(
+        ps.shard_commits.iter().all(|&c| c > 0),
+        "both shards committed: {:?}",
+        ps.shard_commits
+    );
+    assert_eq!(bolt(&mut rc, room_a), bolt(&mut pc, room_a));
+    assert_eq!(bolt(&mut rc, room_b), bolt(&mut pc, room_b));
+
+    // Record-for-record equivalence, now per shard stream.
+    replica.shutdown();
+    primary.shutdown();
+    for s in 0..2 {
+        let p_log = wal_records(&shard_dir(&pdir, s, 2));
+        let r_log = wal_records(&shard_dir(&rdir, s, 2));
+        assert!(!p_log.is_empty(), "shard {s} logged");
+        assert_eq!(p_log, r_log, "shard {s}: replica WAL mirrors the primary");
+    }
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
 }
 
 #[test]

@@ -11,12 +11,16 @@
 //! ```
 //!
 //! Starts an empty database — clients define classes over the wire
-//! (see `examples/ode_client.rs`). With `--wal-dir DIR` every engine
-//! op is written to a crash-safe log in DIR, the directory is
-//! recovered on startup, and clients may issue `Checkpoint`; `--fsync`
-//! picks the append durability (`always`, `commit` [default], `group`
-//! or `group:BATCH:DELAYMS` for batched group commit, `never`, or a
-//! number N for every-N-ops). With `--replicate-from SOURCE` the
+//! (see `examples/ode_client.rs`). With `--shards N` objects and
+//! trigger state hash-partition into N engine shards, each with its
+//! own engine lock, WAL stream, and group-commit flusher (a WAL
+//! directory written with one shard count refuses another). With
+//! `--wal-dir DIR` every engine op is written to a crash-safe log in
+//! DIR, the directory is recovered on startup, and clients may issue
+//! `Checkpoint`; `--fsync` picks the append durability (`always`,
+//! `commit` [default], `group` or `group:BATCH:DELAYMS` for batched
+//! group commit, `never`, or a number N for every-N-ops). With
+//! `--replicate-from SOURCE` the
 //! server runs as a read replica of the primary at SOURCE (`host:port`
 //! for TCP, a leading `/` or `.` for a Unix socket path): it tails the
 //! primary's WAL, refuses writes with `read_only_replica`, serves
@@ -36,6 +40,7 @@ fn main() {
     let mut wal_dir: Option<String> = None;
     let mut replicate_from: Option<ReplSource> = None;
     let mut fsync = FsyncPolicy::OnCommit;
+    let mut shards: usize = 1;
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag value");
         match flag.as_str() {
@@ -44,35 +49,26 @@ fn main() {
             "--seconds" => seconds = Some(value().parse().expect("numeric --seconds")),
             "--wal-dir" => wal_dir = Some(value()),
             "--replicate-from" => replicate_from = Some(ReplSource::parse(&value())),
+            "--shards" => {
+                shards = value().parse().expect("numeric --shards");
+                if shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--fsync" => {
-                let v = value();
-                fsync = match v.as_str() {
-                    "always" => FsyncPolicy::Always,
-                    "commit" => FsyncPolicy::OnCommit,
-                    "never" => FsyncPolicy::Never,
-                    "group" => FsyncPolicy::default_group(),
-                    spec if spec.starts_with("group:") => {
-                        let mut parts = spec.split(':').skip(1);
-                        let max_batch = parts
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .expect("--fsync group:BATCH:DELAYMS needs a numeric BATCH");
-                        let delay_ms = parts
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .expect("--fsync group:BATCH:DELAYMS needs a numeric DELAYMS");
-                        FsyncPolicy::Group {
-                            max_batch,
-                            max_delay: std::time::Duration::from_millis(delay_ms),
-                        }
+                fsync = match FsyncPolicy::parse(&value()) {
+                    Ok(p) => p,
+                    Err(msg) => {
+                        eprintln!("bad --fsync: {msg}");
+                        std::process::exit(2);
                     }
-                    n => FsyncPolicy::EveryN(n.parse().expect("numeric --fsync interval")),
                 };
             }
             other => {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
-                     --wal-dir DIR, --replicate-from SOURCE, \
+                     --wal-dir DIR, --replicate-from SOURCE, --shards N, \
                      --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
                 );
                 std::process::exit(2);
@@ -84,7 +80,7 @@ fn main() {
     }
 
     let db = SharedDatabase::new(Database::new());
-    let mut builder = Server::builder(db);
+    let mut builder = Server::builder(db).shards(shards);
     if let Some(addr) = &tcp {
         builder = builder.tcp(addr.clone());
     }
@@ -105,6 +101,9 @@ fn main() {
 
     if let Some(dir) = &wal_dir {
         println!("ode-server recovered write-ahead log in {dir}");
+    }
+    if shards > 1 {
+        println!("ode-server running {shards} engine shards");
     }
     if replica {
         println!("ode-server running as a read replica (Promote to take writes)");
