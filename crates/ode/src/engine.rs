@@ -104,12 +104,49 @@ pub struct FiringNotice {
     /// built with `capture_params`): the most recent arguments of every
     /// constituent basic event seen so far.
     pub captured: Vec<(BasicEvent, Vec<Value>)>,
+    /// `true` for a firing on a *past* occurrence reported by a
+    /// retroactive activation — `seq` is then the completing posting's
+    /// event seq, not a fresh firing ordinal.
+    pub retro: bool,
 }
 
 /// A callback invoked on every object-trigger firing (see
 /// [`Database::set_firing_sink`]). Called synchronously with the engine
 /// locked — implementations must not block or re-enter the engine.
 pub type FiringSink = Arc<dyn Fn(&FiringNotice) + Send + Sync>;
+
+/// One basic event captured by the committed-event tap (see
+/// [`Database::set_event_tap`]): the posting exactly as an object saw
+/// it, stamped with the engine's global posting sequence. Because the
+/// sequence counter is carried by snapshots and replay regenerates the
+/// same postings from the same ops, `seq` is stable across crash
+/// recovery — the property the event-history store's retroactive
+/// triggers lean on.
+#[derive(Clone, Debug)]
+pub struct TapEvent {
+    /// Global posting sequence (the engine's `seq` after this post).
+    pub seq: u64,
+    /// The object the event was posted to.
+    pub object: ObjectId,
+    /// The class of that object.
+    pub class: ClassId,
+    /// The basic event.
+    pub basic: BasicEvent,
+    /// The posting's arguments.
+    pub args: Vec<Value>,
+}
+
+/// The committed-event tap: a callback handed, at each transaction
+/// commit, every basic event that transaction posted — including events
+/// on classes whose `needs_history` fast path skips `PostedRecord`
+/// recording, and including the `after tcommit` / `after tabort` rounds
+/// (delivered from the system transaction that posts them, immediately
+/// after the user transaction's batch). Aborted transactions deliver
+/// nothing, so the concatenated batches are exactly the committed event
+/// stream. The `u64` is the virtual clock at commit. Called
+/// synchronously with the engine locked — implementations must only
+/// enqueue.
+pub type EventTap = Arc<dyn Fn(TxnId, u64, &[TapEvent]) + Send + Sync>;
 
 /// A callback invoked on every outermost logged operation (see
 /// [`Database::set_log_sink`]) — the hook a write-ahead log hangs off.
@@ -169,6 +206,9 @@ struct TxnState {
     /// The `before tcomplete` fixpoint already ran ([`Database::prepare`]);
     /// a later commit must not run it again.
     prepared: bool,
+    /// Events buffered for the committed-event tap (filled only while a
+    /// tap is installed; dropped wholesale on abort).
+    tap: Vec<TapEvent>,
 }
 
 /// The database: classes, objects, transactions, clock, triggers.
@@ -210,6 +250,8 @@ pub struct Database {
     log_sink: Option<LogSink>,
     /// Observer for object-trigger firings (see [`FiringNotice`]).
     firing_sink: Option<FiringSink>,
+    /// Observer for committed event batches (see [`EventTap`]).
+    event_tap: Option<EventTap>,
 }
 
 impl Default for Database {
@@ -253,6 +295,7 @@ impl Database {
             #[cfg(feature = "persistence")]
             log_sink: None,
             firing_sink: None,
+            event_tap: None,
         }
     }
 
@@ -264,6 +307,24 @@ impl Database {
     /// gaps in [`FiringNotice::seq`].
     pub fn set_firing_sink(&mut self, sink: Option<FiringSink>) {
         self.firing_sink = sink;
+    }
+
+    /// Install (or clear) the committed-event tap: a callback handed
+    /// every committed transaction's posted events at commit time (see
+    /// [`EventTap`]). Unlike detection's `needs_history` fast path, the
+    /// tap sees *every* class's events — it is the analytic feed the
+    /// event-history store ([`crate::histstore`]) ingests — but costs
+    /// nothing when none is installed (the per-posting buffer push is
+    /// skipped entirely).
+    pub fn set_event_tap(&mut self, tap: Option<EventTap>) {
+        self.event_tap = tap;
+    }
+
+    /// Class names in `ClassId` order — the table an event-history
+    /// store uses to translate the `ClassId` carried on each
+    /// [`TapEvent`] to a stable, self-describing name.
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.iter().map(|c| c.name.clone()).collect()
     }
 
     /// Start recording a logical redo log of application-level
@@ -449,6 +510,7 @@ impl Database {
                 undo: Vec::new(),
                 aborted: None,
                 prepared: false,
+                tap: Vec::new(),
             },
         );
         id
@@ -466,6 +528,7 @@ impl Database {
                 undo: Vec::new(),
                 aborted: None,
                 prepared: false,
+                tap: Vec::new(),
             },
         );
         id
@@ -637,6 +700,15 @@ impl Database {
             }
         }
         self.locks.retain(|_, holder| *holder != txn);
+        // Deliver the committed batch before the `after tcommit` system
+        // round below, so tap batches arrive in posting-seq order (the
+        // system transaction's events have higher seqs and are delivered
+        // from its own commit).
+        if let Some(tap) = self.event_tap.clone() {
+            if !state.tap.is_empty() {
+                tap(txn, self.clock.now(), &state.tap);
+            }
+        }
         if !state.is_system {
             self.stats.txns_committed += 1;
             // System transaction posts `after tcommit` to every object
@@ -1135,6 +1207,156 @@ impl Database {
         Ok(())
     }
 
+    /// Retroactively activate a trigger: replay the object's stored
+    /// committed sub-history (from
+    /// [`HistStore::object_events`](crate::histstore::HistStore::object_events))
+    /// through the trigger's automaton, report firings on the past
+    /// occurrences, and install the resulting monitoring state — as if
+    /// the trigger had been active since inception. The computed
+    /// outcome, not the computation, is logged
+    /// ([`crate::wal::LogOp::ActivateRetro`]), so recovery re-installs
+    /// it while the history store is itself still rebuilding. Retro
+    /// firings are reported through the firing sink with
+    /// [`FiringNotice::retro`] set and `seq` = the completing posting's
+    /// event seq (deterministic and stable across restarts); trigger
+    /// actions are *not* re-executed for past occurrences.
+    #[cfg(feature = "persistence")]
+    pub fn activate_trigger_retro(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        name: &str,
+        params: &[Value],
+        events: &[(u64, BasicEvent, Vec<Value>)],
+    ) -> Result<crate::histstore::RetroReplay, OdeError> {
+        let (replay, class_name) = {
+            let o = self.live_object(obj)?;
+            let class = Arc::clone(self.class(o.class));
+            let idx = class
+                .trigger_index(name)
+                .ok_or_else(|| OdeError::UnknownTrigger {
+                    class: class.name.clone(),
+                    trigger: name.to_string(),
+                })?;
+            (
+                crate::histstore::replay_trigger(events, &class.triggers[idx])?,
+                class.name.clone(),
+            )
+        };
+        self.apply_activate_retro(txn, obj, name, params, replay.outcome())?;
+        if let Some(sink) = self.firing_sink.clone() {
+            for f in &replay.firings {
+                sink(&FiringNotice {
+                    seq: f.seq,
+                    txn,
+                    object: obj,
+                    class: class_name.clone(),
+                    trigger: name.to_string(),
+                    event: f.event.clone(),
+                    args: f.args.clone(),
+                    captured: Vec::new(),
+                    retro: true,
+                });
+            }
+        }
+        Ok(replay)
+    }
+
+    /// Install a recorded retroactive-activation outcome — the logged
+    /// form of [`Database::activate_trigger_retro`], also the replay
+    /// path for [`crate::wal::LogOp::ActivateRetro`].
+    #[cfg(feature = "persistence")]
+    pub fn apply_activate_retro(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        name: &str,
+        params: &[Value],
+        outcome: crate::histstore::RetroOutcome,
+    ) -> Result<(), OdeError> {
+        self.log_op(|| crate::wal::LogOp::ActivateRetro {
+            txn: txn.0,
+            obj: obj.0,
+            trigger: name.to_string(),
+            params: params.to_vec(),
+            state: outcome.state,
+            active: outcome.active,
+            fired: outcome.fired,
+        });
+        self.user_entry(txn, |db| {
+            db.install_retro_inner(txn, obj, name, params, outcome)
+        })
+    }
+
+    #[cfg(feature = "persistence")]
+    fn install_retro_inner(
+        &mut self,
+        txn: TxnId,
+        obj: ObjectId,
+        name: &str,
+        params: &[Value],
+        outcome: crate::histstore::RetroOutcome,
+    ) -> Result<(), OdeError> {
+        self.txn_state(txn)?;
+        self.ensure_locked(txn, obj)?;
+        let o = self.live_object(obj)?;
+        let class = Arc::clone(self.class(o.class));
+        let idx = class
+            .trigger_index(name)
+            .ok_or_else(|| OdeError::UnknownTrigger {
+                class: class.name.clone(),
+                trigger: name.to_string(),
+            })?;
+        let tdef = &class.triggers[idx];
+        {
+            let o = self
+                .objects
+                .get_mut(&obj.0)
+                .ok_or(OdeError::UnknownObject(obj))?;
+            let pos = crate::object::instance_position(&o.triggers, idx).ok_or_else(|| {
+                OdeError::UnknownTrigger {
+                    class: class.name.clone(),
+                    trigger: name.to_string(),
+                }
+            })?;
+            let inst = &mut o.triggers[pos];
+            let snapshot = UndoOp::TriggerSnapshot {
+                obj,
+                idx: pos,
+                old_active: inst.active,
+                old_state: inst.state,
+                old_params: inst.params.clone(),
+            };
+            inst.active = outcome.active;
+            inst.state = outcome.state;
+            inst.params = params.to_vec();
+            inst.fired += outcome.fired;
+            if let Some(s) = self.txns.get_mut(&txn.0) {
+                s.undo.push(snapshot);
+            }
+        }
+        // A still-monitoring instance needs the same timers a live
+        // activation registers for the time events in its alphabet.
+        if outcome.active {
+            let now = self.clock.now();
+            for group in tdef.event.alphabet().groups() {
+                if let BasicEvent::Time(te) = &group.basic {
+                    let scope = match te {
+                        ode_core::TimeEvent::At(_) => {
+                            if !self.at_timer_registry.insert((obj, te.clone())) {
+                                continue;
+                            }
+                            TimerScope::Object
+                        }
+                        _ => TimerScope::Trigger(idx),
+                    };
+                    self.clock.schedule_event(obj, scope, te, now);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Explicitly deactivate a trigger.
     pub fn deactivate_trigger(
         &mut self,
@@ -1205,6 +1427,7 @@ impl Database {
         if o.deleted && !matches!(basic, BasicEvent::Db(Qualifier::Before, EventKind::Delete)) {
             return Ok(0);
         }
+        let class_id = o.class;
         let class = Arc::clone(self.class(o.class));
         let runtime = Arc::clone(&self.runtimes[o.class.0 as usize]);
         let user = match self.txns.get(&txn.0) {
@@ -1215,6 +1438,22 @@ impl Database {
         self.seq += 1;
         self.stats.events_posted += 1;
         let seq = self.seq;
+
+        // Committed-event tap: buffer the posting on its transaction,
+        // independent of `needs_history` (the buffer is delivered at
+        // commit, dropped on abort). Skipped entirely when no tap is
+        // installed, preserving the zero-cost default.
+        if self.event_tap.is_some() {
+            if let Some(state) = self.txns.get_mut(&txn.0) {
+                state.tap.push(TapEvent {
+                    seq,
+                    object: obj,
+                    class: class_id,
+                    basic: basic.clone(),
+                    args: args.to_vec(),
+                });
+            }
+        }
 
         // Phase A+B under one object borrow: record the posting, route
         // the symbols against the fields (split borrow) and step the
@@ -1342,6 +1581,7 @@ impl Database {
                     event: basic.clone(),
                     args: args.to_vec(),
                     captured,
+                    retro: false,
                 });
             }
             if !tdef.perpetual {

@@ -1,0 +1,274 @@
+//! Row and dictionary types: how a [`BasicEvent`] posting becomes a
+//! typed columnar row.
+//!
+//! Qualifiers and the paper's fixed event kinds get fixed small codes;
+//! method names are interned into a [`KindDict`] in first-appearance
+//! order (the committed event stream is deterministic, so a rebuild
+//! assigns identical codes). Class codes are the engine's own
+//! [`ClassId`](crate::ids::ClassId) ordinals — schema definition is
+//! logged, so they too are stable across recovery.
+
+use std::collections::HashMap;
+
+use ode_core::{BasicEvent, EventKind, Qualifier, TimeEvent, Value};
+
+/// Qualifier code: `before`.
+pub const QUAL_BEFORE: u8 = 0;
+/// Qualifier code: `after`.
+pub const QUAL_AFTER: u8 = 1;
+/// Qualifier code for unqualified happenings (time events, `start`).
+pub const QUAL_NONE: u8 = 2;
+
+/// Fixed kind codes 0..=10; method kinds start at [`FIRST_METHOD_KIND`].
+pub const KIND_CREATE: u32 = 0;
+/// `delete`.
+pub const KIND_DELETE: u32 = 1;
+/// `read`.
+pub const KIND_READ: u32 = 2;
+/// `update`.
+pub const KIND_UPDATE: u32 = 3;
+/// `access`.
+pub const KIND_ACCESS: u32 = 4;
+/// `tbegin`.
+pub const KIND_TBEGIN: u32 = 5;
+/// `tcomplete`.
+pub const KIND_TCOMPLETE: u32 = 6;
+/// `tcommit`.
+pub const KIND_TCOMMIT: u32 = 7;
+/// `tabort`.
+pub const KIND_TABORT: u32 = 8;
+/// The distinguished history-start point.
+pub const KIND_START: u32 = 9;
+/// A time event (the [`TimeEvent`] itself rides in [`EventRow::extra`]).
+pub const KIND_TIME: u32 = 10;
+/// First code handed to an interned method name.
+pub const FIRST_METHOD_KIND: u32 = 16;
+
+/// Names of the fixed kind codes, indexed by code.
+const FIXED_KIND_NAMES: [&str; 11] = [
+    "create",
+    "delete",
+    "read",
+    "update",
+    "access",
+    "tbegin",
+    "tcomplete",
+    "tcommit",
+    "tabort",
+    "start",
+    "time",
+];
+
+/// One committed basic-event posting, fully typed for columnar storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRow {
+    /// The engine's global posting sequence — assigned at post time,
+    /// restored from snapshots, and therefore stable across recovery.
+    pub seq: u64,
+    /// WAL LSN of the commit record that made this posting durable.
+    pub lsn: u64,
+    /// Virtual-clock milliseconds at commit time.
+    pub time: u64,
+    /// Committing transaction id.
+    pub txn: u64,
+    /// The object the event was posted to.
+    pub object: u64,
+    /// Class code (= the engine's `ClassId` ordinal).
+    pub class: u32,
+    /// Qualifier code ([`QUAL_BEFORE`], [`QUAL_AFTER`], [`QUAL_NONE`]).
+    pub qual: u8,
+    /// Kind code (fixed codes, or an interned method name).
+    pub kind: u32,
+    /// The posting's arguments.
+    pub args: Vec<Value>,
+    /// Kind-specific payload: the JSON-serialized [`TimeEvent`] for
+    /// [`KIND_TIME`] rows, `None` otherwise.
+    pub extra: Option<String>,
+}
+
+/// The method-name dictionary: kind codes [`FIRST_METHOD_KIND`]..
+/// assigned in first-appearance order over the committed event stream.
+#[derive(Clone, Debug, Default)]
+pub struct KindDict {
+    methods: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl KindDict {
+    /// Rebuild a dictionary from a persisted method list (code order).
+    pub fn from_methods(methods: Vec<String>) -> KindDict {
+        let index = methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), FIRST_METHOD_KIND + i as u32))
+            .collect();
+        KindDict { methods, index }
+    }
+
+    /// The interned method names, in code order.
+    pub fn methods(&self) -> &[String] {
+        &self.methods
+    }
+
+    /// Code for `name`, interning it if unseen.
+    pub fn intern_method(&mut self, name: &str) -> u32 {
+        if let Some(&c) = self.index.get(name) {
+            return c;
+        }
+        let c = FIRST_METHOD_KIND + self.methods.len() as u32;
+        self.methods.push(name.to_string());
+        self.index.insert(name.to_string(), c);
+        c
+    }
+
+    /// Code for `name` if already interned.
+    pub fn lookup_method(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Human-readable label for any kind code.
+    pub fn kind_label(&self, code: u32) -> String {
+        if let Some(name) = FIXED_KIND_NAMES.get(code as usize) {
+            if code < FIXED_KIND_NAMES.len() as u32 {
+                return (*name).to_string();
+            }
+        }
+        self.methods
+            .get((code.wrapping_sub(FIRST_METHOD_KIND)) as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("kind#{code}"))
+    }
+
+    /// Code for a kind named on a query: a fixed name, or an interned
+    /// method. `None` = the name has never appeared, so nothing matches.
+    pub fn lookup_kind(&self, name: &str) -> Option<u32> {
+        FIXED_KIND_NAMES
+            .iter()
+            .position(|k| *k == name)
+            .map(|i| i as u32)
+            .or_else(|| self.lookup_method(name))
+    }
+}
+
+/// Encode a [`BasicEvent`] as `(qual, kind, extra)` codes, interning
+/// method names into `dict`.
+pub fn encode_basic(basic: &BasicEvent, dict: &mut KindDict) -> (u8, u32, Option<String>) {
+    match basic {
+        BasicEvent::Db(q, kind) => {
+            let qual = match q {
+                Qualifier::Before => QUAL_BEFORE,
+                Qualifier::After => QUAL_AFTER,
+            };
+            let code = match kind {
+                EventKind::Create => KIND_CREATE,
+                EventKind::Delete => KIND_DELETE,
+                EventKind::Read => KIND_READ,
+                EventKind::Update => KIND_UPDATE,
+                EventKind::Access => KIND_ACCESS,
+                EventKind::TBegin => KIND_TBEGIN,
+                EventKind::TComplete => KIND_TCOMPLETE,
+                EventKind::TCommit => KIND_TCOMMIT,
+                EventKind::TAbort => KIND_TABORT,
+                EventKind::Method(m) => dict.intern_method(m),
+            };
+            (qual, code, None)
+        }
+        BasicEvent::Time(te) => (
+            QUAL_NONE,
+            KIND_TIME,
+            Some(serde_json::to_string(te).expect("TimeEvent serializes")),
+        ),
+        BasicEvent::Start => (QUAL_NONE, KIND_START, None),
+    }
+}
+
+/// Decode `(qual, kind, extra)` codes back to a [`BasicEvent`].
+/// `None` = the codes are inconsistent with `dict` (corruption).
+pub fn decode_basic(
+    qual: u8,
+    kind: u32,
+    extra: Option<&str>,
+    dict: &KindDict,
+) -> Option<BasicEvent> {
+    if kind == KIND_START {
+        return Some(BasicEvent::Start);
+    }
+    if kind == KIND_TIME {
+        let te: TimeEvent = serde_json::from_str(extra?).ok()?;
+        return Some(BasicEvent::Time(te));
+    }
+    let q = match qual {
+        QUAL_BEFORE => Qualifier::Before,
+        QUAL_AFTER => Qualifier::After,
+        _ => return None,
+    };
+    let k = match kind {
+        KIND_CREATE => EventKind::Create,
+        KIND_DELETE => EventKind::Delete,
+        KIND_READ => EventKind::Read,
+        KIND_UPDATE => EventKind::Update,
+        KIND_ACCESS => EventKind::Access,
+        KIND_TBEGIN => EventKind::TBegin,
+        KIND_TCOMPLETE => EventKind::TComplete,
+        KIND_TCOMMIT => EventKind::TCommit,
+        KIND_TABORT => EventKind::TAbort,
+        c if c >= FIRST_METHOD_KIND => {
+            EventKind::Method(dict.methods.get((c - FIRST_METHOD_KIND) as usize)?.clone())
+        }
+        _ => return None,
+    };
+    Some(BasicEvent::Db(q, k))
+}
+
+/// Build a row from one tapped posting plus its commit context.
+pub fn row_from_tap(
+    ev: &crate::engine::TapEvent,
+    lsn: u64,
+    time: u64,
+    txn: u64,
+    dict: &mut KindDict,
+) -> EventRow {
+    let (qual, kind, extra) = encode_basic(&ev.basic, dict);
+    EventRow {
+        seq: ev.seq,
+        lsn,
+        time,
+        txn,
+        object: ev.object.0,
+        class: ev.class.0,
+        qual,
+        kind,
+        args: ev.args.clone(),
+        extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_round_trip() {
+        let mut dict = KindDict::default();
+        let cases = vec![
+            BasicEvent::after(EventKind::Create),
+            BasicEvent::before(EventKind::Delete),
+            BasicEvent::after_method("deposit"),
+            BasicEvent::before_method("withdraw"),
+            BasicEvent::after(EventKind::TCommit),
+            BasicEvent::Start,
+            BasicEvent::Time(TimeEvent::After(ode_core::TimeSpec {
+                sec: Some(5),
+                ..Default::default()
+            })),
+        ];
+        for b in &cases {
+            let (q, k, e) = encode_basic(b, &mut dict);
+            let back = decode_basic(q, k, e.as_deref(), &dict).unwrap();
+            assert_eq!(&back, b);
+        }
+        assert_eq!(dict.lookup_kind("deposit"), Some(FIRST_METHOD_KIND));
+        assert_eq!(dict.lookup_kind("tcommit"), Some(KIND_TCOMMIT));
+        assert_eq!(dict.lookup_kind("nosuch"), None);
+    }
+}

@@ -51,6 +51,8 @@ pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod history;
+#[cfg(feature = "persistence")]
+pub mod histstore;
 pub mod ids;
 pub mod object;
 #[cfg(feature = "persistence")]
@@ -76,9 +78,14 @@ pub use durability::{
 };
 #[cfg(feature = "persistence")]
 pub use engine::LogSink;
-pub use engine::{Config, Database, FiringNotice, FiringSink, Stats};
+pub use engine::{Config, Database, EventTap, FiringNotice, FiringSink, Stats, TapEvent};
 pub use error::{AbortReason, OdeError};
 pub use history::HistoryQuery;
+#[cfg(feature = "persistence")]
+pub use histstore::{
+    ArgPred, Batch, CmpOp, EventRow, HistConfig, HistError, HistQuery, HistStats, HistStore,
+    QueryResult, RetroFiring, RetroOutcome, RetroReplay,
+};
 pub use ids::{ClassId, ObjectId, TxnId};
 pub use object::{Object, PostStatus, PostedRecord, TriggerInstance};
 #[cfg(feature = "persistence")]

@@ -240,6 +240,24 @@ impl Applier {
                 let o = self.map_obj(*obj)?;
                 let _ = db.activate_trigger(t, o, trigger, params);
             }
+            LogOp::ActivateRetro {
+                txn,
+                obj,
+                trigger,
+                params,
+                state,
+                active,
+                fired,
+            } => {
+                let t = self.map_txn(*txn)?;
+                let o = self.map_obj(*obj)?;
+                let outcome = crate::histstore::RetroOutcome {
+                    state: *state,
+                    active: *active,
+                    fired: *fired,
+                };
+                let _ = db.apply_activate_retro(t, o, trigger, params, outcome);
+            }
             LogOp::Deactivate { txn, obj, trigger } => {
                 let t = self.map_txn(*txn)?;
                 let o = self.map_obj(*obj)?;

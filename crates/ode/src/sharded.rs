@@ -555,6 +555,26 @@ impl ShardedDatabase {
         self.on_branch(g, s, |db, t| db.activate_trigger(t, local, trigger, params))
     }
 
+    /// Activate a trigger retroactively: replay `events` (the object's
+    /// indexed event history) through the trigger's automaton before
+    /// installing it, so occurrences that happened before activation
+    /// fire now. Routes to the owning shard like
+    /// [`ShardedDatabase::activate_trigger`].
+    #[cfg(feature = "persistence")]
+    pub fn activate_trigger_retro(
+        &self,
+        g: TxnId,
+        obj: ObjectId,
+        trigger: &str,
+        params: &[Value],
+        events: &[(u64, ode_core::BasicEvent, Vec<Value>)],
+    ) -> Result<crate::histstore::RetroReplay, OdeError> {
+        let (s, local) = self.route(obj);
+        self.on_branch(g, s, |db, t| {
+            db.activate_trigger_retro(t, local, trigger, params, events)
+        })
+    }
+
     /// Deactivate a trigger on an object by global id.
     pub fn deactivate_trigger(
         &self,

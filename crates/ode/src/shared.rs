@@ -128,6 +128,14 @@ impl SharedDatabase {
         self.inner.lock().set_log_sink(sink);
     }
 
+    /// Install (or clear) the engine's committed-event tap (see
+    /// [`crate::engine::EventTap`]). The tap runs with the engine mutex
+    /// held — it must only enqueue, never block or call back into this
+    /// handle.
+    pub fn set_event_tap(&self, tap: Option<crate::engine::EventTap>) {
+        self.inner.lock().set_event_tap(tap);
+    }
+
     /// Begin a long-lived *session* transaction as `user` and return its
     /// id. Unlike [`SharedDatabase::run_txn`], the transaction stays open
     /// across engine-lock releases — the caller (e.g. a network session)

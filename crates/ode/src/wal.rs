@@ -107,6 +107,26 @@ pub enum LogOp {
         /// Indices of every participating shard, in ascending order.
         parts: Vec<u64>,
     },
+    /// `activate_trigger_retro` — the replay *outcome* is recorded, not
+    /// recomputed: recovery re-installs the state without needing the
+    /// history store (which may itself be mid-rebuild).
+    ActivateRetro {
+        /// Transaction.
+        txn: u64,
+        /// Object.
+        obj: u64,
+        /// Trigger name.
+        trigger: String,
+        /// Activation parameters.
+        params: Vec<Value>,
+        /// Automaton state after replaying history.
+        state: u32,
+        /// Whether the instance is still monitoring.
+        active: bool,
+        /// Firings the replay produced (folded into the instance's
+        /// diagnostic counter).
+        fired: u64,
+    },
     /// `abort`.
     Abort {
         /// Transaction.

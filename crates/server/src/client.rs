@@ -21,9 +21,51 @@ use ode_core::Value;
 use crate::codec::{LineEvent, LineReader};
 use crate::conn::Conn;
 use crate::protocol::{
-    Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+    Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireRow, WireStats,
 };
 use crate::spec::ClassSpec;
+
+/// Client-side history-query parameters, mirroring
+/// [`Command::Query`] field for field (every field a conjunct;
+/// `None`/empty = unconstrained). `QuerySpec::default()` matches
+/// everything up to the server's row cap.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySpec {
+    /// Class name.
+    pub class: Option<String>,
+    /// Global object id.
+    pub object: Option<u64>,
+    /// Event kind (fixed kind name or method name).
+    pub kind: Option<String>,
+    /// `"before"` or `"after"`.
+    pub qualifier: Option<String>,
+    /// Argument predicates `(index, op, value)`.
+    pub args: Vec<(u64, String, Value)>,
+    /// Minimum posting seq (inclusive).
+    pub min_seq: Option<u64>,
+    /// Maximum posting seq (inclusive).
+    pub max_seq: Option<u64>,
+    /// Minimum commit-time ms (inclusive).
+    pub min_time: Option<u64>,
+    /// Maximum commit-time ms (inclusive).
+    pub max_time: Option<u64>,
+    /// Row cap.
+    pub limit: Option<u64>,
+}
+
+/// Outcome of [`Client::query`]: the streamed rows plus the summary
+/// from the [`Reply::QueryDone`] line.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Matching rows, in the order the server streamed them.
+    pub rows: Vec<WireRow>,
+    /// The row cap cut matching short — more rows exist.
+    pub truncated: bool,
+    /// Segments decoded across all shards.
+    pub segments_scanned: u64,
+    /// Segments pruned by zone metadata alone.
+    pub segments_skipped: u64,
+}
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -327,7 +369,105 @@ impl Client {
             object,
             trigger: trigger.to_string(),
             params: params.to_vec(),
+            replay_history: false,
         })?)
+    }
+
+    /// Retroactive `Activate` (`replay_history: true`): the server
+    /// replays the object's indexed history through the trigger first,
+    /// firing on past occurrences. Returns `(fired, scanned, active)`.
+    pub fn activate_replay(
+        &mut self,
+        object: u64,
+        trigger: &str,
+        params: &[Value],
+    ) -> Result<(u64, u64, bool), ClientError> {
+        match self.request(Command::Activate {
+            object,
+            trigger: trigger.to_string(),
+            params: params.to_vec(),
+            replay_history: true,
+        })? {
+            Reply::Replayed {
+                fired,
+                scanned,
+                active,
+            } => Ok((fired, scanned, active)),
+            other => Err(unexpected("Replayed", &other)),
+        }
+    }
+
+    /// `Query`: run a history query and collect the streamed row
+    /// chunks until the terminating [`Reply::QueryDone`] arrives.
+    /// Firings that interleave with the row stream are buffered for
+    /// [`Client::poll_firing`] as usual.
+    pub fn query(&mut self, spec: QuerySpec) -> Result<QueryOutcome, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let cmd = Command::Query {
+            class: spec.class,
+            object: spec.object,
+            kind: spec.kind,
+            qualifier: spec.qualifier,
+            args: spec.args,
+            min_seq: spec.min_seq,
+            max_seq: spec.max_seq,
+            min_time: spec.min_time,
+            max_time: spec.max_time,
+            limit: spec.limit,
+        };
+        let mut line = serde_json::to_string(&Request { id, cmd })
+            .map_err(|e| ClientError::Protocol(format!("encode failed: {e}")))?;
+        line.push('\n');
+        self.write.write_all(line.as_bytes())?;
+        self.read.set_read_timeout(Some(self.request_timeout))?;
+        let mut rows = Vec::new();
+        loop {
+            match self.read_msg()? {
+                Some(ServerMsg::Firing(f)) => self.pending.push_back(f),
+                Some(ServerMsg::Rows {
+                    id: rid,
+                    rows: chunk,
+                }) => {
+                    if rid == id {
+                        rows.extend(chunk);
+                    }
+                }
+                Some(ServerMsg::Reply { id: rid, result }) => {
+                    if rid == id {
+                        return match result {
+                            ReplyResult::Ok(Reply::QueryDone {
+                                truncated,
+                                segments_scanned,
+                                segments_skipped,
+                                ..
+                            }) => Ok(QueryOutcome {
+                                rows,
+                                truncated,
+                                segments_scanned,
+                                segments_skipped,
+                            }),
+                            ReplyResult::Ok(other) => Err(unexpected("QueryDone", &other)),
+                            ReplyResult::Err(e) => Err(ClientError::Server(e)),
+                        };
+                    } else if rid == 0 {
+                        if let ReplyResult::Err(e) = result {
+                            self.notices.push(e);
+                        }
+                    } else {
+                        return Err(ClientError::Protocol(format!(
+                            "unexpected reply id {rid} (awaiting {id})"
+                        )));
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    return Err(ClientError::Protocol(
+                        "timed out waiting for the reply".to_string(),
+                    ))
+                }
+            }
+        }
     }
 
     /// `Deactivate`.
@@ -364,7 +504,7 @@ impl Client {
     /// `Stats`.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.request(Command::Stats)? {
-            Reply::Stats(s) => Ok(s),
+            Reply::Stats(s) => Ok(*s),
             other => Err(unexpected("Stats", &other)),
         }
     }

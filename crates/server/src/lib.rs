@@ -26,9 +26,10 @@ pub mod repl;
 pub mod server;
 pub mod spec;
 
-pub use client::{backoff_delay, Client, ClientError};
+pub use client::{backoff_delay, Client, ClientError, QueryOutcome, QuerySpec};
 pub use protocol::{
-    CapturedEvent, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+    CapturedEvent, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireRow,
+    WireStats,
 };
 pub use repl::{ReplSource, StreamFault};
 pub use server::{Server, ServerBuilder, ServerConfig};

@@ -80,6 +80,14 @@ pub enum Command {
         trigger: String,
         /// Activation parameters.
         params: Vec<Value>,
+        /// Retroactive activation: replay the object's indexed event
+        /// history through the trigger's automaton first, firing on
+        /// past occurrences ([`ServerMsg::Firing`] lines with `retro`
+        /// set) and installing the resulting monitoring state — as if
+        /// the trigger had been active since inception. Requires the
+        /// server to run with `--history`; the reply is
+        /// [`Reply::Replayed`] instead of [`Reply::Unit`].
+        replay_history: bool,
     },
     /// Deactivate a trigger on an object (requires an open transaction).
     Deactivate {
@@ -143,6 +151,37 @@ pub enum Command {
     /// transactions the stream left open, and accept mutations from now
     /// on. Fails with `not_replica` on a server that never replicated.
     Promote,
+    /// Query the committed event history (requires `--history`). Every
+    /// field is a conjunct; `None`/empty means unconstrained. Matching
+    /// rows stream back as [`ServerMsg::Rows`] chunks (in shard-major
+    /// order, store order within a shard) followed by one
+    /// [`Reply::QueryDone`]. Needs no open transaction and is allowed
+    /// on read-only replicas.
+    Query {
+        /// Class name.
+        class: Option<String>,
+        /// Global object id.
+        object: Option<u64>,
+        /// Event kind: a fixed kind name (`create`, `delete`, `read`,
+        /// `update`, `access`, `tbegin`, `tcomplete`, `tcommit`,
+        /// `tabort`, `start`, `time`) or a method name.
+        kind: Option<String>,
+        /// Qualifier, `"before"` or `"after"`.
+        qualifier: Option<String>,
+        /// Argument predicates `(index, op, value)` with op one of
+        /// `eq`, `ne`, `lt`, `le`, `gt`, `ge`; all must hold.
+        args: Vec<(u64, String, Value)>,
+        /// Minimum posting seq (inclusive).
+        min_seq: Option<u64>,
+        /// Maximum posting seq (inclusive).
+        max_seq: Option<u64>,
+        /// Minimum commit-time virtual clock ms (inclusive).
+        min_time: Option<u64>,
+        /// Maximum commit-time virtual clock ms (inclusive).
+        max_time: Option<u64>,
+        /// Row cap; the server also imposes its own ceiling.
+        limit: Option<u64>,
+    },
 }
 
 /// One server-to-client line.
@@ -157,6 +196,14 @@ pub enum ServerMsg {
     },
     /// A trigger-firing notification (subscribed connections only).
     Firing(Firing),
+    /// A chunk of matching history rows for an in-flight
+    /// [`Command::Query`], delivered before its reply.
+    Rows {
+        /// The query request's correlation id.
+        id: u64,
+        /// The rows, in store order.
+        rows: Vec<WireRow>,
+    },
     /// First message of a replication stream: the primary's full schema
     /// and, when the replica's `from_lsn` predates the primary's oldest
     /// retained record, the checkpoint snapshot to bootstrap from.
@@ -230,8 +277,9 @@ pub enum Reply {
         /// The transaction id.
         txn: u64,
     },
-    /// Engine counters.
-    Stats(WireStats),
+    /// Engine counters (boxed: the stats block dwarfs every other
+    /// reply; the wire format is unchanged).
+    Stats(Box<WireStats>),
     /// A snapshot of the store.
     SnapshotTaken {
         /// The snapshot JSON (opaque to clients).
@@ -268,6 +316,30 @@ pub enum Reply {
         /// The LSN of the last record applied before promotion — the
         /// point the new primary's history continues from.
         lsn: u64,
+    },
+    /// Answer to [`Command::Query`], after every [`ServerMsg::Rows`]
+    /// chunk for the query has been delivered.
+    QueryDone {
+        /// Rows streamed back.
+        rows: u64,
+        /// The row cap cut matching short — more rows exist.
+        truncated: bool,
+        /// Segments whose bodies were decoded, across all shards.
+        segments_scanned: u64,
+        /// Segments pruned by zone metadata alone, across all shards.
+        segments_skipped: u64,
+    },
+    /// Answer to a retroactive [`Command::Activate`] (`replay_history`).
+    Replayed {
+        /// Past occurrences the trigger fired on (each also streamed to
+        /// subscribers as a retro [`ServerMsg::Firing`]).
+        fired: u64,
+        /// Stored events of the object that were replayed through the
+        /// automaton.
+        scanned: u64,
+        /// Whether the trigger is still monitoring (`false` once a
+        /// non-perpetual trigger consumed a past firing).
+        active: bool,
     },
 }
 
@@ -385,6 +457,27 @@ pub struct WireStats {
     /// meant to drive down. Flat and near-zero at `--shards N` with a
     /// partitionable workload; one hot entry means a hot shard.
     pub shard_lock_wait_us: Vec<u64>,
+    /// Whether the event-history store is on (`--history`).
+    pub hist_enabled: bool,
+    /// Sealed history segments, summed across shards.
+    pub hist_segments: u64,
+    /// History rows indexed (sealed + active), summed across shards.
+    pub hist_rows: u64,
+    /// Bytes across sealed history segment files, summed across shards.
+    pub hist_disk_bytes: u64,
+    /// Per shard: one past the last commit LSN folded into that shard's
+    /// history store. Trails the shard's `durable_lsn` only by batches
+    /// the background indexer has not drained yet.
+    pub hist_indexed_lsns: Vec<u64>,
+    /// History queries served, summed across shards.
+    pub hist_queries: u64,
+    /// Rows returned across all history queries.
+    pub hist_rows_returned: u64,
+    /// Segments pruned by zone metadata across all history queries —
+    /// the segment-skipping win.
+    pub hist_segments_skipped: u64,
+    /// Retroactive trigger replays served from the history store.
+    pub hist_retro_replays: u64,
 }
 
 /// A trigger firing as streamed to subscribers — the wire image of
@@ -413,6 +506,10 @@ pub struct Firing {
     pub args: Vec<Value>,
     /// Captured constituent-event arguments (capture-enabled triggers).
     pub captured: Vec<CapturedEvent>,
+    /// A retroactive firing: produced by replaying stored history
+    /// during a `replay_history` activation, with `seq` the original
+    /// posting's seq. The trigger's action did not run.
+    pub retro: bool,
 }
 
 /// One captured constituent event of a composite firing.
@@ -446,8 +543,31 @@ impl Firing {
                     args: a.clone(),
                 })
                 .collect(),
+            retro: n.retro,
         }
     }
+}
+
+/// One committed history row as returned by [`Command::Query`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireRow {
+    /// Engine posting seq (unique within its shard, stable across
+    /// restarts).
+    pub seq: u64,
+    /// The engine shard the posting happened on.
+    pub shard: u64,
+    /// Virtual-clock milliseconds at commit time.
+    pub time: u64,
+    /// Committing transaction id.
+    pub txn: u64,
+    /// Global object id.
+    pub object: u64,
+    /// Class name.
+    pub class: String,
+    /// The basic event, rendered in §3 syntax (`after withdraw`).
+    pub event: String,
+    /// The posting's arguments.
+    pub args: Vec<Value>,
 }
 
 /// Hex-encode bytes for embedding a binary frame in a JSON line.

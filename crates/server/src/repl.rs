@@ -283,7 +283,7 @@ fn handle_msg(
             result: ReplyResult::Err(_),
             ..
         } => Flow::Resync,
-        ServerMsg::Reply { .. } | ServerMsg::Firing(_) => Flow::Continue,
+        ServerMsg::Reply { .. } | ServerMsg::Firing(_) | ServerMsg::Rows { .. } => Flow::Continue,
         ServerMsg::ReplHeartbeat { shard, head } => {
             let Some(h) = rs.head.get(shard as usize) else {
                 return Flow::Fatal;
@@ -335,6 +335,7 @@ fn handle_msg(
                 fresh.take_output();
                 fresh.set_firing_sink(inner.firing_sinks.get(s).cloned());
                 fresh.set_log_sink(inner.log_sinks.get(s).cloned());
+                fresh.set_event_tap(inner.event_taps.get(s).cloned());
                 let next = Applier::resume(&fresh, lsn);
                 *db = fresh;
                 Ok(next)

@@ -54,21 +54,23 @@ use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ode_core::Value;
+use ode_core::{Qualifier, Value};
 use ode_db::durability::frame;
-use ode_db::engine::{FiringSink, LogSink};
+use ode_db::engine::{EventTap, FiringSink, LogSink};
 use ode_db::replication::Applier;
 use ode_db::{
-    shard_dir, Database, DurableRecord, FiringNotice, LogOp, ObjectId, SegmentReader,
-    ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot, StdIo, TxnId, WalConfig,
-    WalFlusher,
+    shard_dir, shard_of, to_global, to_local, ArgPred, Batch, CmpOp, Database, DurableRecord,
+    FiringNotice, HistConfig, HistQuery, HistStore, LogOp, ObjectId, SegmentReader,
+    ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot, StdIo, TapEvent, TxnId,
+    WalConfig, WalFlusher,
 };
 use parking_lot::Mutex;
 
 use crate::codec::{LineEvent, LineReader};
 use crate::conn::Conn;
 use crate::protocol::{
-    hex_encode, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireStats,
+    hex_encode, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireRow,
+    WireStats,
 };
 use crate::repl::{run_replica, ReplSource, ReplicaState, StreamFault};
 use crate::spec::{compile_class, ClassSpec};
@@ -175,6 +177,10 @@ pub(crate) struct Shared {
     /// snapshot jump.
     pub(crate) log_sinks: Vec<LogSink>,
     pub(crate) firing_sinks: Vec<FiringSink>,
+    pub(crate) event_taps: Vec<EventTap>,
+    /// Per-shard event-history stores (`--history`); empty when the
+    /// feature is off.
+    pub(crate) hist: Vec<Arc<HistStore>>,
 }
 
 /// Configures and starts a [`Server`].
@@ -189,6 +195,8 @@ pub struct ServerBuilder {
     wal_io: Option<SharedIo>,
     replicate_from: Option<ReplSource>,
     repl_fault_plan: HashMap<u64, StreamFault>,
+    history: bool,
+    hist_config: HistConfig,
 }
 
 impl ServerBuilder {
@@ -250,6 +258,26 @@ impl ServerBuilder {
         self
     }
 
+    /// Maintain a per-shard append-only columnar store of the committed
+    /// event stream (`hist/` under each shard's WAL directory), serving
+    /// [`Command::Query`] and retroactive trigger activation
+    /// (`Activate { replay_history: true }`). Requires
+    /// [`ServerBuilder::wal_dir`]: ingestion is gated on WAL
+    /// durability, and a store that lost its tail rebuilds from the
+    /// log. Off by default — without it the engine's event tap stays
+    /// uninstalled and the commit path is untouched.
+    pub fn history(mut self, on: bool) -> Self {
+        self.history = on;
+        self
+    }
+
+    /// Override the default [`HistConfig`] (rows per sealed segment).
+    /// Only meaningful together with [`ServerBuilder::history`].
+    pub fn hist_config(mut self, cfg: HistConfig) -> Self {
+        self.hist_config = cfg;
+        self
+    }
+
     /// Run as a read replica of the primary at `source`: refuse
     /// mutations with `read_only_replica`, tail the primary's WAL
     /// stream, and serve reads, stats, and subscriptions from the
@@ -273,12 +301,28 @@ impl ServerBuilder {
     pub fn start(self) -> std::io::Result<Server> {
         let is_replica = self.replicate_from.is_some();
         let n = self.shards;
+        if self.history && self.wal_dir.is_none() {
+            return Err(std::io::Error::other(
+                "history requires a WAL directory: ingestion is durability-gated \
+                 and a lost store tail rebuilds by replaying the log",
+            ));
+        }
         // Shard 0 is the caller's handle (its external clones stay
         // live); the rest start empty.
         let mut handles = vec![self.db];
         for _ in 1..n {
             handles.push(SharedDatabase::new(Database::new()));
         }
+        // Per shard: the LSN of the record most recently appended
+        // through that shard's log sink. All appends happen on the
+        // committing thread with that shard's engine locked, and the
+        // commit record is the last append before the engine delivers
+        // the committed-event tap — so at tap time this holds exactly
+        // the commit record's LSN, pairing each history batch with the
+        // WAL position that makes it durable.
+        let cur_lsns: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut hist: Vec<Arc<HistStore>> = Vec::new();
+        let mut event_taps: Vec<EventTap> = Vec::new();
         // Recover *before* installing the log sinks: replayed ops must
         // not be re-appended to the logs they came from. A replica
         // bootstraps through per-shard `Applier`s instead of
@@ -314,6 +358,37 @@ impl ServerBuilder {
                 };
                 let (wal, recovery) = open.map_err(|e| std::io::Error::other(e.to_string()))?;
                 let specs = load_schema(&io, &schema_path).map_err(std::io::Error::other)?;
+                if self.history {
+                    for (s, rec) in recovery.shards.iter().enumerate() {
+                        // A shard with a demoted Commit2pc had that
+                        // record rewritten to an Abort in memory only —
+                        // sealed history at or past the recovered base
+                        // may contain the phantom commit, so rebuild
+                        // everything the snapshot doesn't cover.
+                        let demoted = recovery.report.demoted.iter().any(|(ds, _)| *ds == s);
+                        let valid_excl = if demoted {
+                            rec.base_lsn
+                        } else {
+                            rec.base_lsn + rec.ops.len() as u64
+                        };
+                        let hdir = shard_dir(dir, s, n).join("hist");
+                        let store = HistStore::open(&hdir, self.hist_config, valid_excl)
+                            .map_err(|e| std::io::Error::other(e.to_string()))?;
+                        hist.push(Arc::new(store));
+                        let tap_store = Arc::clone(&hist[s]);
+                        let cur = Arc::clone(&cur_lsns[s]);
+                        let tap: EventTap =
+                            Arc::new(move |txn: TxnId, now: u64, events: &[TapEvent]| {
+                                tap_store.submit(Batch {
+                                    lsn: cur.load(Ordering::SeqCst),
+                                    txn: txn.0,
+                                    time: now,
+                                    events: events.to_vec(),
+                                });
+                            });
+                        event_taps.push(tap);
+                    }
+                }
                 for (s, rec) in recovery.shards.iter().enumerate() {
                     appliers[s] = handles[s]
                         .with(|db| -> Result<Applier, String> {
@@ -321,7 +396,42 @@ impl ServerBuilder {
                                 let def = compile_class(spec).map_err(|e| e.to_string())?;
                                 db.define_class(def).map_err(|e| e.to_string())?;
                             }
-                            if is_replica {
+                            if let Some(store) = hist.get(s) {
+                                // History backfill: the recovered tail
+                                // is on disk by definition, so durability
+                                // is pre-advanced over all of it; the tap
+                                // goes in *before* replay so re-applied
+                                // ops re-submit their batches — the store
+                                // drops everything below its rebuild
+                                // cursor, so only the lost suffix
+                                // re-indexes, with identical rows.
+                                db.set_event_tap(Some(event_taps[s].clone()));
+                                let head = rec.base_lsn + rec.ops.len() as u64;
+                                if head > 0 {
+                                    store.advance_durable_through(head - 1);
+                                }
+                                if let Some(snap) = &rec.snapshot {
+                                    db.restore(snap).map_err(|e| e.to_string())?;
+                                }
+                                let mut a = Applier::resume(db, rec.base_lsn);
+                                for (i, op) in rec.ops.iter().enumerate() {
+                                    let lsn = rec.base_lsn + i as u64;
+                                    cur_lsns[s].store(lsn, Ordering::SeqCst);
+                                    a.apply(db, lsn, op).map_err(|e| e.to_string())?;
+                                }
+                                db.take_output();
+                                for (code, name) in db.class_names().iter().enumerate() {
+                                    store.observe_class(code as u32, name);
+                                }
+                                // A primary discards the applier; a
+                                // replica keeps its id maps live so the
+                                // stream can resume mid-transaction.
+                                if is_replica {
+                                    Ok(a)
+                                } else {
+                                    Ok(Applier::new())
+                                }
+                            } else if is_replica {
                                 Applier::bootstrap(db, rec).map_err(|e| e.to_string())
                             } else {
                                 rec.restore_into(db).map_err(|e| e.to_string())?;
@@ -353,7 +463,7 @@ impl ServerBuilder {
         let mut log_sinks: Vec<LogSink> = Vec::new();
         let mut wal_flushers = Vec::new();
         if let Some(ws) = &wal {
-            for s in 0..n {
+            for (s, shard_cur) in cur_lsns.iter().enumerate() {
                 // Shipping happens in each shard's durable sink:
                 // records reach that shard's replication subscribers
                 // only once its durable watermark covers them, so a
@@ -365,9 +475,18 @@ impl ServerBuilder {
                 // the subscriber map (not the WalState) keeps the WAL
                 // out of an Arc cycle.
                 let sink_subs = Arc::clone(&ws.repl_subs[s]);
+                let sink_hist = hist.get(s).cloned();
                 let shard = s as u64;
                 ws.wal.wal(s).set_durable_sink(Some(Arc::new(
                     move |records: &[DurableRecord]| {
+                        // The history indexer applies a batch only once
+                        // the WAL covers its LSN; this watermark bump is
+                        // a mutex store + notify, safe under any fsync
+                        // policy (inline policies publish on the
+                        // committing thread).
+                        if let (Some(store), Some(last)) = (&sink_hist, records.last()) {
+                            store.advance_durable_through(last.lsn);
+                        }
                         let subs = sink_subs.lock();
                         if subs.is_empty() || records.is_empty() {
                             return;
@@ -394,8 +513,10 @@ impl ServerBuilder {
                 // Errors poison that shard's wal; the session that
                 // triggered the write surfaces them from `handle_line`.
                 let sink_wal = ws.wal.wal(s).clone();
+                let sink_cur = Arc::clone(shard_cur);
                 let sink: LogSink = Arc::new(move |op: &LogOp| {
                     if let Ok(lsn) = sink_wal.append(op) {
+                        sink_cur.store(lsn, Ordering::SeqCst);
                         lsns_note(s, lsn);
                     }
                 });
@@ -440,6 +561,8 @@ impl ServerBuilder {
             repl,
             log_sinks,
             firing_sinks,
+            event_taps,
+            hist,
         });
 
         let mut repl_thread = None;
@@ -510,6 +633,8 @@ impl Server {
             wal_io: None,
             replicate_from: None,
             repl_fault_plan: HashMap::new(),
+            history: false,
+            hist_config: HistConfig::default(),
         }
     }
 
@@ -534,6 +659,12 @@ impl Server {
         &self.inner.db
     }
 
+    /// A shard's event-history store (`None` when started without
+    /// [`ServerBuilder::history`] or out of range). Test/bench hook.
+    pub fn hist(&self, shard: usize) -> Option<Arc<HistStore>> {
+        self.inner.hist.get(shard).cloned()
+    }
+
     /// Graceful shutdown: stop accepting, wake every session (each
     /// aborts its open transaction), join all threads, uninstall the
     /// firing sink, and remove the Unix socket file.
@@ -556,6 +687,7 @@ impl Server {
         for shard in self.inner.db.shards() {
             shard.set_firing_sink(None);
             shard.set_log_sink(None);
+            shard.set_event_tap(None);
         }
         // Every session is gone, so no more appends: drain the pending
         // queues (each flusher's stop does a final flush), then push
@@ -733,7 +865,7 @@ fn handle_line(
         }
     };
     let is_mutation = mutates(&req.cmd);
-    let mut result = match execute(inner, conn_id, req.cmd, open_txn, tx, replicating) {
+    let mut result = match execute(inner, conn_id, req.id, req.cmd, open_txn, tx, replicating) {
         Ok(reply) => ReplyResult::Ok(reply),
         Err(e) => ReplyResult::Err(e),
     };
@@ -779,6 +911,7 @@ fn mutates(cmd: &Command) -> bool {
             | Command::PeekField { .. }
             | Command::Replicate { .. }
             | Command::Promote
+            | Command::Query { .. }
     )
 }
 
@@ -843,6 +976,7 @@ fn finish<T>(
 fn execute(
     inner: &Arc<Shared>,
     conn_id: u64,
+    req_id: u64,
     cmd: Command,
     open_txn: &mut Option<TxnId>,
     tx: &Outbox,
@@ -891,9 +1025,13 @@ fn execute(
                     let shard_count = inner.db.shard_count();
                     let mut guards: Vec<_> =
                         (0..shard_count).map(|s| inner.db.shard(s).lock()).collect();
-                    for g in guards.iter_mut() {
-                        g.define_class(def.clone())
+                    for (s, g) in guards.iter_mut().enumerate() {
+                        let cid = g
+                            .define_class(def.clone())
                             .map_err(|e| WireError::from_ode(&e))?;
+                        if let Some(store) = inner.hist.get(s) {
+                            store.observe_class(cid.0, &def.name);
+                        }
                     }
                     append_schema(&ws.io, &ws.schema_path, &spec).map_err(|msg| {
                         ws.read_only.store(true, Ordering::SeqCst);
@@ -993,12 +1131,43 @@ fn execute(
             object,
             trigger,
             params,
+            replay_history,
         } => {
             let t = open_txn.ok_or_else(no_txn)?;
+            if !replay_history {
+                let r = inner
+                    .db
+                    .activate_trigger(t, ObjectId(object), &trigger, &params);
+                return finish(inner, open_txn, t, r).map(|()| Reply::Unit);
+            }
+            if inner.hist.is_empty() {
+                return Err(WireError::new(
+                    "no_history",
+                    "replay_history requires a server started with --history",
+                ));
+            }
+            if object == 0 {
+                return Err(WireError::new("unknown_object", "object ids start at 1"));
+            }
+            let n = inner.db.shard_count();
+            let obj = ObjectId(object);
+            let store = &inner.hist[shard_of(obj, n)];
+            // The replay input must cover everything this server has
+            // acked: sync waits for the indexer to drain the durable
+            // prefix (bounded — acked commits are durable already).
+            store.sync();
+            let events = store
+                .object_events(to_local(obj, n).0)
+                .map_err(|e| WireError::new("history", e.to_string()))?;
+            let scanned = events.len() as u64;
             let r = inner
                 .db
-                .activate_trigger(t, ObjectId(object), &trigger, &params);
-            finish(inner, open_txn, t, r).map(|()| Reply::Unit)
+                .activate_trigger_retro(t, obj, &trigger, &params, &events);
+            finish(inner, open_txn, t, r).map(|replay| Reply::Replayed {
+                fired: replay.firings.len() as u64,
+                scanned,
+                active: replay.active,
+            })
         }
         Command::Deactivate { object, trigger } => {
             let t = open_txn.ok_or_else(no_txn)?;
@@ -1092,6 +1261,28 @@ fn execute(
             let mut swept = 0u64;
             for (s, g) in guards.iter_mut().enumerate() {
                 let snap = g.snapshot().map_err(|e| WireError::from_ode(&e))?;
+                if let Some(store) = inner.hist.get(s) {
+                    // Seal the history store's active set behind the
+                    // checkpoint barrier *before* the WAL truncates:
+                    // with all engine locks held no new batches can
+                    // arrive, so after an fsync + watermark bump the
+                    // indexer drains everything below the head and the
+                    // seal leaves `covered_lsn` at or past the
+                    // checkpoint — WAL truncation never strands
+                    // unsealed rows.
+                    let head = ws.wal.wal(s).lsn();
+                    if head > 0 {
+                        ws.wal.wal(s).sync().map_err(|e| WireError {
+                            code: "wal".to_string(),
+                            message: e.to_string(),
+                            retryable: true,
+                        })?;
+                        store.advance_durable_through(head - 1);
+                        store
+                            .barrier_seal(head)
+                            .map_err(|e| WireError::new("history", e.to_string()))?;
+                    }
+                }
                 let report = ws.wal.wal(s).checkpoint(&snap).map_err(|e| WireError {
                     code: "wal".to_string(),
                     message: e.to_string(),
@@ -1166,8 +1357,27 @@ fn execute(
                 }
                 None => (false, false, None, None),
             };
+            let mut hist_segments = 0;
+            let mut hist_rows = 0;
+            let mut hist_disk_bytes = 0;
+            let mut hist_indexed_lsns = Vec::with_capacity(inner.hist.len());
+            let mut hist_queries = 0;
+            let mut hist_rows_returned = 0;
+            let mut hist_segments_skipped = 0;
+            let mut hist_retro_replays = 0;
+            for store in &inner.hist {
+                let hs = store.stats();
+                hist_segments += hs.segments;
+                hist_rows += hs.rows;
+                hist_disk_bytes += hs.disk_bytes;
+                hist_indexed_lsns.push(hs.indexed_lsn);
+                hist_queries += hs.queries;
+                hist_rows_returned += hs.rows_returned;
+                hist_segments_skipped += hs.segments_skipped;
+                hist_retro_replays += hs.retro_replays;
+            }
             let shard_stats = inner.db.stats();
-            Ok(Reply::Stats(WireStats {
+            Ok(Reply::Stats(Box::new(WireStats {
                 events_posted,
                 symbols_stepped,
                 triggers_fired,
@@ -1192,7 +1402,16 @@ fn execute(
                     .iter()
                     .map(|ns| ns / 1_000)
                     .collect(),
-            }))
+                hist_enabled: !inner.hist.is_empty(),
+                hist_segments,
+                hist_rows,
+                hist_disk_bytes,
+                hist_indexed_lsns,
+                hist_queries,
+                hist_rows_returned,
+                hist_segments_skipped,
+                hist_retro_replays,
+            })))
         }
         Command::Subscribe => {
             inner.subs.lock().insert(conn_id, tx.clone());
@@ -1324,6 +1543,126 @@ fn execute(
             }
             Ok(Reply::Promoted {
                 lsn: rs.applied_sum(),
+            })
+        }
+        Command::Query {
+            class,
+            object,
+            kind,
+            qualifier,
+            args,
+            min_seq,
+            max_seq,
+            min_time,
+            max_time,
+            limit,
+        } => {
+            if inner.hist.is_empty() {
+                return Err(WireError::new(
+                    "no_history",
+                    "server was started without --history; the event-history store is off",
+                ));
+            }
+            let qualifier = match qualifier.as_deref() {
+                None => None,
+                Some("before") => Some(Qualifier::Before),
+                Some("after") => Some(Qualifier::After),
+                Some(other) => {
+                    return Err(WireError::new(
+                        "bad_query",
+                        format!("unknown qualifier {other:?}; use \"before\" or \"after\""),
+                    ))
+                }
+            };
+            let mut preds = Vec::with_capacity(args.len());
+            for (index, op, value) in &args {
+                let op = CmpOp::parse(op).ok_or_else(|| {
+                    WireError::new(
+                        "bad_query",
+                        format!("unknown arg predicate op {op:?}; use eq|ne|lt|le|gt|ge"),
+                    )
+                })?;
+                preds.push(ArgPred {
+                    index: *index as usize,
+                    op,
+                    value: value.clone(),
+                });
+            }
+            // A hard server-side ceiling bounds the stream even when
+            // the client asks for everything; `truncated` tells them
+            // to narrow the query.
+            const MAX_QUERY_ROWS: usize = 10_000;
+            let cap = limit
+                .map(|l| l as usize)
+                .unwrap_or(MAX_QUERY_ROWS)
+                .min(MAX_QUERY_ROWS);
+            let n = inner.db.shard_count();
+            // An object filter pins the owning shard; object ids start
+            // at 1, so a 0 filter matches nothing.
+            let shards: Vec<usize> = match object {
+                Some(0) => Vec::new(),
+                Some(o) => vec![shard_of(ObjectId(o), n)],
+                None => (0..n).collect(),
+            };
+            let mut sent = 0usize;
+            let mut truncated = false;
+            let mut scanned = 0u64;
+            let mut skipped = 0u64;
+            for &s in &shards {
+                let store = &inner.hist[s];
+                // Read-your-writes: anything acked before this query
+                // was durable, so the indexer wait is bounded.
+                store.sync();
+                let q = HistQuery {
+                    class: class.clone(),
+                    object: object.map(|o| to_local(ObjectId(o), n).0),
+                    kind: kind.clone(),
+                    qualifier,
+                    args: preds.clone(),
+                    min_seq,
+                    max_seq,
+                    min_time,
+                    max_time,
+                    // One past the remaining budget: a full result
+                    // proves more rows exist without streaming them.
+                    limit: Some(cap - sent + 1),
+                };
+                let res = store
+                    .query(&q)
+                    .map_err(|e| WireError::new("history", e.to_string()))?;
+                scanned += res.segments_scanned as u64;
+                skipped += res.segments_skipped as u64;
+                let budget = cap - sent;
+                if res.truncated || res.rows.len() > budget {
+                    truncated = true;
+                }
+                let take = res.rows.len().min(budget);
+                for chunk in res.rows[..take].chunks(256) {
+                    let rows: Vec<WireRow> = chunk
+                        .iter()
+                        .map(|r| WireRow {
+                            seq: r.seq,
+                            shard: s as u64,
+                            time: r.time,
+                            txn: r.txn,
+                            object: to_global(ObjectId(r.object), s, n).0,
+                            class: store.class_label(r.class),
+                            event: store.render_event(r),
+                            args: r.args.clone(),
+                        })
+                        .collect();
+                    let _ = tx.send(ServerMsg::Rows { id: req_id, rows });
+                }
+                sent += take;
+                if truncated {
+                    break;
+                }
+            }
+            Ok(Reply::QueryDone {
+                rows: sent as u64,
+                truncated,
+                segments_scanned: scanned,
+                segments_skipped: skipped,
             })
         }
     }

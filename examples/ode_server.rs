@@ -20,6 +20,10 @@
 //! `Checkpoint`; `--fsync` picks the append durability (`always`,
 //! `commit` [default], `group` or `group:BATCH:DELAYMS` for batched
 //! group commit, `never`, or a number N for every-N-ops). With
+//! `--history` (requires `--wal-dir`) every committed event is also
+//! indexed into a per-shard columnar history store under
+//! `DIR/hist`, enabling `Query` over past events and retroactive
+//! trigger activation (`replay_history`). With
 //! `--replicate-from SOURCE` the
 //! server runs as a read replica of the primary at SOURCE (`host:port`
 //! for TCP, a leading `/` or `.` for a Unix socket path): it tails the
@@ -41,6 +45,7 @@ fn main() {
     let mut replicate_from: Option<ReplSource> = None;
     let mut fsync = FsyncPolicy::OnCommit;
     let mut shards: usize = 1;
+    let mut history = false;
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag value");
         match flag.as_str() {
@@ -49,6 +54,7 @@ fn main() {
             "--seconds" => seconds = Some(value().parse().expect("numeric --seconds")),
             "--wal-dir" => wal_dir = Some(value()),
             "--replicate-from" => replicate_from = Some(ReplSource::parse(&value())),
+            "--history" => history = true,
             "--shards" => {
                 shards = value().parse().expect("numeric --shards");
                 if shards == 0 {
@@ -68,7 +74,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
-                     --wal-dir DIR, --replicate-from SOURCE, --shards N, \
+                     --wal-dir DIR, --history, --replicate-from SOURCE, --shards N, \
                      --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
                 );
                 std::process::exit(2);
@@ -93,6 +99,13 @@ fn main() {
             ..WalConfig::default()
         });
     }
+    if history {
+        if wal_dir.is_none() {
+            eprintln!("--history requires --wal-dir");
+            std::process::exit(2);
+        }
+        builder = builder.history(true);
+    }
     let replica = replicate_from.is_some();
     if let Some(source) = replicate_from {
         builder = builder.replicate_from(source);
@@ -104,6 +117,9 @@ fn main() {
     }
     if shards > 1 {
         println!("ode-server running {shards} engine shards");
+    }
+    if history {
+        println!("ode-server indexing committed events (Query / replay_history enabled)");
     }
     if replica {
         println!("ode-server running as a read replica (Promote to take writes)");
