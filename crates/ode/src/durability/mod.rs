@@ -17,11 +17,13 @@
 //! * [`wal`] — [`wal::DiskWal`]: segmented appends, fsync policies,
 //!   atomic checkpoints, and `open()`-as-recovery.
 
+pub mod epoch;
 pub mod frame;
 pub mod io;
 pub mod reader;
 pub mod wal;
 
+pub use epoch::{EpochRecord, EpochTable, EPOCHS_FILE};
 pub use io::{Fault, FaultyIo, SharedIo, StdIo, WalIo};
 pub use reader::{SegmentReader, TornTail};
 pub use wal::{

@@ -998,6 +998,79 @@ impl DiskWal {
             swept_segments: swept,
         })
     }
+
+    /// Abandon this log's history and restart it from `snap` at `lsn` —
+    /// fork healing. Unlike [`DiskWal::checkpoint_at`], which treats the
+    /// log as *correct* (flushes and ships the buffered tail, and never
+    /// rewinds the durable watermark), a reset treats it as *wrong*:
+    /// buffered records are dropped unwritten and unshipped, every
+    /// existing segment and checkpoint is superseded, and the durable
+    /// watermark is moved to `lsn` even when that is backwards. Any
+    /// acked durability above `lsn` is deliberately forgotten — that is
+    /// the point: those records were written on a deposed fork.
+    pub fn reset_to(&self, snap: &Snapshot, lsn: u64) -> Result<CheckpointReport, WalError> {
+        self.check_poison()?;
+        let i = &*self.inner;
+        let body = snap.to_json()?;
+        let framed = frame::encode(body.as_bytes());
+
+        let mut buf = lock(&i.buf);
+        let mut disk = lock(&i.disk);
+
+        // Discard, don't flush: the pending tail is fork debris.
+        let dropped = self.steal(&mut buf, true);
+        drop(dropped);
+
+        let tmp = i.dir.join(TMP_NAME);
+        let next_generation = disk.generation + 1;
+        let finalname = i.dir.join(checkpoint_name(next_generation, lsn));
+        let names = i.io.with(|f| f.list(&i.dir))?;
+        if names.iter().any(|n| n == TMP_NAME) {
+            if let Err(e) = i.io.with(|f| f.remove(&tmp)) {
+                return self.poison(e.into());
+            }
+        }
+        let res = (|| -> Result<(), WalError> {
+            i.io.with(|f| f.append(&tmp, &framed))?;
+            i.io.with(|f| f.fsync(&tmp))?;
+            i.io.with(|f| f.rename(&tmp, &finalname))?;
+            i.io.with(|f| f.fsync_dir(&i.dir))?;
+            Ok(())
+        })();
+        i.fsyncs_total.fetch_add(2, Ordering::Relaxed);
+        if let Err(e) = res {
+            return self.poison(e);
+        }
+
+        let mut swept = 0u64;
+        for n in names {
+            let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= disk.generation);
+            let old_ckpt = parse_checkpoint(&n).is_some_and(|(g, _)| g <= disk.generation);
+            if old_seg || old_ckpt {
+                let removed = i.io.with(|f| f.remove(&i.dir.join(n))).is_ok();
+                if removed && old_seg {
+                    swept += 1;
+                }
+            }
+        }
+
+        disk.generation = next_generation;
+        disk.seg_idx = 0;
+        disk.seg_bytes = 0;
+        disk.since_sync = 0;
+        buf.next_lsn = lsn;
+        // Rewind (not just advance) the watermark: durability claims
+        // about the abandoned fork must not leak into the new history.
+        {
+            let mut d = lock(&i.durable);
+            d.durable_lsn = lsn;
+        }
+        i.durable_cv.notify_all();
+        Ok(CheckpointReport {
+            lsn,
+            swept_segments: swept,
+        })
+    }
 }
 
 /// The dedicated flusher thread's loop: wait until `max_batch` txn

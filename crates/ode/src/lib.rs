@@ -73,8 +73,9 @@ pub use class::{
 pub use clock::{Clock, Recurrence, Timer, TimerScope};
 #[cfg(feature = "persistence")]
 pub use durability::{
-    CheckpointReport, DiskWal, DurableRecord, DurableSink, Fault, FaultyIo, FsyncPolicy, Recovery,
-    SegmentReader, SharedIo, StdIo, TornTail, WalConfig, WalError, WalFlusher, WalIo, WalStats,
+    CheckpointReport, DiskWal, DurableRecord, DurableSink, EpochRecord, EpochTable, Fault,
+    FaultyIo, FsyncPolicy, Recovery, SegmentReader, SharedIo, StdIo, TornTail, WalConfig, WalError,
+    WalFlusher, WalIo, WalStats, EPOCHS_FILE,
 };
 #[cfg(feature = "persistence")]
 pub use engine::LogSink;

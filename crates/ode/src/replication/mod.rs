@@ -56,6 +56,15 @@ pub enum ApplyError {
         /// The LSN that actually arrived.
         got: u64,
     },
+    /// The stream's claimed epoch is below the epoch this applier has
+    /// already observed durably: the sender is a deposed primary (or a
+    /// replica of one) and its records must not be applied.
+    StaleEpoch {
+        /// The epoch the applier has observed.
+        current: u64,
+        /// The lower epoch the stream claimed.
+        got: u64,
+    },
     /// A structural impossibility: the op names a recording-time
     /// transaction or object this applier never saw. The histories
     /// have diverged and re-application cannot continue.
@@ -67,6 +76,9 @@ impl fmt::Display for ApplyError {
         match self {
             ApplyError::Gap { expected, got } => {
                 write!(f, "lsn gap: expected {expected}, got {got}")
+            }
+            ApplyError::StaleEpoch { current, got } => {
+                write!(f, "stale epoch: stream claims {got}, observed {current}")
             }
             ApplyError::Logical(e) => write!(f, "apply failed: {e}"),
         }
@@ -85,7 +97,7 @@ impl From<ApplyError> for OdeError {
     fn from(e: ApplyError) -> Self {
         match e {
             ApplyError::Logical(e) => e,
-            gap @ ApplyError::Gap { .. } => OdeError::Method(gap.to_string()),
+            other => OdeError::Method(other.to_string()),
         }
     }
 }
@@ -94,6 +106,7 @@ impl From<ApplyError> for OdeError {
 /// module docs for the contract.
 pub struct Applier {
     next_lsn: u64,
+    epoch: u64,
     txn_map: HashMap<u64, TxnId>,
     obj_map: HashMap<u64, ObjectId>,
 }
@@ -110,6 +123,7 @@ impl Applier {
     pub fn new() -> Applier {
         Applier {
             next_lsn: 0,
+            epoch: 0,
             txn_map: HashMap::new(),
             obj_map: HashMap::new(),
         }
@@ -150,6 +164,34 @@ impl Applier {
     /// when starting from zero).
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// The highest epoch this applier has applied (via
+    /// [`LogOp::EpochBump`]) or been told about ([`Applier::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Raise the applier's epoch floor to `epoch` (never lowers it) —
+    /// used at startup when the durable epoch table knows an epoch whose
+    /// bump record was absorbed into a checkpoint.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Fencing check for a shipped frame: a stream stamped with an epoch
+    /// *below* what this applier has observed comes from a deposed
+    /// lineage and must be rejected before it touches the engine.
+    /// Higher-or-equal stamps pass — an epoch is learned in-band by
+    /// applying its [`LogOp::EpochBump`], not by trusting the stamp.
+    pub fn check_stream_epoch(&self, stream_epoch: u64) -> Result<(), ApplyError> {
+        if stream_epoch < self.epoch {
+            return Err(ApplyError::StaleEpoch {
+                current: self.epoch,
+                got: stream_epoch,
+            });
+        }
+        Ok(())
     }
 
     /// Apply one logged op at `lsn`. Exactly-once by LSN: below the
@@ -280,6 +322,9 @@ impl Applier {
                 let _ = db.abort(t);
             }
             LogOp::AdvanceClock { to } => db.advance_clock_to(*to),
+            // Engine no-op: the record's job is to pin the epoch change
+            // at a defined LSN in every shard's history.
+            LogOp::EpochBump { epoch } => self.epoch = self.epoch.max(*epoch),
         }
         Ok(())
     }
@@ -365,5 +410,46 @@ mod tests {
         assert_eq!(a.abort_open(&mut replica), 0, "drained");
         // The room is unlocked again: a fresh transaction can use it.
         demo::withdraw_txn(&mut replica, "bob", room, "gear", 5).unwrap();
+    }
+
+    /// Applying an EpochBump raises the applier's epoch; streams stamped
+    /// below it are then refused, equal-or-above stamps pass.
+    #[test]
+    fn epoch_bump_fences_lower_stamps() {
+        let (mut db, _) = demo::setup();
+        let mut a = Applier::resume(&db, 0);
+        assert_eq!(a.epoch(), 0);
+        a.check_stream_epoch(0).unwrap();
+
+        a.apply(&mut db, 0, &LogOp::EpochBump { epoch: 2 }).unwrap();
+        assert_eq!(a.epoch(), 2);
+        assert_eq!(a.next_lsn(), 1, "the bump occupies an LSN");
+
+        match a.check_stream_epoch(1) {
+            Err(ApplyError::StaleEpoch { current, got }) => {
+                assert_eq!((current, got), (2, 1));
+            }
+            other => panic!("expected stale epoch, got {other:?}"),
+        }
+        a.check_stream_epoch(2).unwrap();
+        a.check_stream_epoch(3).unwrap();
+
+        // A *duplicate* bump (below the cursor) is skipped like any
+        // other retransmitted record and does not disturb the epoch.
+        assert_eq!(
+            a.apply(&mut db, 0, &LogOp::EpochBump { epoch: 1 }).unwrap(),
+            Applied::Duplicate
+        );
+        assert_eq!(a.epoch(), 2);
+    }
+
+    /// set_epoch is a floor: it never lowers an epoch learned in-band.
+    #[test]
+    fn set_epoch_never_lowers() {
+        let mut a = Applier::new();
+        a.set_epoch(3);
+        assert_eq!(a.epoch(), 3);
+        a.set_epoch(1);
+        assert_eq!(a.epoch(), 3);
     }
 }

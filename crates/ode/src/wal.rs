@@ -127,6 +127,18 @@ pub enum LogOp {
         /// diagnostic counter).
         fired: u64,
     },
+    /// A primary-election epoch (term) bump. Appended durably to every
+    /// shard's log when a node is promoted, *before* it accepts writes,
+    /// and shipped downstream like any other record — so the whole
+    /// replica tree learns the new epoch in-band, at a defined LSN.
+    /// Replaying it is an engine no-op; its consumers are the epoch
+    /// table ([`crate::durability::EpochTable`]) and the applier's
+    /// fencing cursor.
+    EpochBump {
+        /// The new epoch. Strictly greater than every epoch recorded
+        /// earlier in the same log.
+        epoch: u64,
+    },
     /// `abort`.
     Abort {
         /// Transaction.

@@ -21,8 +21,8 @@ use ode_core::Value;
 use parking_lot::Mutex;
 
 use ode_db::{
-    demo, replay, shard_dir, Database, DiskWal, FaultyIo, FsyncPolicy, LogOp, ObjectId, RedoLog,
-    ShardedDatabase, ShardedWal, SharedIo, Stats, StdIo, WalConfig,
+    demo, replay, shard_dir, Database, DiskWal, EpochRecord, EpochTable, FaultyIo, FsyncPolicy,
+    LogOp, ObjectId, RedoLog, ShardedDatabase, ShardedWal, SharedIo, Stats, StdIo, WalConfig,
 };
 
 /// Tiny segments + fsync-per-op maximize the number of distinct I/O
@@ -726,4 +726,228 @@ fn sharded_crash_in_one_flusher_keeps_acked_cross_shard_txns_atomic() {
     // The final crash point dies after shard 1's batch hit the disk:
     // everything recovers, exactly like the clean run.
     assert_eq!(last_bolt, 493, "the last crash point keeps the full batch");
+}
+
+// ---------------------------------------------------------------------
+// Promote injection points: a promotion is a two-step durability dance
+// — append `EpochBump` to the shard log, wait for it, then record the
+// epoch start in `epochs.wal` — followed by the first commit of the
+// new reign. A crash anywhere in that window must recover writable at
+// exactly one epoch: the new one iff the bump record survived in the
+// log, the old one otherwise — never the new epoch without the bump
+// (the epoch table must not run ahead of the log it summarizes), and
+// never a deposed latch.
+// ---------------------------------------------------------------------
+
+/// What the promote session observed before the (simulated) crash.
+struct PromoteRun {
+    /// The bump's LSN, if its append + durability wait both succeeded.
+    bump_ok: Option<u64>,
+    /// Whether the `epochs.wal` append succeeded.
+    table_ok: bool,
+    /// Mutating-I/O count just before the bump append / just after the
+    /// first post-promote commit — the faulted runs aim between these.
+    ops_before_bump: u64,
+    ops_after_commit: u64,
+}
+
+/// Epoch-0 history, then the promote sequence, then the first commit
+/// of epoch 1 — the exact ordering the server uses, flattened to one
+/// shard so every I/O op is a crash point.
+fn run_promote_session(dir: &Path, io: FaultyIo) -> PromoteRun {
+    let ops = io.op_counter();
+    let shared = SharedIo::new(io);
+    let (wal, recovery) = DiskWal::open(dir, cfg(), shared.clone()).expect("open empty dir");
+    assert!(recovery.is_empty());
+
+    let mut db = fresh();
+    let sink_wal = wal.clone();
+    db.set_log_sink(Some(Arc::new(move |op: &LogOp| {
+        let _ = sink_wal.append(op);
+    })));
+
+    db.advance_clock_to(9 * HR);
+    let t = db.begin_as(Value::Str("alice".into()));
+    let room = db.create_object(t, "stockRoom", &[]).unwrap();
+    db.commit(t).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "bolt", 10).unwrap();
+
+    // The promote sequence: the bump must be durable in the shard log
+    // *before* the table append — a recovered table claiming an epoch
+    // the log cannot prove would break every fence computation.
+    let ops_before_bump = ops.load(Ordering::SeqCst);
+    let bump_ok = wal
+        .append(&LogOp::EpochBump { epoch: 1 })
+        .ok()
+        .filter(|&lsn| wal.wait_durable(lsn).is_ok());
+    let table_ok = match bump_ok {
+        Some(lsn) => EpochTable::append(
+            &shared,
+            dir,
+            &[EpochRecord::Start {
+                epoch: 1,
+                shard: 0,
+                lsn,
+            }],
+        )
+        .is_ok(),
+        None => false,
+    };
+
+    // The first commit of the new reign.
+    demo::withdraw_txn(&mut db, "alice", room, "gear", 3).unwrap();
+    PromoteRun {
+        bump_ok,
+        table_ok,
+        ops_before_bump,
+        ops_after_commit: ops.load(Ordering::SeqCst),
+    }
+}
+
+/// The in-memory ground truth for the same session's *engine* ops (the
+/// bump is appended by hand, not logged by the engine).
+fn promote_truth() -> Vec<LogOp> {
+    let mut db = fresh();
+    db.enable_logging();
+    db.advance_clock_to(9 * HR);
+    let t = db.begin_as(Value::Str("alice".into()));
+    let room = db.create_object(t, "stockRoom", &[]).unwrap();
+    db.commit(t).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "bolt", 10).unwrap();
+    demo::withdraw_txn(&mut db, "alice", room, "gear", 3).unwrap();
+    db.take_log().expect("logging enabled").ops
+}
+
+#[test]
+fn promote_crash_window_recovers_writable_at_exactly_one_epoch() {
+    let all_ops = promote_truth();
+
+    // Fault-free counting run sizes the injection window and pins the
+    // fully-durable end state.
+    let dir = tmp_dir("promote-count");
+    let clean = run_promote_session(&dir, FaultyIo::counting());
+    let bump_lsn = clean.bump_ok.expect("healthy io lands the bump");
+    assert!(clean.table_ok, "healthy io lands the table append");
+    assert!(
+        clean.ops_after_commit > clean.ops_before_bump + 2,
+        "the window spans several I/O ops (got {} .. {})",
+        clean.ops_before_bump,
+        clean.ops_after_commit
+    );
+    {
+        let io = SharedIo::new(StdIo::new());
+        let (_wal, recovery) = DiskWal::open(&dir, cfg(), io.clone()).expect("clean recovery");
+        let table = EpochTable::load(&io, &dir).expect("clean table");
+        assert_eq!(table.history_epoch(), 1);
+        assert!(!table.is_deposed());
+        assert_eq!(table.fence_lsn(0, 0), Some(bump_lsn));
+        assert_eq!(
+            recovery.ops.len(),
+            all_ops.len() + 1,
+            "every engine op plus the bump"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The matrix: die at every mutating I/O op of the promote window.
+    let mut bump_history = Vec::new();
+    for k in clean.ops_before_bump..clean.ops_after_commit {
+        let dir = tmp_dir(&format!("promote-k{k}"));
+        run_promote_session(&dir, FaultyIo::crash_at(k));
+
+        let io = SharedIo::new(StdIo::new());
+        let (_wal, recovery) = DiskWal::open(&dir, cfg(), io.clone())
+            .unwrap_or_else(|e| panic!("crash point {k}: recovery failed: {e}"));
+        let mut table = EpochTable::load(&io, &dir)
+            .unwrap_or_else(|e| panic!("crash point {k}: table load failed: {e}"));
+
+        let recovered_bump = recovery
+            .ops
+            .iter()
+            .position(|op| matches!(op, LogOp::EpochBump { .. }))
+            .map(|i| recovery.base_lsn + i as u64);
+
+        // The table never runs ahead of the log: if it already claims
+        // epoch 1, the bump record is durable at the recorded LSN.
+        if table.history_epoch() == 1 {
+            assert_eq!(
+                recovered_bump,
+                Some(bump_lsn),
+                "crash point {k}: the table claims an epoch the log does not hold"
+            );
+        }
+
+        // Heal the window exactly like server startup: fold log bumps
+        // the table missed into it and persist the difference.
+        let fresh_recs = table.merge_bumps(0, recovery.base_lsn, &recovery.ops);
+        EpochTable::append(&io, &dir, &fresh_recs)
+            .unwrap_or_else(|e| panic!("crash point {k}: heal append failed: {e}"));
+
+        // Writable at exactly one epoch: the new one iff the bump is in
+        // the recovered log, the old one otherwise. Never deposed.
+        let want = u64::from(recovered_bump.is_some());
+        assert_eq!(
+            table.history_epoch(),
+            want,
+            "crash point {k}: recovered at the wrong epoch"
+        );
+        assert!(
+            !table.is_deposed(),
+            "crash point {k}: recovery must come back writable"
+        );
+        if let Some(lsn) = recovered_bump {
+            assert_eq!(
+                table.fence_lsn(0, 0),
+                Some(lsn),
+                "crash point {k}: the fence does not point at the bump"
+            );
+        }
+
+        // The heal is itself durable: a second load agrees with no
+        // merge at all.
+        let again = EpochTable::load(&io, &dir).expect("reload");
+        assert_eq!(
+            again.history_epoch(),
+            table.history_epoch(),
+            "crash point {k}: the healed table did not persist"
+        );
+
+        // And the engine state is still the op-prefix oracle's — the
+        // bump is an engine no-op, so the oracle replays the recovered
+        // ops with it filtered out.
+        let engine_ops: Vec<LogOp> = recovery
+            .ops
+            .iter()
+            .filter(|op| !matches!(op, LogOp::EpochBump { .. }))
+            .cloned()
+            .collect();
+        let m = engine_ops.len();
+        assert!(m <= all_ops.len(), "crash point {k}: phantom ops");
+        let mut got = fresh();
+        recovery
+            .restore_into(&mut got)
+            .unwrap_or_else(|e| panic!("crash point {k}: restore failed: {e}"));
+        let (want_db, _) = oracle(&all_ops, 0, m);
+        assert_eq!(
+            fingerprint(&got),
+            fingerprint(&want_db),
+            "crash point {k}: state diverges from the oracle"
+        );
+
+        bump_history.push(recovered_bump.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Durability of the bump is monotone in the crash point, and the
+    // window genuinely spans both verdicts.
+    for w in bump_history.windows(2) {
+        assert!(w[0] <= w[1], "bump durability regressed: {bump_history:?}");
+    }
+    assert!(
+        !bump_history[0],
+        "the earliest crash point must still be at epoch 0"
+    );
+    assert!(
+        *bump_history.last().unwrap(),
+        "the last crash point must be at epoch 1"
+    );
 }

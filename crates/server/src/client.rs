@@ -528,11 +528,35 @@ impl Client {
     }
 
     /// `Promote`: flip a replica writable; returns the LSN its history
-    /// continues from.
+    /// continues from. Refuses with `promote_lagging` when un-applied
+    /// upstream records are known to exist — see
+    /// [`Client::promote_force`].
     pub fn promote(&mut self) -> Result<u64, ClientError> {
-        match self.request(Command::Promote)? {
-            Reply::Promoted { lsn } => Ok(lsn),
+        match self.request(Command::Promote { force: false })? {
+            Reply::Promoted { lsn, .. } => Ok(lsn),
             other => Err(unexpected("Promoted", &other)),
+        }
+    }
+
+    /// `Promote` with `force: true`: promote even when the replica
+    /// lags its upstream, accepting the loss of the un-applied tail
+    /// (the fence demotes it everywhere on rejoin). Returns the
+    /// continuation LSN and the new epoch.
+    pub fn promote_force(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.request(Command::Promote { force: true })? {
+            Reply::Promoted { lsn, epoch } => Ok((lsn, epoch)),
+            other => Err(unexpected("Promoted", &other)),
+        }
+    }
+
+    /// `Demote`: announce to the server that `epoch` exists elsewhere.
+    /// If that is above the server's own epoch it latches read-only
+    /// (typed `deposed` on mutations). Returns the server's epoch
+    /// after the announcement.
+    pub fn demote(&mut self, epoch: u64) -> Result<u64, ClientError> {
+        match self.request(Command::Demote { epoch })? {
+            Reply::Demoted { epoch } => Ok(epoch),
+            other => Err(unexpected("Demoted", &other)),
         }
     }
 

@@ -146,11 +146,31 @@ pub enum Command {
         /// match the primary's shard count, and no entry may exceed
         /// that shard's head. A single-shard replica sends one entry.
         from_lsns: Vec<u64>,
+        /// The highest epoch the replica has observed. A claim *above*
+        /// the server's own epoch deposes the server (another primary
+        /// was elected past it); a claim *below* it triggers the
+        /// per-shard fork fence check against the epoch table.
+        epoch: u64,
     },
     /// Promote a replica to writable: stop the tailing loop, abort
-    /// transactions the stream left open, and accept mutations from now
-    /// on. Fails with `not_replica` on a server that never replicated.
-    Promote,
+    /// transactions the stream left open, durably bump the epoch
+    /// (`LogOp::EpochBump` in every shard WAL + the epoch table), and
+    /// accept mutations from then on. Fails with `not_replica` on a
+    /// server that never replicated, and with `promote_lagging` when
+    /// un-applied records are known to exist upstream unless `force`.
+    Promote {
+        /// Promote even when `replica_lag_lsn > 0`, accepting the loss
+        /// of the un-applied tail.
+        force: bool,
+    },
+    /// Tell a server it has been deposed: epoch `epoch` exists
+    /// elsewhere. If `epoch` is above the server's own, it latches
+    /// read-only (typed `deposed` on mutations) until its history
+    /// catches up under a new parent. Idempotent; never mutates data.
+    Demote {
+        /// The higher epoch being announced.
+        epoch: u64,
+    },
     /// Query the committed event history (requires `--history`). Every
     /// field is a conjunct; `None`/empty means unconstrained. Matching
     /// rows stream back as [`ServerMsg::Rows`] chunks (in shard-major
@@ -221,6 +241,15 @@ pub enum ServerMsg {
         /// Snapshot JSON to restore before applying records, or `None`
         /// when the log alone covers the replica's catch-up.
         snapshot: Option<String>,
+        /// The server's epoch at handshake time.
+        epoch: u64,
+        /// Set when the replica's `from_lsn` proved it holds records
+        /// from a deposed fork: the LSN of the first epoch bump past
+        /// the replica's claimed epoch. Everything the replica holds
+        /// beyond this LSN is fork debris — it must discard the shard's
+        /// local history and re-replicate from scratch. No records
+        /// follow a fencing bootstrap.
+        fence_lsn: Option<u64>,
     },
     /// One shipped WAL record.
     ReplOp {
@@ -235,6 +264,10 @@ pub enum ServerMsg {
         /// ([`ode_db::durability::frame`]) — the replica verifies the
         /// checksum end to end before applying.
         frame: String,
+        /// The shipper's epoch at ship time. A frame stamped below the
+        /// receiver's observed epoch is from a deposed lineage and is
+        /// rejected (`stale_epoch`) before it touches the engine.
+        epoch: u64,
     },
     /// A class defined on the primary mid-stream.
     ReplSchema(ClassSpec),
@@ -245,6 +278,10 @@ pub enum ServerMsg {
         shard: u64,
         /// That shard's current head LSN on the primary.
         head: u64,
+        /// The sender's epoch. A heartbeat carrying a higher epoch than
+        /// the receiver has observed deposes the receiver's own write
+        /// authority (it learns a newer primary exists).
+        epoch: u64,
     },
 }
 
@@ -310,12 +347,22 @@ pub enum Reply {
         start_lsns: Vec<u64>,
         /// Per shard: that shard's head LSN at handshake time.
         heads: Vec<u64>,
+        /// The serving node's epoch at handshake time.
+        epoch: u64,
     },
     /// Answer to [`Command::Promote`]: the replica is now writable.
     Promoted {
         /// The LSN of the last record applied before promotion — the
         /// point the new primary's history continues from.
         lsn: u64,
+        /// The epoch the node was promoted into (durable before this
+        /// reply is sent).
+        epoch: u64,
+    },
+    /// Answer to [`Command::Demote`].
+    Demoted {
+        /// The server's epoch after processing the announcement.
+        epoch: u64,
     },
     /// Answer to [`Command::Query`], after every [`ServerMsg::Rows`]
     /// chunk for the query has been delivered.
@@ -478,6 +525,25 @@ pub struct WireStats {
     pub hist_segments_skipped: u64,
     /// Retroactive trigger replays served from the history store.
     pub hist_retro_replays: u64,
+    /// The node's current primary-election epoch: the highest it has
+    /// observed by promotion, by applying a shipped `EpochBump`, or by
+    /// being fenced/demoted.
+    pub epoch: u64,
+    /// Whether the node is deposed: it observed an epoch (handshake,
+    /// heartbeat, or explicit `Demote`) that its own history has not
+    /// caught up to. A deposed node refuses mutations (`deposed`) and
+    /// refuses to serve `Replicate`.
+    pub deposed: bool,
+    /// Milliseconds since the replication runner last heard from its
+    /// upstream (handshake reply, heartbeat, or shipped record).
+    /// `None` on non-replicas, after promotion, and before the first
+    /// contact. The runner itself reconnects when this exceeds three
+    /// heartbeat intervals.
+    pub repl_heartbeat_age_ms: Option<u64>,
+    /// Frames and handshakes this node refused because they carried a
+    /// stale epoch — nonzero means a deposed primary (or its subtree)
+    /// tried to ship or rejoin with forked history.
+    pub stale_epoch_rejections: u64,
 }
 
 /// A trigger firing as streamed to subscribers — the wire image of

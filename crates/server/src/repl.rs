@@ -1,5 +1,5 @@
 //! The replica side of WAL-shipping replication: a background runner
-//! that connects to the primary, issues [`Command::Replicate`], and
+//! that connects to an upstream, issues [`Command::Replicate`], and
 //! tails the stream.
 //!
 //! ## Exactly-once
@@ -15,6 +15,31 @@
 //! and are skipped, so faults can reorder *delivery attempts* but never
 //! the applied history.
 //!
+//! ## Cascading trees and re-parenting
+//!
+//! The upstream need not be the primary: any WAL-backed node re-logs
+//! what it applies, so its own durable sink re-ships the stream to
+//! *its* replicas, durable-watermark-gated exactly like the primary's.
+//! The primary therefore holds O(1) streams regardless of tree width.
+//! `sources` is an ordered upstream list: when the current upstream
+//! dies, stops heartbeating for more than three intervals, or proves
+//! stale, the runner rotates to the next entry under the same
+//! capped-jitter backoff (re-parenting).
+//!
+//! ## Epochs and fork healing
+//!
+//! The handshake claims the replica's *history epoch* (the highest
+//! `EpochBump` its own log holds); the upstream fences a claim whose
+//! cursor runs past a bump it hasn't seen — the definition of holding
+//! a deposed fork — by answering a `ReplSnapshot` with `fence_lsn`
+//! set, upon which the runner discards the shard's entire local
+//! history (engine, applier, local WAL, epoch-table entries) and
+//! re-replicates it from zero. The same invariant is enforced
+//! receiver-side: **an epoch bump is never a duplicate** — a bump
+//! arriving *below* the cursor with an epoch above our history proves
+//! the records we hold past it are fork debris (the upstream healed
+//! underneath us), so the shard resets without waiting to be fenced.
+//!
 //! ## Catch-up and promotion
 //!
 //! Applied ops flow through the replica engine's own log sink into its
@@ -22,7 +47,8 @@
 //! bootstraps from its own directory and resumes the stream from where
 //! its local log ends. `Promote` sets the stop flag; the runner drains
 //! whatever the socket already holds, aborts transactions the stream
-//! left open, and parks — after which the server accepts writes.
+//! left open, and parks — after which the server durably bumps the
+//! epoch and accepts writes.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -36,19 +62,27 @@ use std::time::{Duration, Instant};
 use ode_db::durability::frame;
 use ode_db::replication::{Applier, ApplyError};
 use ode_db::{Database, LogOp, Snapshot};
+use parking_lot::Mutex;
 
 use crate::client::backoff_delay;
 use crate::codec::{LineEvent, LineReader};
 use crate::conn::Conn;
 use crate::protocol::{hex_decode, Command, Reply, ReplyResult, Request, ServerMsg};
-use crate::server::{append_schema, Shared};
+use crate::server::{append_schema, load_schema, Shared};
 use crate::spec::{compile_class, ClassSpec};
 
 /// A snapshot message must fit in one line; segments cap op frames far
 /// below this.
 const MAX_STREAM_LINE: usize = 256 * 1024 * 1024;
 
-/// Where a replica finds its primary.
+/// How often a serving session reports its durable heads to a
+/// replication stream. The runner treats an upstream silent for more
+/// than three intervals as dead and reconnects (possibly to the next
+/// upstream on its list).
+pub(crate) const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Where a replica finds its upstream (the primary, or — in a
+/// cascading tree — another replica).
 #[derive(Clone, Debug)]
 pub enum ReplSource {
     /// A TCP address (`host:port`).
@@ -96,6 +130,11 @@ pub enum StreamFault {
     CorruptFrame,
     /// Truncate the frame mid-record, like a torn tail.
     TornFrame,
+    /// Drop the connection *and refuse to reconnect* until shutdown or
+    /// `Promote` — a network partition with a deterministic fork
+    /// point: the replica holds exactly the records received before
+    /// this one, however far ahead the upstream runs.
+    Partition,
 }
 
 /// Shared replica status, read by `Stats` and flipped by `Promote`.
@@ -104,7 +143,7 @@ pub enum StreamFault {
 pub(crate) struct ReplicaState {
     /// Per shard: one past the last applied LSN.
     pub(crate) applied: Vec<AtomicU64>,
-    /// Per shard: the primary's head LSN as last reported (ship or
+    /// Per shard: the upstream's head LSN as last reported (ship or
     /// heartbeat).
     pub(crate) head: Vec<AtomicU64>,
     /// Whether the stream is currently established.
@@ -115,6 +154,9 @@ pub(crate) struct ReplicaState {
     pub(crate) stop: AtomicBool,
     /// Set once the runner has parked; `Promote` waits on it.
     pub(crate) finished: AtomicBool,
+    /// When the runner last heard *anything* from its upstream —
+    /// handshake reply, heartbeat, snapshot, or shipped record.
+    last_contact: Mutex<Option<Instant>>,
 }
 
 impl ReplicaState {
@@ -126,6 +168,7 @@ impl ReplicaState {
             promoted: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             finished: AtomicBool::new(false),
+            last_contact: Mutex::new(None),
         }
     }
 
@@ -142,6 +185,24 @@ impl ReplicaState {
             .map(|(h, a)| h.load(Ordering::SeqCst).max(a.load(Ordering::SeqCst)))
             .sum()
     }
+
+    fn note_contact(&self) {
+        *self.last_contact.lock() = Some(Instant::now());
+    }
+
+    fn contact_age(&self) -> Option<Duration> {
+        self.last_contact.lock().map(|t| t.elapsed())
+    }
+
+    /// Milliseconds since the upstream was last heard from, for
+    /// `Stats`. `None` before first contact and after promotion (a
+    /// primary has no upstream).
+    pub(crate) fn heartbeat_age_ms(&self) -> Option<u64> {
+        if self.promoted.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.contact_age().map(|d| d.as_millis() as u64)
+    }
 }
 
 enum Flow {
@@ -154,23 +215,30 @@ enum Flow {
 }
 
 /// The replica runner thread: connect → handshake → tail, forever,
-/// until shutdown or promotion.
+/// until shutdown or promotion. `sources` is the ordered upstream
+/// list; the runner sticks with a working entry and rotates to the
+/// next on every failed connect or broken stream.
 pub(crate) fn run_replica(
     inner: Arc<Shared>,
-    source: ReplSource,
+    sources: Vec<ReplSource>,
     mut appliers: Vec<Applier>,
     plan: HashMap<u64, StreamFault>,
 ) {
     let rs = Arc::clone(inner.repl.as_ref().expect("replica state"));
     let mut attempt: u32 = 0;
     let mut ops_seen: u64 = 0;
+    let mut src_idx: usize = 0;
     'outer: loop {
         if inner.shutdown.load(Ordering::SeqCst) || rs.stop.load(Ordering::SeqCst) {
             break;
         }
+        let source = &sources[src_idx % sources.len()];
         let mut conn = match source.connect() {
             Ok(c) => c,
             Err(_) => {
+                // Re-parent: this upstream is unreachable, try the
+                // next on the list after one backoff step.
+                src_idx += 1;
                 if !sleep_backoff(&inner, &rs, &mut attempt) {
                     break 'outer;
                 }
@@ -184,10 +252,12 @@ pub(crate) fn run_replica(
             id: 1,
             cmd: Command::Replicate {
                 from_lsns: appliers.iter().map(|a| a.next_lsn()).collect(),
+                epoch: inner.epochs.history_epoch(),
             },
         };
         let handshake = serde_json::to_string(&req).expect("request encodes") + "\n";
         if conn.write_all(handshake.as_bytes()).is_err() {
+            src_idx += 1;
             if !sleep_backoff(&inner, &rs, &mut attempt) {
                 break 'outer;
             }
@@ -222,12 +292,26 @@ pub(crate) fn run_replica(
                     if rs.stop.load(Ordering::SeqCst) {
                         break 'outer;
                     }
+                    // Heartbeat staleness: a wedged upstream (half-open
+                    // TCP, stalled flusher) goes silent long before the
+                    // socket errors. Drop the link proactively — the
+                    // reconnect may land on the next upstream.
+                    if rs.connected.load(Ordering::SeqCst)
+                        && rs
+                            .contact_age()
+                            .is_some_and(|age| age > 3 * HEARTBEAT_INTERVAL)
+                    {
+                        break;
+                    }
                 }
                 Ok(LineEvent::Overlong) | Ok(LineEvent::Eof) | Err(_) => break,
             }
         }
         rs.connected.store(false, Ordering::SeqCst);
         conn.shutdown_both();
+        // A broken or stale stream also rotates: if the upstream is
+        // merely restarting we come back to it one backoff later.
+        src_idx += 1;
         if !sleep_backoff(&inner, &rs, &mut attempt) {
             break 'outer;
         }
@@ -272,9 +356,19 @@ fn handle_msg(
 ) -> Flow {
     match msg {
         ServerMsg::Reply {
-            result: ReplyResult::Ok(Reply::Replicating { .. }),
+            result: ReplyResult::Ok(Reply::Replicating { epoch, .. }),
             ..
         } => {
+            if epoch < inner.epochs.history_epoch() {
+                // The upstream's history is behind ours; following it
+                // would rewind. Rotate to the next upstream.
+                inner
+                    .epochs
+                    .stale_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Flow::Resync;
+            }
+            rs.note_contact();
             rs.connected.store(true, Ordering::SeqCst);
             *attempt = 0;
             Flow::Continue
@@ -284,20 +378,62 @@ fn handle_msg(
             ..
         } => Flow::Resync,
         ServerMsg::Reply { .. } | ServerMsg::Firing(_) | ServerMsg::Rows { .. } => Flow::Continue,
-        ServerMsg::ReplHeartbeat { shard, head } => {
+        ServerMsg::ReplHeartbeat { shard, head, epoch } => {
+            rs.note_contact();
             let Some(h) = rs.head.get(shard as usize) else {
                 return Flow::Fatal;
             };
             h.store(head, Ordering::SeqCst);
-            Flow::Continue
+            let mine = inner.epochs.history_epoch();
+            if epoch > mine {
+                // A newer primary exists up the tree. Latch the
+                // observation (deposing any local write authority);
+                // the bump record itself arrives in-band and clears
+                // the latch by raising our history.
+                if inner.epochs.observe(epoch).is_err() {
+                    return Flow::Fatal;
+                }
+                Flow::Continue
+            } else if epoch < mine {
+                // A heartbeat from a deposed lineage: stop following.
+                inner
+                    .epochs
+                    .stale_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                Flow::Resync
+            } else {
+                Flow::Continue
+            }
         }
-        ServerMsg::ReplSchema(spec) => define_spec(inner, &spec),
+        ServerMsg::ReplSchema(spec) => {
+            rs.note_contact();
+            let flow = define_spec(inner, &spec);
+            // Cascade: re-ship the class to our own downstream
+            // replicas (idempotent at the receiver) before any op
+            // referencing it can flow through our durable sink —
+            // mirroring the primary's DefineClass ordering.
+            if matches!(flow, Flow::Continue) {
+                if let Some(ws) = &inner.wal {
+                    for s in 0..ws.wal.shard_count() {
+                        ws.wal.wal(s).frozen(|_| {
+                            for rtx in ws.repl_subs[s].lock().values() {
+                                let _ = rtx.send(ServerMsg::ReplSchema(spec.clone()));
+                            }
+                        });
+                    }
+                }
+            }
+            flow
+        }
         ServerMsg::ReplSnapshot {
             shard,
             lsn,
             schema,
             snapshot,
+            epoch: _,
+            fence_lsn,
         } => {
+            rs.note_contact();
             let s = shard as usize;
             if s >= appliers.len() {
                 return Flow::Fatal;
@@ -307,16 +443,26 @@ fn handle_msg(
                     return Flow::Fatal;
                 }
             }
+            if fence_lsn.is_some() {
+                // The upstream proved our cursor runs past an epoch
+                // bump we never applied: everything this shard holds
+                // beyond the fence is debris from a deposed lineage.
+                // Discard the shard wholesale and re-replicate from
+                // zero — the records up to the fence are re-shipped
+                // identically, the fork's tail is not.
+                return reset_shard(inner, rs, appliers, s);
+            }
             if lsn <= appliers[s].next_lsn() {
                 // Pure log catch-up: this shard's stream continues from
                 // where the replica already is.
                 return Flow::Continue;
             }
-            // Snapshot jump: the primary no longer retains this shard's
-            // records between our cursor and `lsn`. Rebuild *that
-            // shard's* engine from the shipped snapshot (`restore`
-            // needs an empty store); the other shards' streams are
-            // negotiated independently and are not disturbed.
+            // Snapshot jump: the upstream no longer retains this
+            // shard's records between our cursor and `lsn`. Rebuild
+            // *that shard's* engine from the shipped snapshot
+            // (`restore` needs an empty store); the other shards'
+            // streams are negotiated independently and are not
+            // disturbed.
             let Some(json) = snapshot else {
                 return Flow::Resync;
             };
@@ -341,13 +487,17 @@ fn handle_msg(
                 Ok(next)
             });
             match rebuilt {
-                Ok(next) => {
+                Ok(mut next) => {
                     if let Some(ws) = &inner.wal {
                         // Persist the jump so a restart resumes this
                         // shard from `lsn` instead of a stale local
                         // head.
                         let _ = ws.wal.wal(s).checkpoint_at(&snap, lsn);
                     }
+                    // The jump carried us across any bumps in the
+                    // skipped range; adopt the node's fencing floor so
+                    // the fresh cursor doesn't accept stale stamps.
+                    next.set_epoch(inner.epochs.history_epoch());
                     *applier = next;
                     rs.applied[s].store(lsn, Ordering::SeqCst);
                     Flow::Continue
@@ -360,16 +510,41 @@ fn handle_msg(
             lsn,
             head,
             frame,
+            epoch,
         } => {
+            rs.note_contact();
             let s = shard as usize;
             if s >= appliers.len() {
                 return Flow::Fatal;
             }
             rs.head[s].store(head, Ordering::SeqCst);
+            if epoch < inner.epochs.history_epoch() {
+                // A frame stamped from a deposed lineage; refuse it
+                // before it touches the engine and re-negotiate.
+                inner
+                    .epochs
+                    .stale_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Flow::Resync;
+            }
             let fault = plan.get(ops_seen).copied();
             *ops_seen += 1;
             if let Some(StreamFault::Disconnect) = fault {
                 return Flow::Resync;
+            }
+            if let Some(StreamFault::Partition) = fault {
+                // A simulated network partition: drop the link and
+                // refuse to reconnect until shutdown or promotion.
+                // The record itself is never applied — it is the
+                // first write the partition loses, pinning the fork
+                // point exactly.
+                rs.connected.store(false, Ordering::SeqCst);
+                loop {
+                    if inner.shutdown.load(Ordering::SeqCst) || rs.stop.load(Ordering::SeqCst) {
+                        return Flow::Fatal;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
             }
             let Some(mut bytes) = hex_decode(&frame) else {
                 return Flow::Resync;
@@ -399,23 +574,108 @@ fn handle_msg(
             let Ok(op) = LogOp::from_json_line(text) else {
                 return Flow::Fatal;
             };
+            // Receiver-side fork detection: an epoch bump is never a
+            // duplicate. One landing below our cursor with an epoch
+            // above our history proves the records we hold past it
+            // belong to a deposed lineage (the upstream healed or was
+            // replaced underneath us while our cursor let its rebuilt
+            // records duplicate-skip by). Discard the shard.
+            if let LogOp::EpochBump { epoch: bump } = &op {
+                if *bump > inner.epochs.history_epoch() && lsn < appliers[s].next_lsn() {
+                    inner
+                        .epochs
+                        .stale_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    return reset_shard(inner, rs, appliers, s);
+                }
+            }
             let applies = if matches!(fault, Some(StreamFault::Duplicate)) {
                 2
             } else {
                 1
             };
             let applier = &mut appliers[s];
+            let fresh = lsn == applier.next_lsn();
             for _ in 0..applies {
                 match inner.db.shard(s).with(|db| applier.apply(db, lsn, &op)) {
                     Ok(_) => {}
                     Err(ApplyError::Gap { .. }) => return Flow::Resync,
-                    Err(ApplyError::Logical(_)) => return Flow::Fatal,
+                    Err(_) => return Flow::Fatal,
                 }
             }
             rs.applied[s].store(applier.next_lsn(), Ordering::SeqCst);
+            if fresh {
+                if let LogOp::EpochBump { epoch: bump } = &op {
+                    // The engine no-ops a bump, so the log sink never
+                    // re-logs it. Append it by hand to keep the local
+                    // log record-for-record identical with the
+                    // upstream's — the downstream tree depends on
+                    // that 1:1 LSN alignment — then record the
+                    // durable start in the epoch table.
+                    if let Some(ws) = &inner.wal {
+                        match ws.wal.wal(s).append(&op) {
+                            Ok(got) if got == lsn => {}
+                            _ => return Flow::Fatal,
+                        }
+                    }
+                    if inner.epochs.note_start(*bump, shard, lsn).is_err() {
+                        return Flow::Fatal;
+                    }
+                }
+            }
             Flow::Continue
         }
     }
+}
+
+/// Fork healing: discard shard `s`'s entire local history — engine,
+/// applier, local WAL (durable watermark rewound to zero), and
+/// epoch-table entries — so the next connect re-replicates the shard
+/// from LSN 0. Classes survive: they are re-defined from the local
+/// schema log (shared across shards), and the upstream re-ships them
+/// on reconnect anyway.
+fn reset_shard(inner: &Arc<Shared>, rs: &ReplicaState, appliers: &mut [Applier], s: usize) -> Flow {
+    let mut specs: Vec<ClassSpec> = Vec::new();
+    if let Some(ws) = &inner.wal {
+        match load_schema(&ws.io, &ws.schema_path) {
+            Ok(loaded) => specs = loaded,
+            Err(_) => return Flow::Fatal,
+        }
+    }
+    let applier = &mut appliers[s];
+    let rebuilt = inner.db.shard(s).with(|db| -> Result<(), String> {
+        applier.abort_open(db);
+        let mut fresh = Database::new();
+        for spec in &specs {
+            let def = compile_class(spec).map_err(|e| e.to_string())?;
+            fresh.define_class(def).map_err(|e| e.to_string())?;
+        }
+        fresh.take_output();
+        fresh.set_firing_sink(inner.firing_sinks.get(s).cloned());
+        fresh.set_log_sink(inner.log_sinks.get(s).cloned());
+        fresh.set_event_tap(inner.event_taps.get(s).cloned());
+        *db = fresh;
+        Ok(())
+    });
+    if rebuilt.is_err() {
+        return Flow::Fatal;
+    }
+    *applier = Applier::new();
+    if let Some(ws) = &inner.wal {
+        let empty = Database::new();
+        let Ok(snap) = empty.snapshot() else {
+            return Flow::Fatal;
+        };
+        if ws.wal.wal(s).reset_to(&snap, 0).is_err() {
+            return Flow::Fatal;
+        }
+    }
+    if inner.epochs.note_reset(s as u64).is_err() {
+        return Flow::Fatal;
+    }
+    rs.applied[s].store(0, Ordering::SeqCst);
+    rs.head[s].store(0, Ordering::SeqCst);
+    Flow::Resync
 }
 
 /// Define a shipped class on every shard engine (classes exist on all

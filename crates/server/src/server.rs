@@ -60,9 +60,9 @@ use ode_db::engine::{EventTap, FiringSink, LogSink};
 use ode_db::replication::Applier;
 use ode_db::{
     shard_dir, shard_of, to_global, to_local, ArgPred, Batch, CmpOp, Database, DurableRecord,
-    FiringNotice, HistConfig, HistQuery, HistStore, LogOp, ObjectId, SegmentReader,
-    ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot, StdIo, TapEvent, TxnId,
-    WalConfig, WalFlusher,
+    EpochRecord, EpochTable, FiringNotice, HistConfig, HistQuery, HistStore, LogOp, ObjectId,
+    SegmentReader, ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot, StdIo,
+    TapEvent, TxnId, WalConfig, WalFlusher,
 };
 use parking_lot::Mutex;
 
@@ -72,7 +72,7 @@ use crate::protocol::{
     hex_encode, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireRow,
     WireStats,
 };
-use crate::repl::{run_replica, ReplSource, ReplicaState, StreamFault};
+use crate::repl::{run_replica, ReplSource, ReplicaState, StreamFault, HEARTBEAT_INTERVAL};
 use crate::spec::{compile_class, ClassSpec};
 
 /// Server tuning knobs.
@@ -131,6 +131,117 @@ pub(crate) struct WalState {
     pub(crate) repl_subs: Vec<Subscribers>,
 }
 
+/// The node's primary-election epoch state: the durable
+/// [`EpochTable`] (when a WAL directory exists), an atomic mirror of
+/// the node's *history* epoch for lock-free stamping on the shipping
+/// path, and the deposed latch.
+///
+/// Two different epochs matter. The **history epoch** is the highest
+/// `EpochBump` the node's own log contains — it describes the lineage
+/// of the records the node holds and ships, so handshake claims,
+/// `ReplOp` stamps, and fence arithmetic all use it. The **observed
+/// epoch** additionally counts epochs the node has merely *heard of*
+/// (a handshake claim, a heartbeat stamp, an explicit `Demote`);
+/// when it runs ahead of the history epoch the node is *deposed*:
+/// a newer primary exists whose history this node has not caught up
+/// to, so its write authority is revoked and it refuses to serve
+/// `Replicate` until it rejoins as a replica.
+pub(crate) struct EpochState {
+    /// Mirror of the table's history epoch (see above). Monotone.
+    cell: Arc<AtomicU64>,
+    /// `observed > history`: write authority revoked.
+    deposed: AtomicBool,
+    table: Mutex<EpochTable>,
+    /// Where table records persist (`None` without a WAL directory —
+    /// fencing still works, but only for the process lifetime).
+    store: Option<(SharedIo, PathBuf)>,
+    /// Frames and handshakes refused for carrying a stale epoch.
+    pub(crate) stale_rejections: AtomicU64,
+}
+
+impl EpochState {
+    fn new(table: EpochTable, store: Option<(SharedIo, PathBuf)>) -> EpochState {
+        EpochState {
+            cell: Arc::new(AtomicU64::new(table.history_epoch())),
+            deposed: AtomicBool::new(table.is_deposed()),
+            table: Mutex::new(table),
+            store,
+            stale_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The highest epoch whose bump record this node's history holds.
+    pub(crate) fn history_epoch(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// The highest epoch this node has heard of by any means.
+    pub(crate) fn observed_epoch(&self) -> u64 {
+        self.table.lock().epoch()
+    }
+
+    pub(crate) fn is_deposed(&self) -> bool {
+        self.deposed.load(Ordering::SeqCst)
+    }
+
+    /// A clone of the history-epoch cell for capture in sink closures.
+    pub(crate) fn cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.cell)
+    }
+
+    fn refresh(&self, table: &EpochTable) {
+        self.cell.store(table.history_epoch(), Ordering::SeqCst);
+        self.deposed.store(table.is_deposed(), Ordering::SeqCst);
+    }
+
+    fn persist(&self, recs: &[EpochRecord]) -> Result<(), String> {
+        if let Some((io, dir)) = &self.store {
+            EpochTable::append(io, dir, recs).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Record that `epoch` exists somewhere (handshake claim,
+    /// heartbeat stamp, or explicit `Demote`). Latches the deposed
+    /// flag *before* attempting persistence — losing the durable
+    /// record on a crash is recoverable (the fence check catches the
+    /// node when it rejoins), serving writes from a known-deposed
+    /// node is not.
+    pub(crate) fn observe(&self, epoch: u64) -> Result<(), String> {
+        let mut table = self.table.lock();
+        let Some(rec) = table.record_deposed(epoch) else {
+            return Ok(());
+        };
+        self.refresh(&table);
+        self.persist(&[rec])
+    }
+
+    /// Record a durable epoch start: `EpochBump { epoch }` sits at
+    /// `lsn` in shard `shard`'s log.
+    pub(crate) fn note_start(&self, epoch: u64, shard: u64, lsn: u64) -> Result<(), String> {
+        let mut table = self.table.lock();
+        if let Some(rec) = table.record_start(epoch, shard, lsn) {
+            self.persist(&[rec])?;
+        }
+        self.refresh(&table);
+        Ok(())
+    }
+
+    /// Record that fork healing discarded shard `shard`'s local log.
+    pub(crate) fn note_reset(&self, shard: u64) -> Result<(), String> {
+        let mut table = self.table.lock();
+        let rec = table.record_reset(shard);
+        self.refresh(&table);
+        self.persist(&[rec])
+    }
+
+    /// The LSN of the first bump past `than_epoch` in shard `shard` —
+    /// the last log position a `than_epoch` follower may share.
+    pub(crate) fn fence_lsn(&self, shard: u64, than_epoch: u64) -> Option<u64> {
+        self.table.lock().fence_lsn(shard, than_epoch)
+    }
+}
+
 thread_local! {
     /// Per shard, the LSN of the last record this thread appended
     /// through that shard's log sink. The sinks run synchronously on
@@ -167,6 +278,9 @@ pub(crate) struct Shared {
     pub(crate) conn_threads: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) next_conn: AtomicU64,
     pub(crate) wal: Option<Arc<WalState>>,
+    /// Primary-election epoch state (always present; durable when the
+    /// server has a WAL directory).
+    pub(crate) epochs: Arc<EpochState>,
     /// Firing notifications that never reached a subscriber (outbox
     /// gone or socket write failed).
     pub(crate) subscriber_drops: Arc<AtomicU64>,
@@ -193,7 +307,7 @@ pub struct ServerBuilder {
     wal_dir: Option<PathBuf>,
     wal_config: WalConfig,
     wal_io: Option<SharedIo>,
-    replicate_from: Option<ReplSource>,
+    replicate_from: Vec<ReplSource>,
     repl_fault_plan: HashMap<u64, StreamFault>,
     history: bool,
     hist_config: HistConfig,
@@ -278,13 +392,19 @@ impl ServerBuilder {
         self
     }
 
-    /// Run as a read replica of the primary at `source`: refuse
-    /// mutations with `read_only_replica`, tail the primary's WAL
+    /// Run as a read replica of the node at `source`: refuse
+    /// mutations with `read_only_replica`, tail the upstream's WAL
     /// stream, and serve reads, stats, and subscriptions from the
     /// applied state. Combine with [`ServerBuilder::wal_dir`] to give
     /// the replica a local log for catch-up restart.
+    ///
+    /// The upstream may itself be a replica (a cascading tree): any
+    /// WAL-backed node re-serves `Replicate` from its re-logged local
+    /// log. Call this repeatedly to list fallback upstreams; when the
+    /// current one dies (or turns out stale), the runner rotates to
+    /// the next under its capped-jitter backoff (re-parenting).
     pub fn replicate_from(mut self, source: ReplSource) -> Self {
-        self.replicate_from = Some(source);
+        self.replicate_from.push(source);
         self
     }
 
@@ -299,7 +419,7 @@ impl ServerBuilder {
     /// Bind the listeners, recover the WAL directory (if configured),
     /// install the firing and log sinks, and start the accept threads.
     pub fn start(self) -> std::io::Result<Server> {
-        let is_replica = self.replicate_from.is_some();
+        let is_replica = !self.replicate_from.is_empty();
         let n = self.shards;
         if self.history && self.wal_dir.is_none() {
             return Err(std::io::Error::other(
@@ -333,6 +453,8 @@ impl ServerBuilder {
         // had already decided commit, so demoting a `Commit2pc` whose
         // sibling hasn't arrived yet would fork its history.
         let mut appliers: Vec<Applier> = (0..n).map(|_| Applier::new()).collect();
+        let mut epoch_table = EpochTable::new();
+        let mut epoch_store: Option<(SharedIo, PathBuf)> = None;
         let wal = match &self.wal_dir {
             None => None,
             Some(dir) => {
@@ -357,6 +479,20 @@ impl ServerBuilder {
                     ShardedWal::open_per_shard(dir, self.wal_config, ios)
                 };
                 let (wal, recovery) = open.map_err(|e| std::io::Error::other(e.to_string()))?;
+                // Load the epoch table and heal the promote crash
+                // window: a bump that reached a shard WAL but not the
+                // table (crash between the two appends) is merged back
+                // in from the recovered ops, so the node always comes
+                // back at the epoch its log proves — never an older
+                // one.
+                epoch_table =
+                    EpochTable::load(&io, dir).map_err(|e| std::io::Error::other(e.to_string()))?;
+                for (s, rec) in recovery.shards.iter().enumerate() {
+                    let fresh = epoch_table.merge_bumps(s as u64, rec.base_lsn, &rec.ops);
+                    EpochTable::append(&io, dir, &fresh)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                }
+                epoch_store = Some((io.clone(), dir.clone()));
                 let specs = load_schema(&io, &schema_path).map_err(std::io::Error::other)?;
                 if self.history {
                     for (s, rec) in recovery.shards.iter().enumerate() {
@@ -456,6 +592,13 @@ impl ServerBuilder {
                 }))
             }
         };
+        // Checkpoints sweep bump records out of the log, so the
+        // appliers' fencing cursors floor at the table's history
+        // epoch rather than whatever bumps the recovered tail held.
+        for a in appliers.iter_mut() {
+            a.set_epoch(epoch_table.history_epoch());
+        }
+        let epochs = Arc::new(EpochState::new(epoch_table, epoch_store));
         // Wrap the recovered engines; the global commit sequence
         // resumes above every shard's recovered floor.
         let db = ShardedDatabase::from_shared(handles);
@@ -476,6 +619,7 @@ impl ServerBuilder {
                 // out of an Arc cycle.
                 let sink_subs = Arc::clone(&ws.repl_subs[s]);
                 let sink_hist = hist.get(s).cloned();
+                let sink_epoch = epochs.cell();
                 let shard = s as u64;
                 ws.wal.wal(s).set_durable_sink(Some(Arc::new(
                     move |records: &[DurableRecord]| {
@@ -492,12 +636,14 @@ impl ServerBuilder {
                             return;
                         }
                         let head = records.last().expect("non-empty").lsn + 1;
+                        let epoch = sink_epoch.load(Ordering::SeqCst);
                         for r in records {
                             let msg = ServerMsg::ReplOp {
                                 shard,
                                 lsn: r.lsn,
                                 head,
                                 frame: hex_encode(&r.frame),
+                                epoch,
                             };
                             for tx in subs.values() {
                                 let _ = tx.send(msg.clone());
@@ -544,11 +690,13 @@ impl ServerBuilder {
             db.shard(s).set_firing_sink(Some(sink));
         }
 
-        let repl = self.replicate_from.as_ref().map(|_| {
-            Arc::new(ReplicaState::new(
+        let repl = if is_replica {
+            Some(Arc::new(ReplicaState::new(
                 appliers.iter().map(|a| a.next_lsn()).collect(),
-            ))
-        });
+            )))
+        } else {
+            None
+        };
         let inner = Arc::new(Shared {
             db,
             config: self.config,
@@ -557,6 +705,7 @@ impl ServerBuilder {
             conn_threads: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
             wal,
+            epochs,
             subscriber_drops,
             repl,
             log_sinks,
@@ -566,11 +715,12 @@ impl ServerBuilder {
         });
 
         let mut repl_thread = None;
-        if let Some(source) = self.replicate_from {
+        if is_replica {
             let inner2 = Arc::clone(&inner);
+            let sources = self.replicate_from;
             let plan = self.repl_fault_plan;
             repl_thread = Some(thread::spawn(move || {
-                run_replica(inner2, source, appliers, plan)
+                run_replica(inner2, sources, appliers, plan)
             }));
         }
 
@@ -631,7 +781,7 @@ impl Server {
             wal_dir: None,
             wal_config: WalConfig::default(),
             wal_io: None,
-            replicate_from: None,
+            replicate_from: Vec::new(),
             repl_fault_plan: HashMap::new(),
             history: false,
             hist_config: HistConfig::default(),
@@ -792,16 +942,18 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        if replicating && last_heartbeat.elapsed() >= Duration::from_millis(250) {
+        if replicating && last_heartbeat.elapsed() >= HEARTBEAT_INTERVAL {
             last_heartbeat = Instant::now();
             if let Some(ws) = &inner.wal {
                 // The heads a replica should chase are the durable
                 // ones: buffered-but-unflushed records aren't
                 // shippable yet. One report per shard stream.
+                let epoch = inner.epochs.history_epoch();
                 for s in 0..ws.wal.shard_count() {
                     let _ = tx.send(ServerMsg::ReplHeartbeat {
                         shard: s as u64,
                         head: ws.wal.wal(s).durable_lsn(),
+                        epoch,
                     });
                 }
             }
@@ -910,7 +1062,8 @@ fn mutates(cmd: &Command) -> bool {
             | Command::TakeOutput
             | Command::PeekField { .. }
             | Command::Replicate { .. }
-            | Command::Promote
+            | Command::Promote { .. }
+            | Command::Demote { .. }
             | Command::Query { .. }
     )
 }
@@ -989,6 +1142,18 @@ fn execute(
                 "server is read-only after a write-ahead log failure; restart to recover",
             ));
         }
+    }
+    // A deposed node's write authority is revoked: an epoch beyond
+    // its history exists elsewhere, so anything committed here from
+    // now on would be fork debris the fence discards on rejoin.
+    if mutates(&cmd) && inner.epochs.is_deposed() {
+        return Err(WireError::new(
+            "deposed",
+            format!(
+                "this node was deposed at epoch {}; write through the new primary",
+                inner.epochs.observed_epoch()
+            ),
+        ));
     }
     // An unpromoted replica refuses every state writer except its own
     // local `Checkpoint` (log maintenance): writes belong on the
@@ -1342,21 +1507,23 @@ fn execute(
                 wal_lsn = Some(lsn_sum);
                 durable_lsn = Some(durable_sum);
             }
-            let (replica, repl_connected, last_applied_lsn, replica_lag_lsn) = match &inner.repl {
-                Some(rs) => {
-                    let applied = rs.applied_sum();
-                    let head = rs.head_sum().max(applied);
-                    let promoted = rs.promoted.load(Ordering::SeqCst);
-                    read_only = read_only || !promoted;
-                    (
-                        true,
-                        rs.connected.load(Ordering::SeqCst),
-                        Some(applied),
-                        if promoted { None } else { Some(head - applied) },
-                    )
-                }
-                None => (false, false, None, None),
-            };
+            let (replica, repl_connected, last_applied_lsn, replica_lag_lsn, heartbeat_age) =
+                match &inner.repl {
+                    Some(rs) => {
+                        let applied = rs.applied_sum();
+                        let head = rs.head_sum().max(applied);
+                        let promoted = rs.promoted.load(Ordering::SeqCst);
+                        read_only = read_only || !promoted;
+                        (
+                            true,
+                            rs.connected.load(Ordering::SeqCst),
+                            Some(applied),
+                            if promoted { None } else { Some(head - applied) },
+                            rs.heartbeat_age_ms(),
+                        )
+                    }
+                    None => (false, false, None, None, None),
+                };
             let mut hist_segments = 0;
             let mut hist_rows = 0;
             let mut hist_disk_bytes = 0;
@@ -1411,6 +1578,10 @@ fn execute(
                 hist_rows_returned,
                 hist_segments_skipped,
                 hist_retro_replays,
+                epoch: inner.epochs.observed_epoch(),
+                deposed: inner.epochs.is_deposed(),
+                repl_heartbeat_age_ms: heartbeat_age,
+                stale_epoch_rejections: inner.epochs.stale_rejections.load(Ordering::Relaxed),
             })))
         }
         Command::Subscribe => {
@@ -1428,7 +1599,7 @@ fn execute(
                 .with_obj(ObjectId(object), |db, local| db.peek_field(local, &field));
             Ok(Reply::Value(v.unwrap_or(Value::Null)))
         }
-        Command::Replicate { from_lsns } => {
+        Command::Replicate { from_lsns, epoch } => {
             let Some(ws) = &inner.wal else {
                 return Err(WireError::new(
                     "no_wal",
@@ -1442,6 +1613,33 @@ fn execute(
                     format!(
                         "replica negotiated {} shard stream(s); this primary runs {shard_count}",
                         from_lsns.len()
+                    ),
+                ));
+            }
+            let my_epoch = inner.epochs.history_epoch();
+            if epoch > my_epoch {
+                // The follower has seen a primary elected past us:
+                // this node is deposed, and serving its (possibly
+                // forked) history downstream would spread the fork.
+                inner
+                    .epochs
+                    .observe(epoch)
+                    .map_err(|e| WireError::new("wal", e))?;
+                inner
+                    .epochs
+                    .stale_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(WireError::new(
+                    "stale_epoch",
+                    format!("serving node is at epoch {my_epoch}, behind the stream's {epoch}"),
+                ));
+            }
+            if inner.epochs.is_deposed() {
+                return Err(WireError::new(
+                    "deposed",
+                    format!(
+                        "this node was deposed at epoch {}; replicate from the new primary",
+                        inner.epochs.observed_epoch()
                     ),
                 ));
             }
@@ -1462,6 +1660,43 @@ fn execute(
                     ws.wal
                         .wal(s)
                         .frozen(|head| -> Result<(u64, u64), WireError> {
+                            // Fork fence, checked before the head
+                            // bound: a follower claiming an older
+                            // epoch whose cursor is past the first
+                            // bump it hasn't seen holds records of a
+                            // deposed lineage (a shared prefix would
+                            // end at the bump). Tell it to discard
+                            // the shard and re-replicate from zero; a
+                            // cursor at or below the fence is shared
+                            // history and streams normally — the bump
+                            // record itself teaches the new epoch
+                            // in-band.
+                            if epoch < my_epoch {
+                                if let Some(f) = inner.epochs.fence_lsn(s as u64, epoch) {
+                                    if from_lsn > f {
+                                        inner
+                                            .epochs
+                                            .stale_rejections
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        let schema = load_schema(&ws.io, &ws.schema_path)
+                                            .map_err(|msg| {
+                                                WireError::new(
+                                                    "wal",
+                                                    format!("schema scan failed: {msg}"),
+                                                )
+                                            })?;
+                                        let _ = tx.send(ServerMsg::ReplSnapshot {
+                                            shard: s as u64,
+                                            lsn: 0,
+                                            schema,
+                                            snapshot: None,
+                                            epoch: my_epoch,
+                                            fence_lsn: Some(f),
+                                        });
+                                        return Ok((0, head));
+                                    }
+                                }
+                            }
                             if from_lsn > head {
                                 return Err(WireError::new(
                                     "bad_lsn",
@@ -1500,6 +1735,8 @@ fn execute(
                                 lsn: start_lsn,
                                 schema,
                                 snapshot,
+                                epoch: my_epoch,
+                                fence_lsn: None,
                             });
                             for (lsn, payload) in scan.records_from(start_lsn) {
                                 let _ = tx.send(ServerMsg::ReplOp {
@@ -1507,6 +1744,7 @@ fn execute(
                                     lsn,
                                     head,
                                     frame: hex_encode(&frame::encode(payload)),
+                                    epoch: my_epoch,
                                 });
                             }
                             ws.repl_subs[s].lock().insert(conn_id, tx.clone());
@@ -1516,9 +1754,13 @@ fn execute(
                 heads.push(head);
             }
             *replicating = true;
-            Ok(Reply::Replicating { start_lsns, heads })
+            Ok(Reply::Replicating {
+                start_lsns,
+                heads,
+                epoch: my_epoch,
+            })
         }
-        Command::Promote => {
+        Command::Promote { force } => {
             let Some(rs) = &inner.repl else {
                 return Err(WireError::new(
                     "not_replica",
@@ -1526,6 +1768,26 @@ fn execute(
                 ));
             };
             if !rs.promoted.load(Ordering::SeqCst) {
+                // Refuse a lagging promote: records the old primary
+                // acked would silently vanish from the new lineage.
+                // `force` accepts that loss — the fence demotes them
+                // on every surviving node when the old primary's
+                // subtree rejoins.
+                if !force {
+                    let applied = rs.applied_sum();
+                    let head = rs.head_sum();
+                    if head > applied {
+                        return Err(WireError {
+                            code: "promote_lagging".to_string(),
+                            message: format!(
+                                "replica is {} record(s) behind the last reported upstream \
+                                 head; let it catch up or Promote with force:true",
+                                head - applied
+                            ),
+                            retryable: true,
+                        });
+                    }
+                }
                 rs.stop.store(true, Ordering::SeqCst);
                 let deadline = Instant::now() + Duration::from_secs(10);
                 while !rs.finished.load(Ordering::SeqCst) {
@@ -1539,10 +1801,65 @@ fn execute(
                     }
                     thread::sleep(inner.config.poll_interval);
                 }
+                // Bump the epoch *durably* before the first write is
+                // accepted: the bump record lands in every shard WAL
+                // (where it ships downstream and fences the old
+                // lineage) and then in the epoch table (where it
+                // survives checkpoint sweeps). A crash between the
+                // two is healed by `merge_bumps` on recovery, so the
+                // node can never come back writable at the old epoch.
+                let new_epoch = inner.epochs.history_epoch() + 1;
+                if let Some(ws) = &inner.wal {
+                    let mut acks = Vec::with_capacity(ws.wal.shard_count());
+                    for s in 0..ws.wal.shard_count() {
+                        let lsn = ws
+                            .wal
+                            .wal(s)
+                            .append(&LogOp::EpochBump { epoch: new_epoch })
+                            .map_err(|e| WireError {
+                                code: "wal".to_string(),
+                                message: e.to_string(),
+                                retryable: true,
+                            })?;
+                        acks.push((s, lsn));
+                    }
+                    ws.wal.wait_durable(&acks).map_err(|e| WireError {
+                        code: "wal".to_string(),
+                        message: e.to_string(),
+                        retryable: true,
+                    })?;
+                    for &(s, lsn) in &acks {
+                        inner
+                            .epochs
+                            .note_start(new_epoch, s as u64, lsn)
+                            .map_err(|e| WireError::new("wal", e))?;
+                    }
+                } else {
+                    for (s, applied) in rs.applied.iter().enumerate() {
+                        inner
+                            .epochs
+                            .note_start(new_epoch, s as u64, applied.load(Ordering::SeqCst))
+                            .map_err(|e| WireError::new("wal", e))?;
+                    }
+                }
                 rs.promoted.store(true, Ordering::SeqCst);
             }
             Ok(Reply::Promoted {
                 lsn: rs.applied_sum(),
+                epoch: inner.epochs.history_epoch(),
+            })
+        }
+        Command::Demote { epoch } => {
+            // An announcement, not a mutation: record that `epoch`
+            // exists. If that's news beyond this node's own history,
+            // the deposed latch flips and mutations start answering
+            // `deposed`.
+            inner
+                .epochs
+                .observe(epoch)
+                .map_err(|e| WireError::new("wal", e))?;
+            Ok(Reply::Demoted {
+                epoch: inner.epochs.observed_epoch(),
             })
         }
         Command::Query {

@@ -24,11 +24,16 @@
 //! indexed into a per-shard columnar history store under
 //! `DIR/hist`, enabling `Query` over past events and retroactive
 //! trigger activation (`replay_history`). With
-//! `--replicate-from SOURCE` the
-//! server runs as a read replica of the primary at SOURCE (`host:port`
-//! for TCP, a leading `/` or `.` for a Unix socket path): it tails the
-//! primary's WAL, refuses writes with `read_only_replica`, serves
-//! reads and subscriptions, and a client may `Promote` it. With
+//! `--replicate-from SOURCES` (a comma-separated list, repeatable) the
+//! server runs as a read replica of the first reachable upstream
+//! (`host:port` for TCP, a leading `/` or `.` for a Unix socket
+//! path): it tails that node's WAL, refuses writes with
+//! `read_only_replica`, serves reads and subscriptions, and a client
+//! may `Promote` it. The upstream may itself be a replica — point a
+//! leaf's `--replicate-from` at a mid-tier replica to build a
+//! cascading tree where the primary holds O(1) streams; extra
+//! entries are re-parenting fallbacks tried in order when the
+//! current upstream dies. With
 //! `--seconds N` the server shuts down gracefully after N seconds
 //! (every session's open transaction is aborted and all threads are
 //! joined); otherwise it runs until the process is killed.
@@ -42,7 +47,7 @@ fn main() {
     let mut unix: Option<String> = None;
     let mut seconds: Option<u64> = None;
     let mut wal_dir: Option<String> = None;
-    let mut replicate_from: Option<ReplSource> = None;
+    let mut replicate_from: Vec<ReplSource> = Vec::new();
     let mut fsync = FsyncPolicy::OnCommit;
     let mut shards: usize = 1;
     let mut history = false;
@@ -53,7 +58,11 @@ fn main() {
             "--unix" => unix = Some(value()),
             "--seconds" => seconds = Some(value().parse().expect("numeric --seconds")),
             "--wal-dir" => wal_dir = Some(value()),
-            "--replicate-from" => replicate_from = Some(ReplSource::parse(&value())),
+            // Repeatable, and each operand may be a comma-separated
+            // list: the first entry is the preferred upstream (which
+            // may itself be a replica — a cascading tree), the rest
+            // are re-parenting fallbacks.
+            "--replicate-from" => replicate_from.extend(value().split(',').map(ReplSource::parse)),
             "--history" => history = true,
             "--shards" => {
                 shards = value().parse().expect("numeric --shards");
@@ -74,7 +83,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
-                     --wal-dir DIR, --history, --replicate-from SOURCE, --shards N, \
+                     --wal-dir DIR, --history, --replicate-from SRC[,FALLBACK...], --shards N, \
                      --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
                 );
                 std::process::exit(2);
@@ -106,8 +115,8 @@ fn main() {
         }
         builder = builder.history(true);
     }
-    let replica = replicate_from.is_some();
-    if let Some(source) = replicate_from {
+    let replica = !replicate_from.is_empty();
+    for source in replicate_from {
         builder = builder.replicate_from(source);
     }
     let mut server = builder.start().expect("failed to bind or recover");
