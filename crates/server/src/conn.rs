@@ -3,6 +3,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
@@ -37,6 +38,23 @@ impl Conn {
         match self {
             Conn::Tcp(s) => s.set_nonblocking(false),
             Conn::Unix(s) => s.set_nonblocking(false),
+        }
+    }
+
+    /// Switch non-blocking mode (the reactor runs every socket
+    /// non-blocking and multiplexes readiness instead).
+    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(on),
+            Conn::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+
+    /// The raw descriptor, for readiness registration.
+    pub fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
         }
     }
 

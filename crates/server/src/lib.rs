@@ -3,7 +3,8 @@
 //!
 //! The server speaks newline-delimited JSON over TCP and Unix-domain
 //! sockets, one session (and one optional open transaction) per
-//! connection, thread-per-connection over a shared
+//! connection, served by a poll-driven [`reactor`] — one event-loop
+//! thread owning every socket plus a worker pool — over a shared
 //! [`ode_db::SharedDatabase`]. Classes — including their trigger
 //! events, written in the paper's §3 composite-event syntax — are
 //! defined over the wire from a declarative [`spec::ClassSpec`].
@@ -22,6 +23,7 @@ pub mod client;
 pub mod codec;
 pub mod conn;
 pub mod protocol;
+pub mod reactor;
 pub mod repl;
 pub mod server;
 pub mod spec;

@@ -456,6 +456,12 @@ pub struct WireStats {
     /// Firing notifications dropped because a subscriber's outbox or
     /// socket write failed.
     pub subscriber_drops: u64,
+    /// Connections currently open (sessions live on the reactor loop,
+    /// or legacy session threads).
+    pub conns_open: u64,
+    /// Connections refused by the `--max-conns` accept guard with a
+    /// `server_full` notice since startup.
+    pub conns_rejected: u64,
     /// Whether the server currently refuses mutations: latched after a
     /// WAL failure, or running as an unpromoted replica.
     pub read_only: bool,

@@ -1,0 +1,653 @@
+//! The reactor event loop and its command worker pool.
+//!
+//! One loop thread owns every socket: it accepts, reads framed lines
+//! (partial lines carried across readiness events by
+//! [`crate::codec::LineReader`]), drains outbox rings with
+//! write-interest-driven flushing, emits replication heartbeats, and
+//! expires idle transactions. It never executes a command and never
+//! blocks on anything but the poller — commands run on a small worker
+//! pool, because `Commit` blocks on the WAL's group-commit fsync and
+//! `Promote` can wait seconds for the stream to drain.
+//!
+//! ## Per-connection command FIFO
+//!
+//! Lines parsed by the loop are queued per connection; a connection is
+//! *dispatched* to the pool only when it isn't already running there,
+//! so one connection's commands always execute in arrival order (the
+//! session contract) while distinct connections interleave freely. If
+//! a client pipelines past a high-water mark the loop gates that
+//! socket's read interest **off** (level-triggered pollers would
+//! otherwise spin on the un-consumed readiness) and re-arms it when
+//! the worker drains the queue.
+//!
+//! ## One teardown path
+//!
+//! Shutdown, peer disconnect, and socket errors all converge on
+//! [`EventLoop::teardown`]: deregister, close the outbox ring
+//! (counting stranded firings as `subscriber_drops`), drop the
+//! subscription and replication-stream registrations, decrement
+//! `conns_open`, and release the session's open transaction — either
+//! inline, or deferred to the worker mid-command via the
+//! `closed`/`running` handshake so a lock is never leaked and never
+//! double-aborted. A clean EOF with queued work or unflushed replies
+//! defers teardown until both drain, so half-closing clients still
+//! receive every answer (the legacy writer thread behaved the same
+//! way).
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use super::outbox::{encode_frame, ConnOutbox, Notify, Sink};
+use super::poller::{Event, Interest, Poller};
+use crate::codec::{LineEvent, LineReader};
+use crate::conn::Conn;
+use crate::protocol::{ReplyResult, ServerMsg, WireError};
+use crate::repl::HEARTBEAT_INTERVAL;
+use crate::server::{handle_line, notice, release_session, Shared};
+use ode_db::TxnId;
+
+/// A bound listener handed to the loop.
+pub(crate) enum ListenSocket {
+    /// TCP listener (non-blocking).
+    Tcp(TcpListener),
+    /// Unix-domain listener (non-blocking).
+    Unix(UnixListener),
+}
+
+impl ListenSocket {
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            ListenSocket::Tcp(l) => l.as_raw_fd(),
+            ListenSocket::Unix(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            ListenSocket::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            ListenSocket::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// Session state a worker mutates while holding the lock: the open
+/// transaction and the replication flag `execute` toggles.
+pub(crate) struct SessionCore {
+    pub(crate) open_txn: Option<TxnId>,
+    pub(crate) replicating: bool,
+}
+
+/// The per-connection command FIFO and its dispatch latch.
+struct CmdQueue {
+    lines: std::collections::VecDeque<String>,
+    /// A worker currently owns this connection's session (it is either
+    /// executing a command or about to re-check the queue).
+    running: bool,
+}
+
+/// State shared between the loop and the workers for one connection.
+pub(crate) struct ConnState {
+    pub(crate) conn_id: u64,
+    pub(crate) outbox: Arc<ConnOutbox>,
+    /// Teardown has begun: workers stop executing queued lines and the
+    /// survivor of the `closed`/`running` handshake releases the
+    /// session.
+    closed: AtomicBool,
+    /// The session's transaction has been released (idempotence guard
+    /// for the reap race — both sides of the handshake may qualify).
+    reaped: AtomicBool,
+    /// Mirror of `SessionCore::replicating` for the loop's lock-free
+    /// heartbeat sweep.
+    replicating: AtomicBool,
+    session: Mutex<SessionCore>,
+    queue: Mutex<CmdQueue>,
+}
+
+/// Release the session's transaction exactly once, from whichever side
+/// of the teardown handshake ran last. A no-op while a worker still
+/// owns the session — that worker calls back in when its batch ends.
+fn try_reap(inner: &Shared, st: &ConnState) {
+    if st.queue.lock().running {
+        return;
+    }
+    if st.reaped.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let txn = st.session.lock().open_txn.take();
+    if let Some(t) = txn {
+        let _ = inner.db.abort(t);
+    }
+}
+
+fn worker_loop(
+    inner: Arc<Shared>,
+    notify: Arc<Notify>,
+    rx: Arc<Mutex<mpsc::Receiver<Arc<ConnState>>>>,
+) {
+    loop {
+        let st = {
+            let g = rx.lock();
+            match g.recv() {
+                Ok(s) => s,
+                Err(_) => break,
+            }
+        };
+        run_batch(&inner, &st);
+        // Wake the loop: flush whatever the batch wrote, re-arm a
+        // gated read, finalize a deferred EOF teardown.
+        notify.mark(st.conn_id);
+    }
+}
+
+/// Execute this connection's queued lines until the queue is empty,
+/// then hand the dispatch latch back.
+fn run_batch(inner: &Arc<Shared>, st: &ConnState) {
+    loop {
+        let line = {
+            let mut q = st.queue.lock();
+            match q.lines.pop_front() {
+                Some(l) => l,
+                None => {
+                    q.running = false;
+                    break;
+                }
+            }
+        };
+        if st.closed.load(Ordering::SeqCst) {
+            continue; // drain and drop: the peer is gone
+        }
+        let sink = Sink::Ring(Arc::clone(&st.outbox));
+        let mut s = st.session.lock();
+        let mut open_txn = s.open_txn;
+        let mut replicating = s.replicating;
+        handle_line(
+            inner,
+            st.conn_id,
+            &line,
+            &mut open_txn,
+            &sink,
+            &mut replicating,
+        );
+        s.open_txn = open_txn;
+        s.replicating = replicating;
+        drop(s);
+        st.replicating.store(replicating, Ordering::SeqCst);
+    }
+    if st.closed.load(Ordering::SeqCst) {
+        try_reap(inner, st);
+    }
+}
+
+/// Handle to the running reactor: the doorbell plus the threads to
+/// join on shutdown.
+pub(crate) struct ReactorHandle {
+    pub(crate) notify: Arc<Notify>,
+    pub(crate) loop_thread: Option<JoinHandle<()>>,
+    pub(crate) workers: Vec<JoinHandle<()>>,
+}
+
+/// Spawn the worker pool and the loop thread.
+pub(crate) fn start(
+    inner: Arc<Shared>,
+    listeners: Vec<ListenSocket>,
+) -> std::io::Result<ReactorHandle> {
+    let notify = Arc::new(Notify::new()?);
+    let (inj_tx, inj_rx) = mpsc::channel::<Arc<ConnState>>();
+    let inj_rx = Arc::new(Mutex::new(inj_rx));
+    let mut workers = Vec::new();
+    for i in 0..inner.config.workers.max(1) {
+        let (w_inner, w_notify, w_rx) =
+            (Arc::clone(&inner), Arc::clone(&notify), Arc::clone(&inj_rx));
+        workers.push(
+            thread::Builder::new()
+                .name(format!("ode-worker-{i}"))
+                .spawn(move || worker_loop(w_inner, w_notify, w_rx))?,
+        );
+    }
+    let loop_notify = Arc::clone(&notify);
+    let loop_thread = thread::Builder::new()
+        .name("ode-reactor".into())
+        .spawn(
+            move || match EventLoop::new(inner, listeners, loop_notify, inj_tx) {
+                Ok(mut el) => el.run(),
+                Err(e) => eprintln!("reactor failed to start: {e}"),
+            },
+        )?;
+    Ok(ReactorHandle {
+        notify,
+        loop_thread: Some(loop_thread),
+        workers,
+    })
+}
+
+/// Stop reading a connection once this many lines are queued unexecuted;
+/// re-arm when the worker drains them. Bounds per-connection memory
+/// under hostile pipelining without ever stalling other connections.
+const READ_HIGH_WATER: usize = 128;
+
+struct Entry {
+    conn: Conn,
+    reader: LineReader,
+    state: Arc<ConnState>,
+    last_activity: Instant,
+    last_heartbeat: Instant,
+    /// Read interest currently disarmed (queue over high water).
+    read_gated: bool,
+    /// Write interest currently armed (partial flush pending).
+    write_interest: bool,
+    /// Clean EOF seen; teardown deferred until queued commands execute
+    /// and their replies flush.
+    peer_eof: bool,
+}
+
+struct EventLoop {
+    inner: Arc<Shared>,
+    poller: Poller,
+    notify: Arc<Notify>,
+    injector: mpsc::Sender<Arc<ConnState>>,
+    listeners: Vec<ListenSocket>,
+    conns: HashMap<RawFd, Entry>,
+    by_id: HashMap<u64, RawFd>,
+    last_sweep: Instant,
+}
+
+impl EventLoop {
+    fn new(
+        inner: Arc<Shared>,
+        listeners: Vec<ListenSocket>,
+        notify: Arc<Notify>,
+        injector: mpsc::Sender<Arc<ConnState>>,
+    ) -> std::io::Result<EventLoop> {
+        let mut poller = Poller::new()?;
+        poller.register(notify.waker.fd(), Interest::READ)?;
+        for l in &listeners {
+            poller.register(l.raw_fd(), Interest::READ)?;
+        }
+        Ok(EventLoop {
+            inner,
+            poller,
+            notify,
+            injector,
+            listeners,
+            conns: HashMap::new(),
+            by_id: HashMap::new(),
+            last_sweep: Instant::now(),
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let tick = self.inner.config.poll_interval;
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            if self.poller.wait(&mut events, tick).is_err() {
+                break;
+            }
+            for ev in std::mem::take(&mut events) {
+                if ev.fd == self.notify.waker.fd() {
+                    self.notify.waker.drain();
+                } else if let Some(idx) = self.listeners.iter().position(|l| l.raw_fd() == ev.fd) {
+                    self.accept_ready(idx);
+                } else {
+                    if ev.writable {
+                        self.flush(ev.fd);
+                    }
+                    if ev.readable {
+                        self.read_lines(ev.fd);
+                    }
+                    self.maybe_finalize(ev.fd);
+                }
+            }
+            for conn_id in self.notify.take() {
+                if let Some(&fd) = self.by_id.get(&conn_id) {
+                    self.flush(fd);
+                    self.rearm_read(fd);
+                    self.maybe_finalize(fd);
+                }
+            }
+            if self.last_sweep.elapsed() >= tick {
+                self.last_sweep = Instant::now();
+                self.sweep();
+            }
+        }
+        // Shutdown: one teardown path for every live connection.
+        for fd in self.conns.keys().copied().collect::<Vec<_>>() {
+            self.teardown(fd);
+        }
+    }
+
+    /// Periodic per-connection duties: replication heartbeats and the
+    /// idle-transaction timer.
+    fn sweep(&mut self) {
+        let idle_limit = self.inner.config.txn_idle_timeout;
+        let mut expired: Vec<RawFd> = Vec::new();
+        for (&fd, entry) in self.conns.iter_mut() {
+            if entry.state.replicating.load(Ordering::SeqCst)
+                && entry.last_heartbeat.elapsed() >= HEARTBEAT_INTERVAL
+            {
+                entry.last_heartbeat = Instant::now();
+                if let Some(ws) = &self.inner.wal {
+                    let sink = Sink::Ring(Arc::clone(&entry.state.outbox));
+                    let epoch = self.inner.epochs.history_epoch();
+                    for s in 0..ws.wal.shard_count() {
+                        let _ = sink.send(ServerMsg::ReplHeartbeat {
+                            shard: s as u64,
+                            head: ws.wal.wal(s).durable_lsn(),
+                            epoch,
+                        });
+                    }
+                }
+            }
+            if let Some(limit) = idle_limit {
+                if entry.last_activity.elapsed() >= limit {
+                    // `try_lock`: a held session lock means a command
+                    // is mid-execution, which is not idle.
+                    if let Some(mut s) = entry.state.session.try_lock() {
+                        if let Some(t) = s.open_txn.take() {
+                            let _ = self.inner.db.abort(t);
+                            expired.push(fd);
+                        }
+                    }
+                }
+            }
+        }
+        for fd in expired {
+            if let Some(entry) = self.conns.get(&fd) {
+                let sink = Sink::Ring(Arc::clone(&entry.state.outbox));
+                let _ = sink.send(notice(
+                    "txn_timeout",
+                    "open transaction aborted after idle timeout".to_string(),
+                ));
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, idx: usize) {
+        // Stops on WouldBlock, or any transient accept error.
+        while let Ok(conn) = self.listeners[idx].accept() {
+            self.admit(conn);
+        }
+    }
+
+    fn admit(&mut self, conn: Conn) {
+        if let Some(max) = self.inner.config.max_conns {
+            if self.inner.conns_open.load(Ordering::SeqCst) >= max {
+                self.inner.conns_rejected.fetch_add(1, Ordering::SeqCst);
+                reject_full(conn, max);
+                return;
+            }
+        }
+        if conn.set_nonblocking(true).is_err() {
+            return;
+        }
+        let fd = conn.as_raw_fd();
+        let conn_id = self.inner.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
+        let outbox = Arc::new(ConnOutbox::new(conn_id, Arc::clone(&self.notify)));
+        let state = Arc::new(ConnState {
+            conn_id,
+            outbox,
+            closed: AtomicBool::new(false),
+            reaped: AtomicBool::new(false),
+            replicating: AtomicBool::new(false),
+            session: Mutex::new(SessionCore {
+                open_txn: None,
+                replicating: false,
+            }),
+            queue: Mutex::new(CmdQueue {
+                lines: std::collections::VecDeque::new(),
+                running: false,
+            }),
+        });
+        if self.poller.register(fd, Interest::READ).is_err() {
+            conn.shutdown_both();
+            return;
+        }
+        self.inner.conns_open.fetch_add(1, Ordering::SeqCst);
+        self.by_id.insert(conn_id, fd);
+        let now = Instant::now();
+        self.conns.insert(
+            fd,
+            Entry {
+                conn,
+                reader: LineReader::new(self.inner.config.max_line_bytes),
+                state,
+                last_activity: now,
+                last_heartbeat: now,
+                read_gated: false,
+                write_interest: false,
+                peer_eof: false,
+            },
+        );
+    }
+
+    /// Drain readable bytes into framed lines and dispatch the
+    /// connection to the worker pool.
+    fn read_lines(&mut self, fd: RawFd) {
+        let Some(entry) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        if entry.read_gated || entry.peer_eof {
+            return;
+        }
+        let mut dead = false;
+        loop {
+            match entry.reader.read_event(&mut entry.conn) {
+                Ok(LineEvent::Line(line)) => {
+                    entry.last_activity = Instant::now();
+                    let (dispatch, len) = {
+                        let mut q = entry.state.queue.lock();
+                        q.lines.push_back(line);
+                        let dispatch = if q.running {
+                            false
+                        } else {
+                            q.running = true;
+                            true
+                        };
+                        (dispatch, q.lines.len())
+                    };
+                    if dispatch {
+                        let _ = self.injector.send(Arc::clone(&entry.state));
+                    }
+                    if len >= READ_HIGH_WATER {
+                        entry.read_gated = true;
+                        break;
+                    }
+                }
+                Ok(LineEvent::Tick) => break,
+                Ok(LineEvent::Overlong) => {
+                    let sink = Sink::Ring(Arc::clone(&entry.state.outbox));
+                    let _ = sink.send(notice(
+                        "overlong",
+                        format!(
+                            "request line exceeds {} bytes",
+                            self.inner.config.max_line_bytes
+                        ),
+                    ));
+                }
+                Ok(LineEvent::Eof) => {
+                    entry.peer_eof = true;
+                    break;
+                }
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.teardown(fd);
+        } else {
+            self.update_interest(fd);
+        }
+    }
+
+    /// Re-arm a gated read once the worker drained the queue (pulling
+    /// any lines already framed in the reader's carry buffer too).
+    fn rearm_read(&mut self, fd: RawFd) {
+        let Some(entry) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        if !entry.read_gated {
+            return;
+        }
+        if entry.state.queue.lock().lines.len() < READ_HIGH_WATER {
+            entry.read_gated = false;
+            self.update_interest(fd);
+            self.read_lines(fd);
+        }
+    }
+
+    /// Write the outbox ring to the socket until drained or the kernel
+    /// pushes back; arm write interest exactly while a flush is
+    /// pending.
+    fn flush(&mut self, fd: RawFd) {
+        let Some(entry) = self.conns.get_mut(&fd) else {
+            return;
+        };
+        let mut blocked = false;
+        let mut dead = false;
+        loop {
+            // Peek-clone the front frame so producers (who push under
+            // the engine lock) never wait on a write syscall.
+            let front = {
+                let mut g = entry.state.outbox.inner.lock();
+                match g.queue.front() {
+                    None => {
+                        g.scheduled = false;
+                        None
+                    }
+                    Some(f) => Some((Arc::clone(&f.bytes), g.front_off)),
+                }
+            };
+            let Some((bytes, off)) = front else { break };
+            match std::io::Write::write(&mut entry.conn, &bytes[off..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    let mut g = entry.state.outbox.inner.lock();
+                    g.front_off += n;
+                    if g.front_off >= bytes.len() {
+                        g.queue.pop_front();
+                        g.front_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    blocked = true;
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.teardown(fd);
+            return;
+        }
+        if entry_write_interest(self.conns.get_mut(&fd), blocked) {
+            self.update_interest(fd);
+        }
+    }
+
+    /// Finalize a deferred clean-EOF teardown: every queued command
+    /// has executed and every reply has flushed.
+    fn maybe_finalize(&mut self, fd: RawFd) {
+        let Some(entry) = self.conns.get(&fd) else {
+            return;
+        };
+        if !entry.peer_eof {
+            return;
+        }
+        let busy = {
+            let q = entry.state.queue.lock();
+            q.running || !q.lines.is_empty()
+        };
+        let unflushed = {
+            let g = entry.state.outbox.inner.lock();
+            !g.queue.is_empty()
+        };
+        if !busy && !unflushed {
+            self.teardown(fd);
+        }
+    }
+
+    fn update_interest(&mut self, fd: RawFd) {
+        let Some(entry) = self.conns.get(&fd) else {
+            return;
+        };
+        let interest = Interest {
+            read: !entry.read_gated && !entry.peer_eof,
+            write: entry.write_interest,
+        };
+        let _ = self.poller.reregister(fd, interest);
+    }
+
+    /// The one teardown path: shutdown, peer disconnect, and socket
+    /// errors all come through here (idle timeouts only abort the
+    /// transaction and keep the connection). Idempotent per fd —
+    /// the map removal makes a second call a no-op.
+    fn teardown(&mut self, fd: RawFd) {
+        let Some(entry) = self.conns.remove(&fd) else {
+            return;
+        };
+        let st = &entry.state;
+        self.by_id.remove(&st.conn_id);
+        let _ = self.poller.deregister(fd);
+        st.closed.store(true, Ordering::SeqCst);
+        let stranded = st.outbox.close();
+        if stranded > 0 {
+            self.inner
+                .subscriber_drops
+                .fetch_add(stranded, Ordering::Relaxed);
+        }
+        release_session(&self.inner, st.conn_id);
+        entry.conn.shutdown_both();
+        try_reap(&self.inner, st);
+        // `entry.conn` drops here, closing the fd after deregistration.
+    }
+}
+
+/// Update `write_interest` on the entry; returns whether it changed.
+fn entry_write_interest(entry: Option<&mut Entry>, want: bool) -> bool {
+    match entry {
+        Some(e) if e.write_interest != want => {
+            e.write_interest = want;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Refuse a connection over `--max-conns` with a typed notice: a
+/// best-effort non-blocking write of one `server_full` line (the
+/// socket's send buffer is empty, so it virtually always lands), then
+/// close.
+fn reject_full(conn: Conn, max: u64) {
+    let msg = ServerMsg::Reply {
+        id: 0,
+        result: ReplyResult::Err(WireError {
+            code: "server_full".to_string(),
+            message: format!("connection limit ({max}) reached; retry later"),
+            retryable: true,
+        }),
+    };
+    if let Some(frame) = encode_frame(&msg) {
+        let _ = conn.set_nonblocking(true);
+        let mut c = conn;
+        let _ = std::io::Write::write(&mut c, &frame);
+        c.shutdown_both();
+        return;
+    }
+    conn.shutdown_both();
+}

@@ -1,0 +1,234 @@
+//! Per-connection outbox rings and the [`Sink`] abstraction over them.
+//!
+//! A [`ConnOutbox`] is the reactor-mode replacement for the legacy
+//! per-connection writer thread + mpsc channel: producers (worker
+//! threads answering commands, the engine's firing sink running under
+//! the engine lock, each shard WAL's durable sink) enqueue *pre-
+//! serialized* frames; the event loop drains them to the socket with
+//! write-interest-driven flushing. Fan-out paths serialize a message
+//! **once** and enqueue the same `Arc<[u8]>` into every subscriber's
+//! ring, so a firing's cost under the engine lock is one JSON encode
+//! plus N pointer pushes — not N encodes and no socket I/O at all.
+//!
+//! The ring is unbounded, matching the legacy unbounded channel: every
+//! accepted message is eventually written or accounted. The only
+//! messages ever *dropped* are [`ServerMsg::Firing`] notifications
+//! enqueued after the connection closed (or stranded in the ring when
+//! it dies) — exactly the cases the legacy writer counted in
+//! `subscriber_drops`.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::poller::Waker;
+use crate::protocol::ServerMsg;
+
+/// One wire frame: a full serialized line (newline included).
+pub(crate) struct Frame {
+    pub(crate) bytes: Arc<[u8]>,
+    /// Firing notifications are the droppable class — when they can't
+    /// be delivered they count in `subscriber_drops` instead of
+    /// erroring.
+    pub(crate) firing: bool,
+}
+
+pub(crate) struct OutboxInner {
+    pub(crate) queue: VecDeque<Frame>,
+    /// Byte offset already written of the front frame (partial-write
+    /// carry).
+    pub(crate) front_off: usize,
+    /// The loop has been told about pending output and hasn't drained
+    /// to empty yet; pushes while set skip the redundant wake.
+    pub(crate) scheduled: bool,
+    /// Closed by teardown: further pushes are refused.
+    pub(crate) closed: bool,
+}
+
+/// Cross-thread doorbell for the event loop: connections with freshly
+/// dirty state (new output, a finished command batch) plus the waker
+/// that interrupts `Poller::wait`.
+pub(crate) struct Notify {
+    dirty: Mutex<Vec<u64>>,
+    pub(crate) waker: Waker,
+}
+
+impl Notify {
+    pub(crate) fn new() -> std::io::Result<Notify> {
+        Ok(Notify {
+            dirty: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        })
+    }
+
+    /// Mark `conn_id` dirty and wake the loop.
+    pub(crate) fn mark(&self, conn_id: u64) {
+        self.dirty.lock().push(conn_id);
+        self.waker.wake();
+    }
+
+    /// Take the dirty list (loop side).
+    pub(crate) fn take(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.dirty.lock())
+    }
+}
+
+/// A connection's outbox ring. Shared between the producers and the
+/// event loop; the loop is the only consumer.
+pub(crate) struct ConnOutbox {
+    pub(crate) conn_id: u64,
+    notify: Arc<Notify>,
+    pub(crate) inner: Mutex<OutboxInner>,
+}
+
+impl ConnOutbox {
+    pub(crate) fn new(conn_id: u64, notify: Arc<Notify>) -> ConnOutbox {
+        ConnOutbox {
+            conn_id,
+            notify,
+            inner: Mutex::new(OutboxInner {
+                queue: VecDeque::new(),
+                front_off: 0,
+                scheduled: false,
+                closed: false,
+            }),
+        }
+    }
+
+    /// Enqueue a frame; `Err(())` if the ring is closed (the caller
+    /// counts a drop if the message was a firing).
+    pub(crate) fn push(&self, bytes: Arc<[u8]>, firing: bool) -> Result<(), ()> {
+        let wake = {
+            let mut g = self.inner.lock();
+            if g.closed {
+                return Err(());
+            }
+            g.queue.push_back(Frame { bytes, firing });
+            if g.scheduled {
+                false
+            } else {
+                g.scheduled = true;
+                true
+            }
+        };
+        if wake {
+            self.notify.mark(self.conn_id);
+        }
+        Ok(())
+    }
+
+    /// Close the ring (teardown): refuse future pushes and return how
+    /// many queued firing notifications were stranded — they'll never
+    /// reach the peer, so they count as subscriber drops.
+    pub(crate) fn close(&self) -> u64 {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        let stranded = g.queue.iter().filter(|f| f.firing).count() as u64;
+        g.queue.clear();
+        g.front_off = 0;
+        stranded
+    }
+}
+
+/// Serialize a message as one wire frame (line + newline). `None` if
+/// serialization fails — the legacy writer skipped such messages too.
+pub(crate) fn encode_frame(msg: &ServerMsg) -> Option<Arc<[u8]>> {
+    let mut line = serde_json::to_string(msg).ok()?;
+    line.push('\n');
+    Some(Arc::from(line.into_bytes().into_boxed_slice()))
+}
+
+/// Where a session's outgoing messages go: the legacy writer-thread
+/// channel, or a reactor outbox ring. Every delivery path
+/// (`execute`, the firing sink, the replication sinks) speaks this,
+/// so both server modes share one command layer.
+#[derive(Clone)]
+pub(crate) enum Sink {
+    /// Thread-per-connection mode: an unbounded channel drained by the
+    /// connection's writer thread.
+    Channel(mpsc::Sender<ServerMsg>),
+    /// Reactor mode: a shared outbox ring drained by the event loop.
+    Ring(Arc<ConnOutbox>),
+}
+
+impl Sink {
+    /// Deliver one message to this connection. `Err(())` means the
+    /// connection is gone (channel receiver dropped / ring closed).
+    pub(crate) fn send(&self, msg: ServerMsg) -> Result<(), ()> {
+        match self {
+            Sink::Channel(tx) => tx.send(msg).map_err(|_| ()),
+            Sink::Ring(ring) => {
+                let firing = matches!(msg, ServerMsg::Firing(_));
+                match encode_frame(&msg) {
+                    Some(bytes) => ring.push(bytes, firing),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Fan-out delivery: ring recipients share `frame`'s one-time
+    /// encoding; channel recipients take a message clone (their writer
+    /// thread serializes).
+    pub(crate) fn send_shared(&self, msg: &ServerMsg, frame: &SharedFrame) -> Result<(), ()> {
+        match self {
+            Sink::Channel(tx) => tx.send(msg.clone()).map_err(|_| ()),
+            Sink::Ring(ring) => match frame.get(msg) {
+                Some(bytes) => ring.push(bytes, matches!(msg, ServerMsg::Firing(_))),
+                None => Ok(()),
+            },
+        }
+    }
+}
+
+/// Lazily-encoded shared frame for fan-out: encoded at most once no
+/// matter how many ring subscribers the broadcast reaches, and not at
+/// all when every subscriber is a channel.
+#[derive(Default)]
+pub(crate) struct SharedFrame {
+    cell: std::cell::OnceCell<Option<Arc<[u8]>>>,
+}
+
+impl SharedFrame {
+    pub(crate) fn new() -> SharedFrame {
+        SharedFrame::default()
+    }
+
+    fn get(&self, msg: &ServerMsg) -> Option<Arc<[u8]>> {
+        self.cell.get_or_init(|| encode_frame(msg)).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_close_strands_firings_only() {
+        let notify = Arc::new(Notify::new().unwrap());
+        let ring = ConnOutbox::new(7, Arc::clone(&notify));
+        let frame: Arc<[u8]> = Arc::from(&b"x\n"[..]);
+        ring.push(Arc::clone(&frame), false).unwrap();
+        ring.push(Arc::clone(&frame), true).unwrap();
+        ring.push(Arc::clone(&frame), true).unwrap();
+        assert_eq!(notify.take(), vec![7], "one wake per scheduling edge");
+        assert_eq!(ring.close(), 2, "two stranded firings");
+        assert!(ring.push(frame, true).is_err(), "closed ring refuses");
+    }
+
+    #[test]
+    fn shared_frame_encodes_once_and_matches_send() {
+        let msg = ServerMsg::Reply {
+            id: 3,
+            result: crate::protocol::ReplyResult::Ok(crate::protocol::Reply::Pong),
+        };
+        let shared = SharedFrame::new();
+        let a = shared.get(&msg).unwrap();
+        let b = shared.get(&msg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, &*encode_frame(&msg).unwrap());
+        assert_eq!(a.last(), Some(&b'\n'));
+    }
+}

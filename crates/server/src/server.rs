@@ -1,4 +1,10 @@
-//! The server: thread-per-connection sessions over a [`SharedDatabase`].
+//! The server: reactor-served sessions over a [`SharedDatabase`].
+//!
+//! Connections are owned by the poll-driven event loop in
+//! [`crate::reactor`] (one loop thread + a worker pool); set
+//! [`ServerConfig::thread_per_conn`] to run the legacy
+//! thread-per-connection front end instead (kept as a benchmark
+//! baseline). Session semantics are identical either way.
 //!
 //! ## Session model
 //!
@@ -24,10 +30,11 @@
 //! ## Firing fan-out
 //!
 //! The engine's firing sink runs with the engine locked, so it must
-//! never touch a socket: it only enqueues the [`Firing`] onto each
-//! subscribed connection's outbox channel. A dedicated writer thread
-//! per connection drains the outbox, so a slow subscriber delays only
-//! itself. Failed deliveries (a full-gone outbox, a dead socket) are
+//! never touch a socket: it serializes the [`Firing`] once and pushes
+//! the shared frame onto each subscribed connection's outbox ring
+//! (or channel, in thread-per-conn mode). The event loop drains rings
+//! to sockets as writability allows, so a slow subscriber delays only
+//! itself. Failed deliveries (a closed ring, a dead socket) are
 //! counted in the `subscriber_drops` stat rather than silently
 //! discarded.
 //!
@@ -72,6 +79,8 @@ use crate::protocol::{
     hex_encode, Command, Firing, Reply, ReplyResult, Request, ServerMsg, WireError, WireRow,
     WireStats,
 };
+use crate::reactor::event_loop::{start as start_reactor, ListenSocket, ReactorHandle};
+use crate::reactor::outbox::{SharedFrame, Sink};
 use crate::repl::{run_replica, ReplSource, ReplicaState, StreamFault, HEARTBEAT_INTERVAL};
 use crate::spec::{compile_class, ClassSpec};
 
@@ -87,6 +96,17 @@ pub struct ServerConfig {
     /// Abort a session's open transaction after this much inactivity
     /// (`None` disables the timer).
     pub txn_idle_timeout: Option<Duration>,
+    /// Refuse connections past this count with a typed `server_full`
+    /// notice instead of accepting and stalling (`None` = unlimited).
+    pub max_conns: Option<u64>,
+    /// Reactor mode: command-executor threads. Commands block (group-
+    /// commit fsync waits, `Promote` stream drains), so they run on
+    /// this pool rather than the event loop.
+    pub workers: usize,
+    /// Run the legacy thread-per-connection session model instead of
+    /// the reactor event loop. Kept as the scaling baseline for the
+    /// `e18_evloop` bench; the reactor is the default.
+    pub thread_per_conn: bool,
 }
 
 impl Default for ServerConfig {
@@ -95,12 +115,14 @@ impl Default for ServerConfig {
             max_line_bytes: 256 * 1024,
             poll_interval: Duration::from_millis(25),
             txn_idle_timeout: None,
+            max_conns: None,
+            workers: 8,
+            thread_per_conn: false,
         }
     }
 }
 
-type Outbox = mpsc::Sender<ServerMsg>;
-type Subscribers = Arc<Mutex<HashMap<u64, Outbox>>>;
+type Subscribers = Arc<Mutex<HashMap<u64, Sink>>>;
 
 /// The server's durability state (present when started with a WAL dir).
 pub(crate) struct WalState {
@@ -284,6 +306,10 @@ pub(crate) struct Shared {
     /// Firing notifications that never reached a subscriber (outbox
     /// gone or socket write failed).
     pub(crate) subscriber_drops: Arc<AtomicU64>,
+    /// Live connections (both server modes).
+    pub(crate) conns_open: AtomicU64,
+    /// Connections refused by the `max_conns` accept guard.
+    pub(crate) conns_rejected: AtomicU64,
     /// Replica status when started with `replicate_from`.
     pub(crate) repl: Option<Arc<ReplicaState>>,
     /// The installed per-shard sinks, kept so the replica runner can
@@ -331,6 +357,14 @@ impl ServerBuilder {
     /// Override the default [`ServerConfig`].
     pub fn config(mut self, config: ServerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Admit at most `n` concurrent connections; beyond that, new
+    /// clients are answered with a retryable `server_full` notice and
+    /// closed (counted in [`WireStats::conns_rejected`]).
+    pub fn max_conns(mut self, n: u64) -> Self {
+        self.config.max_conns = Some(n);
         self
     }
 
@@ -645,8 +679,11 @@ impl ServerBuilder {
                                 frame: hex_encode(&r.frame),
                                 epoch,
                             };
+                            // Serialized once per record no matter how
+                            // many replicas tail this shard.
+                            let frame = SharedFrame::new();
                             for tx in subs.values() {
-                                let _ = tx.send(msg.clone());
+                                let _ = tx.send_shared(&msg, &frame);
                             }
                         }
                     },
@@ -680,8 +717,12 @@ impl ServerBuilder {
             let sink_drops = Arc::clone(&subscriber_drops);
             let sink: FiringSink = Arc::new(move |notice: &FiringNotice| {
                 let msg = ServerMsg::Firing(Firing::from_notice(notice, s, n));
+                // This closure runs with the engine locked: serialize
+                // the frame once, then fan out pointer pushes only —
+                // the loop (or writer threads) do the socket I/O.
+                let frame = SharedFrame::new();
                 for tx in sink_subs.lock().values() {
-                    if tx.send(msg.clone()).is_err() {
+                    if tx.send_shared(&msg, &frame).is_err() {
                         sink_drops.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -707,6 +748,8 @@ impl ServerBuilder {
             wal,
             epochs,
             subscriber_drops,
+            conns_open: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
             repl,
             log_sinks,
             firing_sinks,
@@ -725,13 +768,19 @@ impl ServerBuilder {
         }
 
         let mut accept_threads = Vec::new();
+        let mut listeners: Vec<ListenSocket> = Vec::new();
+        let thread_per_conn = inner.config.thread_per_conn;
         let mut tcp_addr = None;
         if let Some(addr) = &self.tcp {
             let listener = TcpListener::bind(addr.as_str())?;
             listener.set_nonblocking(true)?;
             tcp_addr = Some(listener.local_addr()?);
-            let inner2 = Arc::clone(&inner);
-            accept_threads.push(thread::spawn(move || accept_tcp(inner2, listener)));
+            if thread_per_conn {
+                let inner2 = Arc::clone(&inner);
+                accept_threads.push(thread::spawn(move || accept_tcp(inner2, listener)));
+            } else {
+                listeners.push(ListenSocket::Tcp(listener));
+            }
         }
         let mut unix_path = None;
         if let Some(path) = &self.unix {
@@ -741,13 +790,23 @@ impl ServerBuilder {
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             unix_path = Some(path.clone());
-            let inner2 = Arc::clone(&inner);
-            accept_threads.push(thread::spawn(move || accept_unix(inner2, listener)));
+            if thread_per_conn {
+                let inner2 = Arc::clone(&inner);
+                accept_threads.push(thread::spawn(move || accept_unix(inner2, listener)));
+            } else {
+                listeners.push(ListenSocket::Unix(listener));
+            }
         }
+        let reactor = if thread_per_conn || listeners.is_empty() {
+            None
+        } else {
+            Some(start_reactor(Arc::clone(&inner), listeners)?)
+        };
 
         Ok(Server {
             inner,
             accept_threads,
+            reactor,
             repl_thread,
             wal_flushers,
             tcp_addr,
@@ -761,6 +820,7 @@ impl ServerBuilder {
 pub struct Server {
     inner: Arc<Shared>,
     accept_threads: Vec<JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
     repl_thread: Option<JoinHandle<()>>,
     wal_flushers: Vec<WalFlusher>,
     tcp_addr: Option<SocketAddr>,
@@ -830,6 +890,18 @@ impl Server {
         for h in self.accept_threads.drain(..) {
             let _ = h.join();
         }
+        if let Some(mut r) = self.reactor.take() {
+            // Wake the loop so it notices the flag; it tears down
+            // every connection and exits, dropping the worker
+            // injector; the workers then drain and exit.
+            r.notify.waker.wake();
+            if let Some(h) = r.loop_thread.take() {
+                let _ = h.join();
+            }
+            for h in r.workers.drain(..) {
+                let _ = h.join();
+            }
+        }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.conn_threads.lock());
         for h in handles {
             let _ = h.join();
@@ -882,17 +954,55 @@ fn accept_unix(inner: Arc<Shared>, listener: UnixListener) {
 }
 
 fn spawn_session(inner: &Arc<Shared>, conn: Conn) {
+    if let Some(max) = inner.config.max_conns {
+        if inner.conns_open.load(Ordering::SeqCst) >= max {
+            inner.conns_rejected.fetch_add(1, Ordering::SeqCst);
+            let mut c = conn;
+            if let Ok(mut line) = serde_json::to_string(&ServerMsg::Reply {
+                id: 0,
+                result: ReplyResult::Err(WireError {
+                    code: "server_full".to_string(),
+                    message: format!("connection limit ({max}) reached; retry later"),
+                    retryable: true,
+                }),
+            }) {
+                line.push('\n');
+                let _ = c.write_all(line.as_bytes());
+            }
+            c.shutdown_both();
+            return;
+        }
+    }
     let conn_id = inner.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
     let write_conn = match conn.try_clone() {
         Ok(c) => c,
         Err(_) => return,
     };
+    inner.conns_open.fetch_add(1, Ordering::SeqCst);
     let (tx, rx) = mpsc::channel::<ServerMsg>();
     let drops = Arc::clone(&inner.subscriber_drops);
     let writer = thread::spawn(move || writer_loop(write_conn, rx, drops));
     let inner2 = Arc::clone(inner);
-    let reader = thread::spawn(move || session_loop(inner2, conn_id, conn, tx));
+    let reader = thread::spawn(move || session_loop(inner2, conn_id, conn, Sink::Channel(tx)));
     inner.conn_threads.lock().extend([writer, reader]);
+}
+
+/// Drop every server-side registration a connection holds: its
+/// subscription entry, its per-shard replication-stream entries, and
+/// its slot in the open-connection count. Both server modes and every
+/// disconnect path (shutdown, peer EOF, socket error) funnel through
+/// here, so a teardown can never leak a registration. The session's
+/// open transaction is released separately by whoever owns the session
+/// state at teardown time (the reactor's reap handshake or the legacy
+/// session loop's tail).
+pub(crate) fn release_session(inner: &Shared, conn_id: u64) {
+    inner.subs.lock().remove(&conn_id);
+    if let Some(ws) = &inner.wal {
+        for subs in &ws.repl_subs {
+            subs.lock().remove(&conn_id);
+        }
+    }
+    inner.conns_open.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Drain the outbox to the socket; exits when every sender (session
@@ -916,7 +1026,7 @@ fn writer_loop(mut conn: Conn, rx: mpsc::Receiver<ServerMsg>, drops: Arc<AtomicU
     conn.shutdown_both();
 }
 
-fn notice(code: &str, message: String) -> ServerMsg {
+pub(crate) fn notice(code: &str, message: String) -> ServerMsg {
     ServerMsg::Reply {
         id: 0,
         result: ReplyResult::Err(WireError {
@@ -927,7 +1037,7 @@ fn notice(code: &str, message: String) -> ServerMsg {
     }
 }
 
-fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
+fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Sink) {
     let _ = conn.set_blocking();
     let _ = conn.set_read_timeout(Some(inner.config.poll_interval));
     let mut lines = LineReader::new(inner.config.max_line_bytes);
@@ -985,12 +1095,7 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
     }
 
     // Disconnect (or shutdown): release everything the session held.
-    inner.subs.lock().remove(&conn_id);
-    if let Some(ws) = &inner.wal {
-        for subs in &ws.repl_subs {
-            subs.lock().remove(&conn_id);
-        }
-    }
+    release_session(&inner, conn_id);
     if let Some(t) = open_txn {
         let _ = inner.db.abort(t);
     }
@@ -998,12 +1103,12 @@ fn session_loop(inner: Arc<Shared>, conn_id: u64, mut conn: Conn, tx: Outbox) {
     // `tx` drops here; the writer flushes its queue and exits.
 }
 
-fn handle_line(
+pub(crate) fn handle_line(
     inner: &Arc<Shared>,
     conn_id: u64,
     line: &str,
     open_txn: &mut Option<TxnId>,
-    tx: &Outbox,
+    tx: &Sink,
     replicating: &mut bool,
 ) {
     if line.trim().is_empty() {
@@ -1132,7 +1237,7 @@ fn execute(
     req_id: u64,
     cmd: Command,
     open_txn: &mut Option<TxnId>,
-    tx: &Outbox,
+    tx: &Sink,
     replicating: &mut bool,
 ) -> Result<Reply, WireError> {
     if let Some(ws) = &inner.wal {
@@ -1552,6 +1657,8 @@ fn execute(
                 txns_aborted,
                 clock_ms,
                 subscriber_drops: inner.subscriber_drops.load(Ordering::Relaxed),
+                conns_open: inner.conns_open.load(Ordering::SeqCst),
+                conns_rejected: inner.conns_rejected.load(Ordering::SeqCst),
                 read_only,
                 wal_lsn,
                 durable_lsn,

@@ -1,0 +1,273 @@
+//! Reactor-scale end-to-end tests: a five-digit subscriber population
+//! on one event-loop thread, the `--max-conns` admission guard, and
+//! ring/lock reclamation when connections die.
+//!
+//! The subscriber fleet is raw nonblocking sockets polled from a
+//! single test thread — thread-per-subscriber would need thousands of
+//! stacks, which is exactly the sickness the reactor cures on the
+//! server side.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ode_core::Value;
+use ode_db::{Database, SharedDatabase};
+use ode_server::reactor::raise_nofile_limit;
+use ode_server::spec::stockroom_spec;
+use ode_server::{Client, ReplyResult, Server, ServerConfig, ServerMsg};
+
+/// One raw subscriber: a nonblocking socket plus a partial-line carry.
+struct RawSub {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    subscribed: bool,
+    seqs: Vec<u64>,
+}
+
+impl RawSub {
+    fn connect(addr: std::net::SocketAddr) -> RawSub {
+        let mut stream = TcpStream::connect(addr).expect("connect subscriber");
+        stream
+            .write_all(b"{\"id\":1,\"cmd\":\"Subscribe\"}\n")
+            .expect("send subscribe");
+        stream.set_nonblocking(true).expect("nonblocking");
+        RawSub {
+            stream,
+            buf: Vec::new(),
+            subscribed: false,
+            seqs: Vec::new(),
+        }
+    }
+
+    /// Drain whatever the kernel has for us; parse complete lines.
+    fn pump(&mut self) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("server closed a live subscriber"),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("subscriber read: {e}"),
+            }
+        }
+        while let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=nl).collect();
+            let text = std::str::from_utf8(&line[..nl]).expect("utf8 line");
+            match serde_json::from_str::<ServerMsg>(text).expect("server message") {
+                ServerMsg::Reply {
+                    id: 1,
+                    result: ReplyResult::Ok(_),
+                } => self.subscribed = true,
+                ServerMsg::Firing(f) => self.seqs.push(f.seq),
+                other => panic!("unexpected message to subscriber: {other:?}"),
+            }
+        }
+    }
+}
+
+fn start_server(config: ServerConfig) -> (Server, std::net::SocketAddr) {
+    let db = SharedDatabase::new(Database::new());
+    let server = Server::builder(db)
+        .tcp("127.0.0.1:0")
+        .config(config)
+        .start()
+        .expect("bind");
+    let addr = server.tcp_addr().expect("tcp addr");
+    (server, addr)
+}
+
+/// The tentpole numbers: up to ten thousand live subscriptions on one
+/// poll loop, each observing every firing exactly once.
+#[test]
+fn ten_thousand_subscribers_exactly_once() {
+    let limit = raise_nofile_limit();
+    // Each subscriber costs two descriptors in this process (client
+    // end + server end); keep a margin for the poller, WAL, and admin.
+    let fleet = 10_000.min((limit.saturating_sub(256) / 2) as usize);
+    assert!(fleet >= 1_000, "nofile limit too low for a fan-out test");
+    const FIRINGS: usize = 6;
+
+    let (mut server, addr) = start_server(ServerConfig::default());
+    let mut admin = Client::connect_tcp(addr).expect("connect admin");
+    let mut spec = stockroom_spec();
+    spec.fields[0].default = Value::record([
+        ("bolt", Value::Int(1_000_000)),
+        ("gear", Value::Int(1_000_000)),
+    ]);
+    admin.define_class(spec).expect("define");
+    let room = admin
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("create room");
+
+    let mut subs: Vec<RawSub> = (0..fleet).map(|_| RawSub::connect(addr)).collect();
+
+    // Wait until the server has processed every Subscribe — only then
+    // is the firing window guaranteed to cover the whole fleet.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while subs.iter().any(|s| !s.subscribed) {
+        assert!(Instant::now() < deadline, "subscribe handshakes timed out");
+        for s in subs.iter_mut().filter(|s| !s.subscribed) {
+            s.pump();
+        }
+    }
+    let stats = admin.stats().expect("stats");
+    assert_eq!(
+        stats.conns_open,
+        fleet as u64 + 1,
+        "fleet + admin connected"
+    );
+    let fired_before = stats.triggers_fired;
+
+    // Each q=130 withdrawal trips T6 exactly once.
+    for _ in 0..FIRINGS {
+        admin
+            .txn("admin", |c| {
+                c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(130)])
+            })
+            .expect("withdraw commits");
+    }
+    let fired_after = admin.stats().expect("stats").triggers_fired;
+    assert_eq!(fired_after - fired_before, FIRINGS as u64);
+    let expected: BTreeSet<u64> = (fired_before + 1..=fired_after).collect();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while subs.iter().any(|s| s.seqs.len() < FIRINGS) {
+        assert!(Instant::now() < deadline, "fan-out delivery timed out");
+        for s in subs.iter_mut().filter(|s| s.seqs.len() < FIRINGS) {
+            s.pump();
+        }
+    }
+    for (i, s) in subs.iter().enumerate() {
+        let seen: BTreeSet<u64> = s.seqs.iter().copied().collect();
+        assert_eq!(seen.len(), s.seqs.len(), "subscriber {i}: duplicate seq");
+        assert_eq!(seen, expected, "subscriber {i}: wrong firing set");
+    }
+    assert_eq!(
+        admin.stats().expect("stats").subscriber_drops,
+        0,
+        "no ring overflows at this scale"
+    );
+
+    // Ring reclamation: hang up the whole fleet and the server's
+    // accounting must come back to just the admin session.
+    drop(subs);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let open = admin.stats().expect("stats").conns_open;
+        if open == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "teardown leaked connections: {open} still open"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+/// `--max-conns N`: connection N+1 is answered with a typed, retryable
+/// `server_full` notice and closed; a slot freed by a disconnect is
+/// immediately reusable.
+#[test]
+fn max_conns_rejects_with_server_full() {
+    let (mut server, addr) = start_server(ServerConfig {
+        max_conns: Some(2),
+        ..ServerConfig::default()
+    });
+    let mut admin = Client::connect_tcp(addr).expect("connect admin");
+    admin.ping().expect("admin ping");
+    let mut second = Client::connect_tcp(addr).expect("connect second");
+    second.ping().expect("second ping");
+
+    // Third connection: accepted at the socket level, then refused
+    // with a structured notice and an EOF.
+    let over = TcpStream::connect(addr).expect("connect over-limit");
+    over.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(over);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read rejection");
+    match serde_json::from_str::<ServerMsg>(&line).expect("rejection parses") {
+        ServerMsg::Reply {
+            id: 0,
+            result: ReplyResult::Err(e),
+        } => {
+            assert_eq!(e.code, "server_full");
+            assert!(e.retryable, "server_full is retryable");
+        }
+        other => panic!("expected server_full, got {other:?}"),
+    }
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("eof"),
+        0,
+        "closed after notice"
+    );
+
+    let stats = admin.stats().expect("stats");
+    assert_eq!(stats.conns_open, 2);
+    assert_eq!(stats.conns_rejected, 1);
+
+    // Free a slot; the guard must admit the next client.
+    drop(second);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if admin.stats().expect("stats").conns_open == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot never freed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut third = Client::connect_tcp(addr).expect("connect after free");
+    third.ping().expect("reused slot answers");
+    server.shutdown();
+}
+
+/// Peer disconnect mid-transaction: the reactor's teardown aborts the
+/// open transaction, so the object lock is released without waiting
+/// for the idle-timeout sweep.
+#[test]
+fn disconnect_releases_locks_and_conn_slot() {
+    let (mut server, addr) = start_server(ServerConfig::default());
+    let mut admin = Client::connect_tcp(addr).expect("connect admin");
+    let mut spec = stockroom_spec();
+    spec.fields[0].default = Value::record([("bolt", Value::Int(10_000))]);
+    admin.define_class(spec).expect("define");
+    let room = admin
+        .txn("admin", |c| c.new_object("room", &[]))
+        .expect("create room");
+
+    // Holder opens a transaction and touches the room, then vanishes.
+    let mut holder = Client::connect_tcp(addr).expect("connect holder");
+    holder.begin("holder").expect("begin");
+    holder
+        .call(room, "withdraw", &[Value::from("bolt"), Value::Int(5)])
+        .expect("withdraw under open txn");
+    drop(holder);
+
+    // The lock comes free well before the 30s idle timeout;
+    // Client::txn retries lock_conflict until it does.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    admin
+        .txn("admin", |c| {
+            c.call(room, "withdraw", &[Value::from("bolt"), Value::Int(1)])
+        })
+        .expect("lock released by teardown");
+    assert!(
+        Instant::now() < deadline,
+        "teardown took pathologically long"
+    );
+
+    loop {
+        if admin.stats().expect("stats").conns_open == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "holder's slot never reclaimed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}

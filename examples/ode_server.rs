@@ -29,7 +29,10 @@
 //! (`host:port` for TCP, a leading `/` or `.` for a Unix socket
 //! path): it tails that node's WAL, refuses writes with
 //! `read_only_replica`, serves reads and subscriptions, and a client
-//! may `Promote` it. The upstream may itself be a replica — point a
+//! may `Promote` it. With `--max-conns N` at most N connections are
+//! admitted at once; later clients get a retryable `server_full`
+//! notice and should back off and retry (freed slots are reusable
+//! immediately). The upstream may itself be a replica — point a
 //! leaf's `--replicate-from` at a mid-tier replica to build a
 //! cascading tree where the primary holds O(1) streams; extra
 //! entries are re-parenting fallbacks tried in order when the
@@ -51,6 +54,7 @@ fn main() {
     let mut fsync = FsyncPolicy::OnCommit;
     let mut shards: usize = 1;
     let mut history = false;
+    let mut max_conns: Option<u64> = None;
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag value");
         match flag.as_str() {
@@ -64,6 +68,14 @@ fn main() {
             // are re-parenting fallbacks.
             "--replicate-from" => replicate_from.extend(value().split(',').map(ReplSource::parse)),
             "--history" => history = true,
+            "--max-conns" => {
+                let n = value().parse().expect("numeric --max-conns");
+                if n == 0 {
+                    eprintln!("--max-conns must be at least 1");
+                    std::process::exit(2);
+                }
+                max_conns = Some(n);
+            }
             "--shards" => {
                 shards = value().parse().expect("numeric --shards");
                 if shards == 0 {
@@ -84,7 +96,7 @@ fn main() {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
                      --wal-dir DIR, --history, --replicate-from SRC[,FALLBACK...], --shards N, \
-                     --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
+                     --max-conns N, --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
                 );
                 std::process::exit(2);
             }
@@ -96,6 +108,9 @@ fn main() {
 
     let db = SharedDatabase::new(Database::new());
     let mut builder = Server::builder(db).shards(shards);
+    if let Some(n) = max_conns {
+        builder = builder.max_conns(n);
+    }
     if let Some(addr) = &tcp {
         builder = builder.tcp(addr.clone());
     }
@@ -132,6 +147,9 @@ fn main() {
     }
     if replica {
         println!("ode-server running as a read replica (Promote to take writes)");
+    }
+    if let Some(n) = max_conns {
+        println!("ode-server admitting at most {n} concurrent connections");
     }
     if let Some(addr) = server.tcp_addr() {
         println!("ode-server listening on tcp {addr}");
