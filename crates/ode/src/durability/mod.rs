@@ -15,18 +15,31 @@
 //!   scan of a log directory, shared by recovery and the replication
 //!   shipper;
 //! * [`wal`] — [`wal::DiskWal`]: segmented appends, fsync policies,
-//!   atomic checkpoints, and `open()`-as-recovery.
+//!   atomic checkpoints, and `open()`-as-recovery;
+//! * [`compress`] — a dependency-free LZ77-class block compressor for
+//!   archived segments;
+//! * [`archive`] — compressed, CRC-framed archives of swept segments
+//!   and [`archive::restore_to_lsn`]: point-in-time restore from
+//!   checkpoint + archive chain + live segments.
 
+pub mod archive;
+pub mod compress;
 pub mod epoch;
 pub mod frame;
 pub mod io;
 pub mod reader;
 pub mod wal;
 
+pub use archive::{
+    archive_dir, decode_archive_bytes, list_archives, parse_archive, read_archive,
+    read_archive_bytes, read_archive_meta, restore_to_lsn, ArchiveDrainReport, ArchiveError,
+    ArchiveMeta, ArchiveSegment,
+};
+pub use compress::{compress, decompress, LzError};
 pub use epoch::{EpochRecord, EpochTable, EPOCHS_FILE};
 pub use io::{Fault, FaultyIo, SharedIo, StdIo, WalIo};
 pub use reader::{SegmentReader, TornTail};
 pub use wal::{
-    CheckpointReport, DiskWal, DurableRecord, DurableSink, FsyncPolicy, Recovery, WalConfig,
-    WalError, WalFlusher, WalStats,
+    ArchiveStats, CheckpointReport, DiskWal, DurableRecord, DurableSink, FsyncPolicy, Recovery,
+    RecoveryReport, SegmentTiming, WalArchiver, WalConfig, WalError, WalFlusher, WalStats,
 };

@@ -54,6 +54,93 @@ pub struct TornTail {
     pub offset: u64,
 }
 
+/// The name-level resolution of one WAL directory: which generation is
+/// live, where its base LSN sits, and which files belong to it — no
+/// file bodies read. Shared by the serial scan and the parallel
+/// recovery pipeline in [`super::wal::DiskWal`].
+pub(crate) struct DirIndex {
+    /// The generation the index resolved (the newest one with a
+    /// checkpoint; 0 when the directory has never checkpointed).
+    pub generation: u64,
+    /// LSN the live checkpoint covers (0 without one).
+    pub base_lsn: u64,
+    /// The live checkpoint's file name, if any.
+    pub checkpoint: Option<String>,
+    /// Live segment file names, a contiguous run from index 0.
+    pub segments: Vec<String>,
+    /// Debris: the checkpoint temp file and files of other generations.
+    pub stale: Vec<String>,
+}
+
+/// Resolve `dir`'s live generation from file names alone. Fails with
+/// [`WalError::Corrupt`] when the live generation's segment indexes are
+/// not contiguous from 0.
+pub(crate) fn index_dir(dir: &Path, io: &SharedIo) -> Result<DirIndex, WalError> {
+    let names = io.with(|f| f.list(dir))?;
+
+    // Newest generation with a checkpoint wins; its filename gives
+    // the base LSN.
+    let mut checkpoints: Vec<(u64, u64, String)> = names
+        .iter()
+        .filter_map(|n| parse_checkpoint(n).map(|(g, l)| (g, l, n.clone())))
+        .collect();
+    checkpoints.sort();
+    let (generation, base_lsn) = match checkpoints.last() {
+        Some(&(g, l, _)) => (g, l),
+        None => (0, 0),
+    };
+
+    // This generation's segments must be a contiguous run of
+    // indexes starting at 0.
+    let mut segs: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|n| parse_segment(n))
+        .filter(|&(g, _)| g == generation)
+        .map(|(_, idx)| (idx, segment_name(generation, idx)))
+        .collect();
+    segs.sort();
+    for (want, &(idx, _)) in segs.iter().enumerate() {
+        if idx != want as u64 {
+            return Err(WalError::Corrupt(format!(
+                "generation {generation}: segment {want} missing (found index {idx})"
+            )));
+        }
+    }
+
+    let stale: Vec<String> = names
+        .iter()
+        .filter(|n| {
+            let stale_seg = parse_segment(n).is_some_and(|(g, _)| g != generation);
+            let stale_ckpt = parse_checkpoint(n).is_some_and(|(g, _)| g != generation);
+            n.as_str() == TMP_NAME || stale_seg || stale_ckpt
+        })
+        .cloned()
+        .collect();
+
+    Ok(DirIndex {
+        generation,
+        base_lsn,
+        checkpoint: checkpoints.last().map(|(_, _, n)| n.clone()),
+        segments: segs.into_iter().map(|(_, n)| n).collect(),
+        stale,
+    })
+}
+
+/// Read and unwrap a checkpoint file: exactly one clean frame (it was
+/// written to a tmp file, fsynced, and renamed — it can never be
+/// legitimately torn).
+pub(crate) fn read_checkpoint(dir: &Path, io: &SharedIo, name: &str) -> Result<Vec<u8>, WalError> {
+    let bytes = io.with(|f| f.read(&dir.join(name)))?;
+    let (mut payloads, tail) = frame::decode_all(&bytes)
+        .map_err(|c| WalError::Corrupt(format!("checkpoint {name}: bad frame at {}", c.offset)))?;
+    if tail != frame::Tail::Clean || payloads.len() != 1 {
+        return Err(WalError::Corrupt(format!(
+            "checkpoint {name}: expected exactly one clean frame"
+        )));
+    }
+    Ok(payloads.pop().expect("one payload"))
+}
+
 /// A decoded, read-only scan of one WAL directory: the newest
 /// checkpoint plus every record after it, addressed by LSN.
 pub struct SegmentReader {
@@ -83,59 +170,16 @@ impl SegmentReader {
     /// repaired); fails with [`WalError::Corrupt`] on damage a single
     /// crash cannot explain.
     pub fn scan(dir: &Path, io: &SharedIo) -> Result<SegmentReader, WalError> {
-        let names = io.with(|f| f.list(dir))?;
-
-        // Newest generation with a checkpoint wins; its filename gives
-        // the base LSN.
-        let mut checkpoints: Vec<(u64, u64, String)> = names
-            .iter()
-            .filter_map(|n| parse_checkpoint(n).map(|(g, l)| (g, l, n.clone())))
-            .collect();
-        checkpoints.sort();
-        let (generation, base_lsn) = match checkpoints.last() {
-            Some(&(g, l, _)) => (g, l),
-            None => (0, 0),
-        };
-
-        let checkpoint = match checkpoints.last() {
-            Some((_, _, name)) => {
-                let bytes = io.with(|f| f.read(&dir.join(name)))?;
-                let (mut payloads, tail) = frame::decode_all(&bytes).map_err(|c| {
-                    WalError::Corrupt(format!("checkpoint {name}: bad frame at {}", c.offset))
-                })?;
-                // A checkpoint is written to a tmp file, fsynced, and
-                // renamed — it can never be legitimately torn.
-                if tail != frame::Tail::Clean || payloads.len() != 1 {
-                    return Err(WalError::Corrupt(format!(
-                        "checkpoint {name}: expected exactly one clean frame"
-                    )));
-                }
-                Some(payloads.pop().expect("one payload"))
-            }
+        let index = index_dir(dir, io)?;
+        let checkpoint = match &index.checkpoint {
+            Some(name) => Some(read_checkpoint(dir, io, name)?),
             None => None,
         };
 
-        // This generation's segments must be a contiguous run of
-        // indexes starting at 0.
-        let mut segs: Vec<(u64, String)> = names
-            .iter()
-            .filter_map(|n| parse_segment(n))
-            .filter(|&(g, _)| g == generation)
-            .map(|(_, idx)| (idx, segment_name(generation, idx)))
-            .collect();
-        segs.sort();
-        for (want, &(idx, _)) in segs.iter().enumerate() {
-            if idx != want as u64 {
-                return Err(WalError::Corrupt(format!(
-                    "generation {generation}: segment {want} missing (found index {idx})"
-                )));
-            }
-        }
-
         let mut records = Vec::new();
         let mut torn = None;
-        let last = segs.len().saturating_sub(1);
-        for (i, (_, name)) in segs.iter().enumerate() {
+        let last = index.segments.len().saturating_sub(1);
+        for (i, name) in index.segments.iter().enumerate() {
             let bytes = io.with(|f| f.read(&dir.join(name)))?;
             let (payloads, tail) = frame::decode_all(&bytes).map_err(|c| {
                 WalError::Corrupt(format!("segment {name}: bad frame at offset {}", c.offset))
@@ -158,24 +202,14 @@ impl SegmentReader {
             records.extend(payloads);
         }
 
-        let stale: Vec<String> = names
-            .iter()
-            .filter(|n| {
-                let stale_seg = parse_segment(n).is_some_and(|(g, _)| g != generation);
-                let stale_ckpt = parse_checkpoint(n).is_some_and(|(g, _)| g != generation);
-                n.as_str() == TMP_NAME || stale_seg || stale_ckpt
-            })
-            .cloned()
-            .collect();
-
         Ok(SegmentReader {
-            generation,
-            base_lsn,
+            generation: index.generation,
+            base_lsn: index.base_lsn,
             checkpoint,
             records,
             torn,
-            segments: segs.into_iter().map(|(_, n)| n).collect(),
-            stale,
+            segments: index.segments,
+            stale: index.stale,
         })
     }
 

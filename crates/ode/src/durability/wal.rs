@@ -92,9 +92,11 @@
 //! flushed do not survive a crash — which is exactly why the ack rule
 //! above waits for the watermark.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -104,10 +106,12 @@ use crate::error::OdeError;
 use crate::persist::Snapshot;
 use crate::wal::{replay, LogOp, RedoLog};
 
+use super::archive::{self, ArchiveDrainReport};
 use super::frame;
 use super::io::SharedIo;
 use super::reader::{
-    checkpoint_name, parse_checkpoint, parse_segment, segment_name, SegmentReader, TMP_NAME,
+    checkpoint_name, index_dir, parse_checkpoint, parse_segment, read_checkpoint, segment_name,
+    TMP_NAME,
 };
 
 /// When appended records are forced to stable storage.
@@ -245,6 +249,12 @@ pub struct WalConfig {
     pub segment_bytes: u64,
     /// Fsync policy for appends.
     pub fsync: FsyncPolicy,
+    /// Archive swept segments (compressed, under `archive/`) instead of
+    /// deleting them. A checkpoint then only *retires* superseded files
+    /// to a queue; an archiver ([`DiskWal::start_archiver`], or a test
+    /// calling [`DiskWal::archive_now`]) compresses and unlinks them
+    /// off the checkpoint path.
+    pub archive: bool,
 }
 
 impl Default for WalConfig {
@@ -252,6 +262,7 @@ impl Default for WalConfig {
         Self {
             segment_bytes: 4 * 1024 * 1024,
             fsync: FsyncPolicy::OnCommit,
+            archive: false,
         }
     }
 }
@@ -295,6 +306,31 @@ impl From<OdeError> for WalError {
     }
 }
 
+/// Per-segment decode cost observed by recovery.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentTiming {
+    /// Segment file name.
+    pub name: String,
+    /// Records the segment decoded to.
+    pub records: usize,
+    /// Raw segment size in bytes.
+    pub bytes: u64,
+    /// Microseconds spent frame-decoding + JSON-parsing the segment.
+    pub decode_us: u64,
+}
+
+/// How recovery spent its time (see `WireStats` on the server for the
+/// aggregated view).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Wall-clock microseconds for the whole scan + decode + assemble.
+    pub total_us: u64,
+    /// Worker threads the segment decode ran on.
+    pub threads: usize,
+    /// Per-segment decode timings, in segment order.
+    pub segments: Vec<SegmentTiming>,
+}
+
 /// What [`DiskWal::open`] reconstructed from disk.
 pub struct Recovery {
     /// The checkpoint image, if any generation had one.
@@ -308,6 +344,8 @@ pub struct Recovery {
     pub truncated_tail: bool,
     /// How many live segment files were replayed.
     pub segments: usize,
+    /// Where recovery spent its time.
+    pub report: RecoveryReport,
 }
 
 impl Recovery {
@@ -375,8 +413,21 @@ pub struct WalStats {
 pub struct CheckpointReport {
     /// The LSN the checkpoint covers.
     pub lsn: u64,
-    /// Superseded segment files deleted by the retention sweep.
+    /// Superseded segment files retired by the checkpoint (deleted by
+    /// the deferred sweep, or archived then unlinked in archive mode).
     pub swept_segments: u64,
+}
+
+/// Lifetime archive progress of one WAL (see `WireStats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArchiveStats {
+    /// Segments made archive-durable (and unlinked) so far.
+    pub segments_archived: u64,
+    /// Total compressed archive bytes written.
+    pub bytes_archived: u64,
+    /// Segments swept but not yet durable in the archive (retire-queue
+    /// depth plus any segment mid-archive right now).
+    pub lag_segments: u64,
 }
 
 /// A framed record buffered between the assign-LSN step and its flush.
@@ -414,6 +465,15 @@ struct DurableState {
     poison: Option<String>,
 }
 
+/// Files a checkpoint superseded, awaiting the deferred sweep (delete
+/// in plain mode, archive-then-unlink in archive mode). Outside the
+/// buf/disk lock order: pushed under it at checkpoint time, drained
+/// with no WAL lock held.
+struct RetireQueue {
+    names: Vec<String>,
+    stop: bool,
+}
+
 struct WalInner {
     io: SharedIo,
     dir: PathBuf,
@@ -431,6 +491,14 @@ struct WalInner {
     fsyncs_total: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
+    retired: Mutex<RetireQueue>,
+    /// Wakes the archiver thread; paired with `retired`.
+    retire_cv: Condvar,
+    archiver_running: AtomicBool,
+    archived_segments: AtomicU64,
+    archived_bytes: AtomicU64,
+    /// Segments taken off the queue and being archived right now.
+    archive_inflight: AtomicU64,
 }
 
 /// Non-poisoning lock helper (a panicked holder just releases).
@@ -447,52 +515,91 @@ pub struct DiskWal {
 }
 
 impl DiskWal {
-    /// Open (and recover) a WAL directory. Always succeeds on an empty
-    /// or cleanly-shut-down directory; tolerates a torn tail; fails
-    /// with [`WalError::Corrupt`] on interior damage.
+    /// Open (and recover) a WAL directory, decoding segments on a
+    /// worker pool sized like the reactor's
+    /// ([`DiskWal::default_recovery_threads`]). Always succeeds on an
+    /// empty or cleanly-shut-down directory; tolerates a torn tail;
+    /// fails with [`WalError::Corrupt`] on interior damage.
     pub fn open(dir: &Path, cfg: WalConfig, io: SharedIo) -> Result<(DiskWal, Recovery), WalError> {
-        io.with(|f| f.create_dir_all(dir))?;
-        let scan = SegmentReader::scan(dir, &io)?;
+        Self::open_with_threads(dir, cfg, io, Self::default_recovery_threads())
+    }
 
-        let snapshot = match &scan.checkpoint {
-            Some(payload) => {
-                let body = std::str::from_utf8(payload)
+    /// The recovery pool's default width: one worker per core, capped
+    /// at 8 — the same sizing idiom as the reactor's worker pool.
+    pub fn default_recovery_threads() -> usize {
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8)
+    }
+
+    /// [`DiskWal::open`] with an explicit decode-pool width (1 =
+    /// serial, the pre-parallel behavior). Segment bodies are read in
+    /// segment order; frame decoding and record parsing fan out to
+    /// `threads` workers, and the decoded batches are applied in LSN
+    /// order through a bounded channel.
+    pub fn open_with_threads(
+        dir: &Path,
+        cfg: WalConfig,
+        io: SharedIo,
+        threads: usize,
+    ) -> Result<(DiskWal, Recovery), WalError> {
+        let t0 = Instant::now();
+        io.with(|f| f.create_dir_all(dir))?;
+        let index = index_dir(dir, &io)?;
+
+        let snapshot = match &index.checkpoint {
+            Some(name) => {
+                let payload = read_checkpoint(dir, &io, name)?;
+                let body = std::str::from_utf8(&payload)
                     .map_err(|_| WalError::Corrupt("checkpoint: not utf-8".to_string()))?;
                 Some(Snapshot::from_json(body)?)
             }
             None => None,
         };
 
-        // Recovery repairs what the scan only classified: truncate the
-        // torn tail so the damaged bytes never resurface.
-        let truncated_tail = match &scan.torn {
-            Some(t) => {
-                io.with(|f| f.truncate(&dir.join(&t.name), t.offset))?;
+        let threads = threads.max(1).min(index.segments.len().max(1));
+        let (ops, timings, torn) = decode_segments(dir, &io, &index.segments, threads)?;
+
+        // Recovery repairs what the decode only classified: truncate
+        // the torn tail so the damaged bytes never resurface.
+        let truncated_tail = match &torn {
+            Some((name, offset)) => {
+                io.with(|f| f.truncate(&dir.join(name), *offset))?;
                 true
             }
             None => false,
         };
 
-        let mut ops = Vec::with_capacity(scan.records.len());
-        for p in &scan.records {
-            let line = std::str::from_utf8(p)
-                .map_err(|_| WalError::Corrupt("segment record: not utf-8".to_string()))?;
-            ops.push(LogOp::from_json_line(line)?);
-        }
-
-        // Sweep debris: the tmp file and anything from older generations.
-        // Best-effort — recovery already ignores these by name.
-        for n in &scan.stale {
-            let _ = io.with(|f| f.remove(&dir.join(n)));
+        // Sweep debris: the tmp file and anything from older
+        // generations. Best-effort — recovery already ignores these by
+        // name. In archive mode, superseded segments and checkpoints
+        // are *retired* instead (a crash between a checkpoint and its
+        // archiver pass must not lose them); only the tmp file and
+        // unexplainable future-generation files are deleted.
+        let mut retired: Vec<String> = Vec::new();
+        for n in &index.stale {
+            let old_seg = parse_segment(n).is_some_and(|(g, _)| g < index.generation);
+            let old_ckpt = parse_checkpoint(n).is_some_and(|(g, _)| g < index.generation);
+            if cfg.archive && (old_seg || old_ckpt) {
+                retired.push(n.clone());
+            } else {
+                let _ = io.with(|f| f.remove(&dir.join(n)));
+            }
         }
 
         let recovery = Recovery {
             snapshot,
-            base_lsn: scan.base_lsn,
+            base_lsn: index.base_lsn,
             truncated_tail,
-            segments: scan.segments.len(),
+            segments: index.segments.len(),
             ops,
+            report: RecoveryReport {
+                total_us: t0.elapsed().as_micros() as u64,
+                threads,
+                segments: timings,
+            },
         };
+        let scan = index;
         let head = recovery.base_lsn + recovery.ops.len() as u64;
         // New appends go to a fresh segment so a truncated tail is
         // never appended into. Everything recovered is on disk, so the
@@ -527,6 +634,15 @@ impl DiskWal {
                 fsyncs_total: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 max_batch: AtomicU64::new(0),
+                retired: Mutex::new(RetireQueue {
+                    names: retired,
+                    stop: false,
+                }),
+                retire_cv: Condvar::new(),
+                archiver_running: AtomicBool::new(false),
+                archived_segments: AtomicU64::new(0),
+                archived_bytes: AtomicU64::new(0),
+                archive_inflight: AtomicU64::new(0),
             }),
         };
         Ok((wal, recovery))
@@ -903,8 +1019,22 @@ impl DiskWal {
 
     /// Durably install `snap` (typically `db.snapshot()` taken under
     /// the same lock that orders appends) as the new recovery base,
-    /// then delete the log generation it supersedes.
+    /// then retire the log generation it supersedes and run the sweep
+    /// before returning (see [`DiskWal::checkpoint_deferred`] for the
+    /// split form servers use to keep file deletion off the stall
+    /// path).
     pub fn checkpoint(&self, snap: &Snapshot) -> Result<CheckpointReport, WalError> {
+        let report = self.checkpoint_inner(snap, None)?;
+        self.finish_sweep();
+        Ok(report)
+    }
+
+    /// The installation half of a checkpoint: durably install `snap`
+    /// and *queue* the superseded generation for sweeping, without
+    /// deleting (or archiving) anything. The caller runs
+    /// [`DiskWal::finish_sweep`] afterwards — typically after dropping
+    /// the engine locks, so checkpoint stall excludes file deletion.
+    pub fn checkpoint_deferred(&self, snap: &Snapshot) -> Result<CheckpointReport, WalError> {
         self.checkpoint_inner(snap, None)
     }
 
@@ -913,7 +1043,9 @@ impl DiskWal {
     /// bootstrapping from a shipped snapshot uses this to jump its
     /// local log to the primary's LSN so subsequent appends line up.
     pub fn checkpoint_at(&self, snap: &Snapshot, lsn: u64) -> Result<CheckpointReport, WalError> {
-        self.checkpoint_inner(snap, Some(lsn))
+        let report = self.checkpoint_inner(snap, Some(lsn))?;
+        self.finish_sweep();
+        Ok(report)
     }
 
     fn checkpoint_inner(
@@ -971,16 +1103,21 @@ impl DiskWal {
             return self.poison(e);
         }
 
-        // The new checkpoint supersedes everything older. Deletion is
-        // best-effort: a failure just leaves debris recovery ignores.
+        // The new checkpoint supersedes everything older, but nothing
+        // is unlinked here: superseded names go on the retire queue,
+        // and the sweep (plain deletion, or archive-then-unlink in
+        // archive mode) runs off the checkpoint path.
         let mut swept = 0u64;
-        for n in names {
-            let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= disk.generation);
-            let old_ckpt = parse_checkpoint(&n).is_some_and(|(g, _)| g <= disk.generation);
-            if old_seg || old_ckpt {
-                let removed = i.io.with(|f| f.remove(&i.dir.join(n))).is_ok();
-                if removed && old_seg {
-                    swept += 1;
+        {
+            let mut q = lock(&i.retired);
+            for n in names {
+                let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= disk.generation);
+                let old_ckpt = parse_checkpoint(&n).is_some_and(|(g, _)| g <= disk.generation);
+                if (old_seg || old_ckpt) && !q.names.contains(&n) {
+                    if old_seg {
+                        swept += 1;
+                    }
+                    q.names.push(n);
                 }
             }
         }
@@ -1042,6 +1179,10 @@ impl DiskWal {
             return self.poison(e);
         }
 
+        // A reset deletes inline (no retirement): the superseded files
+        // are fork debris, and archiving a deposed fork's history would
+        // poison later restores. For the same reason the retire queue
+        // and any already-written archives are purged.
         let mut swept = 0u64;
         for n in names {
             let old_seg = parse_segment(&n).is_some_and(|(g, _)| g <= disk.generation);
@@ -1052,6 +1193,10 @@ impl DiskWal {
                     swept += 1;
                 }
             }
+        }
+        lock(&i.retired).names.clear();
+        if i.cfg.archive {
+            archive::purge_archives(&i.io, &i.dir);
         }
 
         disk.generation = next_generation;
@@ -1071,6 +1216,254 @@ impl DiskWal {
             swept_segments: swept,
         })
     }
+
+    /// Run the sweep for everything on the retire queue. In plain mode
+    /// this deletes the retired files (best-effort) and returns the
+    /// number of segment files removed. In archive mode nothing is
+    /// deleted here: the archiver thread is nudged (if running) and the
+    /// queue drains asynchronously — or a test drains it synchronously
+    /// with [`DiskWal::archive_now`].
+    pub fn finish_sweep(&self) -> u64 {
+        let i = &*self.inner;
+        if i.cfg.archive {
+            if i.archiver_running.load(Ordering::SeqCst) {
+                i.retire_cv.notify_all();
+            }
+            return 0;
+        }
+        self.sweep_retired()
+    }
+
+    /// Delete every retired file (plain-mode sweep). Best-effort: a
+    /// failed unlink leaves debris that recovery ignores and the next
+    /// checkpoint re-queues.
+    fn sweep_retired(&self) -> u64 {
+        let i = &*self.inner;
+        let names = std::mem::take(&mut lock(&i.retired).names);
+        let mut removed = 0u64;
+        for n in &names {
+            let ok = i.io.with(|f| f.remove(&i.dir.join(n))).is_ok();
+            if ok && parse_segment(n).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Synchronously drain the retire queue into the archive: compress
+    /// each retired segment into a CRC-framed archive file, make it
+    /// fsync-durable, and only then unlink the segment. Called by the
+    /// archiver thread, and directly by tests/benches that need a
+    /// deterministic drain. Holds no lock but the (brief) retire-queue
+    /// lock — compression never runs under the flusher or engine locks.
+    pub fn archive_now(&self) -> Result<ArchiveDrainReport, WalError> {
+        let i = &*self.inner;
+        let batch = std::mem::take(&mut lock(&i.retired).names);
+        if batch.is_empty() {
+            return Ok(ArchiveDrainReport::default());
+        }
+        let queued_segs = batch.iter().filter(|n| parse_segment(n).is_some()).count() as u64;
+        i.archive_inflight.store(queued_segs, Ordering::SeqCst);
+        let (report, remaining, err) = archive::drain_retired(&i.io, &i.dir, batch);
+        i.archived_segments
+            .fetch_add(report.segments, Ordering::Relaxed);
+        i.archived_bytes.fetch_add(report.bytes, Ordering::Relaxed);
+        i.archive_inflight.store(0, Ordering::SeqCst);
+        if !remaining.is_empty() {
+            // Splice the un-drained names back at the *front*: they are
+            // older than anything a concurrent checkpoint queued since,
+            // and the archive chain must be built oldest-first.
+            let mut q = lock(&i.retired);
+            let mut names = remaining;
+            names.extend(std::mem::take(&mut q.names));
+            q.names = names;
+        }
+        match err {
+            // An archiver error must not latch the live log read-only:
+            // the un-drained names are back on the queue and the next
+            // pass retries.
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Lifetime archive progress (see [`ArchiveStats`]).
+    pub fn archive_stats(&self) -> ArchiveStats {
+        let i = &*self.inner;
+        let queued = lock(&i.retired)
+            .names
+            .iter()
+            .filter(|n| parse_segment(n).is_some())
+            .count() as u64;
+        ArchiveStats {
+            segments_archived: i.archived_segments.load(Ordering::Relaxed),
+            bytes_archived: i.archived_bytes.load(Ordering::Relaxed),
+            lag_segments: queued + i.archive_inflight.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Spawn the dedicated archiver thread (archive mode only): it
+    /// waits on the retire queue and drains it via
+    /// [`DiskWal::archive_now`], so compression and archive fsyncs
+    /// never run on a checkpointing, flushing, or committing thread.
+    /// Dropping (or `stop`ping) the handle performs a final drain and
+    /// joins the thread.
+    pub fn start_archiver(&self) -> Option<WalArchiver> {
+        if !self.inner.cfg.archive {
+            return None;
+        }
+        lock(&self.inner.retired).stop = false;
+        self.inner.archiver_running.store(true, Ordering::SeqCst);
+        let wal = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("wal-archiver".to_string())
+            .spawn(move || run_archiver(wal))
+            .expect("spawn wal archiver");
+        Some(WalArchiver {
+            wal: self.clone(),
+            handle: Some(handle),
+        })
+    }
+}
+
+/// One segment's decode result, produced on a recovery worker.
+struct SegDecode {
+    ops: Vec<LogOp>,
+    /// Torn-frame offset, if the segment ends in one (whether that is
+    /// tolerable depends on the segment's position — the caller rules).
+    torn: Option<u64>,
+    records: usize,
+    bytes: u64,
+    decode_us: u64,
+}
+
+/// Frame-decode and JSON-parse one segment body. Pure CPU — no I/O, no
+/// locks — so it parallelizes perfectly.
+fn decode_one(name: &str, bytes: &[u8]) -> Result<SegDecode, WalError> {
+    let t = Instant::now();
+    let (payloads, tail) = frame::decode_all(bytes).map_err(|c| {
+        WalError::Corrupt(format!("segment {name}: bad frame at offset {}", c.offset))
+    })?;
+    let torn = match tail {
+        frame::Tail::Torn { offset } => Some(offset),
+        frame::Tail::Clean => None,
+    };
+    let mut ops = Vec::with_capacity(payloads.len());
+    for p in &payloads {
+        let line = std::str::from_utf8(p)
+            .map_err(|_| WalError::Corrupt("segment record: not utf-8".to_string()))?;
+        ops.push(LogOp::from_json_line(line)?);
+    }
+    Ok(SegDecode {
+        records: ops.len(),
+        ops,
+        torn,
+        bytes: bytes.len() as u64,
+        decode_us: t.elapsed().as_micros() as u64,
+    })
+}
+
+/// Decode the live segments on a pool of `threads` workers. Workers
+/// claim segment indices from a shared counter, read the body (reads
+/// serialize on the io lock; they are cheap next to the decode), and
+/// send results through a bounded channel; the caller applies them in
+/// LSN order via a reorder buffer. Returns the flattened ops, the
+/// per-segment timings, and the torn tail (only the final segment may
+/// carry one — anywhere else is [`WalError::Corrupt`]).
+#[allow(clippy::type_complexity)]
+fn decode_segments(
+    dir: &Path,
+    io: &SharedIo,
+    segments: &[String],
+    threads: usize,
+) -> Result<(Vec<LogOp>, Vec<SegmentTiming>, Option<(String, u64)>), WalError> {
+    let n = segments.len();
+    let last = n.saturating_sub(1);
+    let mut ops = Vec::new();
+    let mut timings = Vec::with_capacity(n);
+    let mut torn: Option<(String, u64)> = None;
+    // The torn-tail rule, applied as segments arrive in order.
+    let mut accept = |i: usize,
+                      name: &str,
+                      d: SegDecode,
+                      ops: &mut Vec<LogOp>,
+                      timings: &mut Vec<SegmentTiming>|
+     -> Result<(), WalError> {
+        if let Some(offset) = d.torn {
+            if i != last {
+                return Err(WalError::Corrupt(format!(
+                    "segment {name}: torn frame at offset {offset} before the final segment"
+                )));
+            }
+            torn = Some((name.to_string(), offset));
+        }
+        ops.extend(d.ops);
+        timings.push(SegmentTiming {
+            name: name.to_string(),
+            records: d.records,
+            bytes: d.bytes,
+            decode_us: d.decode_us,
+        });
+        Ok(())
+    };
+
+    if threads <= 1 || n <= 1 {
+        for (i, name) in segments.iter().enumerate() {
+            let bytes = io.with(|f| f.read(&dir.join(name)))?;
+            let d = decode_one(name, &bytes)?;
+            accept(i, name, d, &mut ops, &mut timings)?;
+        }
+        return Ok((ops, timings, torn));
+    }
+
+    let next = AtomicUsize::new(0);
+    let (res_tx, res_rx) = sync_channel::<(usize, Result<SegDecode, WalError>)>(threads * 2);
+    let result = std::thread::scope(|s| {
+        // Owned by this closure: dropped before the scope joins, so a
+        // worker blocked on a full channel after the collector bails
+        // sees a disconnect instead of deadlocking the join.
+        let res_rx = res_rx;
+        for _ in 0..threads {
+            let res_tx = res_tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let name = &segments[i];
+                let out = io
+                    .with(|f| f.read(&dir.join(name)))
+                    .map_err(WalError::from)
+                    .and_then(|bytes| decode_one(name, &bytes));
+                if res_tx.send((i, out)).is_err() {
+                    return; // the collector bailed on an earlier error
+                }
+            });
+        }
+        drop(res_tx);
+
+        let mut reorder: BTreeMap<usize, SegDecode> = BTreeMap::new();
+        let mut expected = 0usize;
+        while expected < n {
+            let (i, out) = match res_rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => {
+                    return Err(WalError::Corrupt(
+                        "recovery worker died without reporting its segment".to_string(),
+                    ))
+                }
+            };
+            reorder.insert(i, out?);
+            while let Some(d) = reorder.remove(&expected) {
+                accept(expected, &segments[expected], d, &mut ops, &mut timings)?;
+                expected += 1;
+            }
+        }
+        Ok(())
+    });
+    result?;
+    Ok((ops, timings, torn))
 }
 
 /// The dedicated flusher thread's loop: wait until `max_batch` txn
@@ -1159,6 +1552,67 @@ impl WalFlusher {
 }
 
 impl Drop for WalFlusher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The dedicated archiver thread's loop: park until a checkpoint
+/// retires segments (or a stop is requested), drain the queue through
+/// [`DiskWal::archive_now`], repeat. Errors leave the batch queued and
+/// back off briefly rather than spin.
+fn run_archiver(wal: DiskWal) {
+    let i = Arc::clone(&wal.inner);
+    loop {
+        let stopping = {
+            let mut q = lock(&i.retired);
+            while q.names.is_empty() && !q.stop {
+                let (g, _) = i
+                    .retire_cv
+                    .wait_timeout(q, Duration::from_millis(250))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = g;
+            }
+            q.stop
+        };
+        if wal.archive_now().is_err() && !stopping {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        if stopping {
+            return;
+        }
+    }
+}
+
+/// Handle to the dedicated archiver thread. Dropping it (or calling
+/// [`WalArchiver::stop`]) requests a final drain of the retire queue,
+/// then joins the thread.
+pub struct WalArchiver {
+    wal: DiskWal,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WalArchiver {
+    /// Drain the retire queue one last time, stop the thread, join it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        lock(&self.wal.inner.retired).stop = true;
+        self.wal.inner.retire_cv.notify_all();
+        let _ = handle.join();
+        self.wal
+            .inner
+            .archiver_running
+            .store(false, Ordering::SeqCst);
+    }
+}
+
+impl Drop for WalArchiver {
     fn drop(&mut self) {
         self.shutdown();
     }

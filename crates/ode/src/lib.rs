@@ -73,9 +73,10 @@ pub use class::{
 pub use clock::{Clock, Recurrence, Timer, TimerScope};
 #[cfg(feature = "persistence")]
 pub use durability::{
+    restore_to_lsn, ArchiveDrainReport, ArchiveError, ArchiveMeta, ArchiveSegment, ArchiveStats,
     CheckpointReport, DiskWal, DurableRecord, DurableSink, EpochRecord, EpochTable, Fault,
-    FaultyIo, FsyncPolicy, Recovery, SegmentReader, SharedIo, StdIo, TornTail, WalConfig, WalError,
-    WalFlusher, WalIo, WalStats, EPOCHS_FILE,
+    FaultyIo, FsyncPolicy, Recovery, RecoveryReport, SegmentReader, SegmentTiming, SharedIo, StdIo,
+    TornTail, WalArchiver, WalConfig, WalError, WalFlusher, WalIo, WalStats, EPOCHS_FILE,
 };
 #[cfg(feature = "persistence")]
 pub use engine::LogSink;

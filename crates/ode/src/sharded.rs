@@ -652,7 +652,9 @@ mod wal_coord {
     use std::path::{Path, PathBuf};
 
     use super::*;
-    use crate::durability::{DiskWal, Recovery, SharedIo, WalConfig, WalError, WalFlusher};
+    use crate::durability::{
+        ArchiveStats, DiskWal, Recovery, SharedIo, WalArchiver, WalConfig, WalError, WalFlusher,
+    };
     use crate::wal::LogOp;
 
     /// Name of the shard-count marker a multi-shard WAL root carries.
@@ -763,13 +765,19 @@ mod wal_coord {
             ios[0].with(|f| f.create_dir_all(root))?;
             Self::check_meta(root, shards, &ios[0])?;
 
+            // Shard streams already recover on parallel threads; split
+            // the decode-pool budget between them so S shards opening
+            // at once don't oversubscribe the machine S × 8 ways.
+            let per_shard_threads = (DiskWal::default_recovery_threads() / shards).max(1);
             let mut opened: Vec<Option<Result<(DiskWal, Recovery), WalError>>> =
                 (0..shards).map(|_| None).collect();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (s, io) in ios.into_iter().enumerate() {
                     let dir = shard_dir(root, s, shards);
-                    handles.push(scope.spawn(move || DiskWal::open(&dir, cfg, io)));
+                    handles.push(scope.spawn(move || {
+                        DiskWal::open_with_threads(&dir, cfg, io, per_shard_threads)
+                    }));
                 }
                 for (s, h) in handles.into_iter().enumerate() {
                     opened[s] = Some(h.join().expect("shard recovery thread panicked"));
@@ -854,6 +862,36 @@ mod wal_coord {
         /// non-group fsync policies).
         pub fn start_flushers(&self) -> Vec<WalFlusher> {
             self.wals.iter().filter_map(|w| w.start_flusher()).collect()
+        }
+
+        /// Start one archiver thread per shard (empty unless the config
+        /// enables archive mode). Stop order matters at shutdown: stop
+        /// flushers and sync first, archivers last, so the final
+        /// checkpoint's retired segments still get drained.
+        pub fn start_archivers(&self) -> Vec<WalArchiver> {
+            self.wals
+                .iter()
+                .filter_map(|w| w.start_archiver())
+                .collect()
+        }
+
+        /// Run the deferred sweep on every shard (see
+        /// [`DiskWal::finish_sweep`]); returns segments deleted (plain
+        /// mode — archive mode returns 0 and nudges the archivers).
+        pub fn finish_sweep_all(&self) -> u64 {
+            self.wals.iter().map(|w| w.finish_sweep()).sum()
+        }
+
+        /// Archive progress summed across shards.
+        pub fn archive_stats(&self) -> ArchiveStats {
+            let mut total = ArchiveStats::default();
+            for w in &self.wals {
+                let s = w.archive_stats();
+                total.segments_archived += s.segments_archived;
+                total.bytes_archived += s.bytes_archived;
+                total.lag_segments += s.lag_segments;
+            }
+            total
         }
 
         /// Block until every `(shard, lsn)` ack is covered by that

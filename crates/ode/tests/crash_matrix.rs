@@ -31,6 +31,7 @@ fn cfg() -> WalConfig {
     WalConfig {
         segment_bytes: 256,
         fsync: FsyncPolicy::Always,
+        archive: false,
     }
 }
 
@@ -293,6 +294,7 @@ fn group_cfg() -> WalConfig {
             max_batch: 64,
             max_delay: Duration::from_secs(3600),
         },
+        archive: false,
     }
 }
 
@@ -950,4 +952,180 @@ fn promote_crash_window_recovers_writable_at_exactly_one_epoch() {
         *bump_history.last().unwrap(),
         "the last crash point must be at epoch 1"
     );
+}
+
+// ---------------------------------------------------------------------
+// Archiver injection points: in archive mode a checkpoint retires the
+// superseded generation and a drain compresses each segment into
+// `archive/` — tmp append, fsync, rename, dir fsync, THEN unlink. Die
+// at every mutating I/O op of the drain and prove the two lifecycle
+// invariants: (1) never-unlink-before-durable — a retired segment is
+// gone from the wal dir only if a fully-validating archive holds it;
+// (2) nothing is ever lost — re-opening re-enqueues the leftovers, a
+// healthy re-drain completes the chain, and point-in-time restore then
+// reproduces the ground-truth oracle at every probed LSN. Mid-crash,
+// a restore below the base either succeeds or fails with the *typed*
+// `ArchiveError::Truncated` — never wrong data.
+// ---------------------------------------------------------------------
+
+use ode_db::durability::{archive_dir, list_archives, read_archive, restore_to_lsn, ArchiveError};
+
+fn archive_cfg() -> WalConfig {
+    WalConfig {
+        archive: true,
+        ..cfg()
+    }
+}
+
+/// `segment-{gen:010}-{idx:05}.wal` → `(gen, idx)`.
+fn parse_seg_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("segment-")?.strip_suffix(".wal")?;
+    let (g, k) = rest.split_once('-')?;
+    Some((g.parse().ok()?, k.parse().ok()?))
+}
+
+/// The scripted session in archive mode, then a synchronous drain.
+/// Returns (drain result, generation-0 segment names retired by the
+/// mid-script checkpoint, mutating-I/O count before / after the drain).
+fn run_archive_session(dir: &Path, io: FaultyIo) -> (bool, Vec<String>, u64, u64) {
+    let ops = io.op_counter();
+    let shared = SharedIo::new(io);
+    let (wal, recovery) = DiskWal::open(dir, archive_cfg(), shared).expect("open empty dir");
+    assert!(recovery.is_empty());
+    let mut db = fresh();
+    let sink_wal = wal.clone();
+    db.set_log_sink(Some(Arc::new(move |op: &LogOp| {
+        let _ = sink_wal.append(op);
+    })));
+    let ckpt_wal = wal.clone();
+    script(&mut db, |db| {
+        if let Ok(snap) = db.snapshot() {
+            // In archive mode this retires the old generation without
+            // deleting anything; the drain below does the unlinking.
+            let _ = ckpt_wal.checkpoint(&snap);
+        }
+    });
+
+    let retired: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| parse_seg_name(n).is_some_and(|(g, _)| g == 0))
+        .collect();
+    let before = ops.load(Ordering::SeqCst);
+    let drain_ok = wal.archive_now().is_ok();
+    (drain_ok, retired, before, ops.load(Ordering::SeqCst))
+}
+
+#[test]
+fn archiver_crash_at_every_io_op_never_loses_a_swept_segment() {
+    // Ground truth: the same session recorded purely in memory.
+    let mut truth = fresh();
+    truth.enable_logging();
+    script(&mut truth, |_| {});
+    let all_ops = truth.take_log().expect("logging enabled").ops;
+
+    // Fault-free counting run sizes the drain's injection window and
+    // pins the expected base/head.
+    let dir = tmp_dir("arch-count");
+    let (ok, retired, before, after) = run_archive_session(&dir, FaultyIo::counting());
+    assert!(ok, "healthy io drains");
+    assert!(!retired.is_empty(), "the checkpoint retired a generation");
+    assert!(
+        after > before + 4,
+        "the drain spans several I/O ops (got {before} .. {after})"
+    );
+    let io = SharedIo::new(StdIo::new());
+    let (_w, rec) = DiskWal::open(&dir, archive_cfg(), io.clone()).expect("clean reopen");
+    let base = rec.base_lsn;
+    let head = base + rec.ops.len() as u64;
+    assert!(base > 0 && head == all_ops.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let probe_targets = |base: u64, head: u64| {
+        let mut t = vec![0, 1, base / 2, base.saturating_sub(1), base, head];
+        t.dedup();
+        t
+    };
+
+    // The matrix: die at every mutating I/O op of the drain.
+    for k in before..after {
+        let dir = tmp_dir(&format!("arch-k{k}"));
+        let (ok, retired_k, _, _) = run_archive_session(&dir, FaultyIo::crash_at(k));
+        assert!(
+            !ok,
+            "crash point {k}: the dying drain must not report success"
+        );
+        assert_eq!(retired_k, retired, "deterministic session, same retirees");
+
+        // Invariant 1: never unlink before durable. A retired segment
+        // missing from the wal dir must have a fully-validating archive
+        // under its final name.
+        let archives = list_archives(&io, &dir).unwrap();
+        for name in &retired {
+            if dir.join(name).exists() {
+                continue;
+            }
+            let (g, s) = parse_seg_name(name).unwrap();
+            let durable = archives.iter().any(|(ag, ak, _, aname)| {
+                (*ag, *ak) == (g, s) && read_archive(&io, &archive_dir(&dir).join(aname)).is_ok()
+            });
+            assert!(
+                durable,
+                "crash point {k}: {name} was unlinked before its archive was durable"
+            );
+        }
+
+        // Mid-crash, restore below the base is all-or-Truncated: the
+        // chain may be incomplete, but it never serves wrong data.
+        for target in probe_targets(base, head) {
+            match restore_to_lsn(&dir, &io, target) {
+                Ok(rec) => {
+                    let mut got = fresh();
+                    rec.restore_into(&mut got)
+                        .unwrap_or_else(|e| panic!("crash {k}, target {target}: {e}"));
+                    got.take_output();
+                    let (mut want, _) = oracle(&all_ops, target as usize, target as usize);
+                    want.take_output();
+                    assert_eq!(
+                        fingerprint(&got),
+                        fingerprint(&want),
+                        "crash point {k}: mid-crash restore to {target} diverges"
+                    );
+                }
+                Err(ArchiveError::Truncated(_)) => {}
+                Err(e) => panic!("crash point {k}, target {target}: untyped failure: {e}"),
+            }
+        }
+
+        // Invariant 2: recover + re-archive + restore equals expected.
+        // Re-opening re-enqueues the stale leftovers; a healthy drain
+        // completes the chain; every probed LSN then restores exactly.
+        let (wal, rec) = DiskWal::open(&dir, archive_cfg(), io.clone())
+            .unwrap_or_else(|e| panic!("crash point {k}: recovery failed: {e}"));
+        assert_eq!(rec.base_lsn, base, "crash point {k}: checkpoint intact");
+        assert_eq!(
+            rec.base_lsn + rec.ops.len() as u64,
+            head,
+            "crash point {k}: the live tail lost records"
+        );
+        wal.archive_now()
+            .unwrap_or_else(|e| panic!("crash point {k}: re-drain failed: {e}"));
+        drop(wal);
+        for target in probe_targets(base, head) {
+            let rec = restore_to_lsn(&dir, &io, target)
+                .unwrap_or_else(|e| panic!("crash point {k}: restore to {target}: {e}"));
+            let mut got = fresh();
+            rec.restore_into(&mut got)
+                .unwrap_or_else(|e| panic!("crash point {k}: restore_into {target}: {e}"));
+            got.take_output();
+            let (mut want, _) = oracle(&all_ops, target as usize, target as usize);
+            want.take_output();
+            assert_eq!(
+                fingerprint(&got),
+                fingerprint(&want),
+                "crash point {k}: post-heal restore to {target} diverges from the oracle"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

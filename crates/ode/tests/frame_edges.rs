@@ -132,6 +132,7 @@ fn records_from_iterates_across_segment_rotation() {
     let cfg = WalConfig {
         segment_bytes: 128,
         fsync: FsyncPolicy::Always,
+        archive: false,
     };
     let (wal, _) = DiskWal::open(&dir, cfg, std_io()).unwrap();
     let ops: Vec<LogOp> = (0..12)

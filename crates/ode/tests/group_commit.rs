@@ -78,6 +78,7 @@ fn concurrent_commits_batch_fsyncs_and_match_serial_firings() {
             max_batch: THREADS,
             max_delay: Duration::from_millis(2),
         },
+        archive: false,
     };
     let (wal, recovery) = DiskWal::open(&dir, cfg, SharedIo::new(StdIo::new())).unwrap();
     assert!(recovery.is_empty());

@@ -21,6 +21,7 @@ fn cfg() -> WalConfig {
     WalConfig {
         segment_bytes: 512,
         fsync: FsyncPolicy::OnCommit,
+        archive: false,
     }
 }
 

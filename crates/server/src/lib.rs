@@ -34,5 +34,5 @@ pub use protocol::{
     WireStats,
 };
 pub use repl::{ReplSource, StreamFault};
-pub use server::{Server, ServerBuilder, ServerConfig};
+pub use server::{load_schema, Server, ServerBuilder, ServerConfig};
 pub use spec::{ActionSpec, ClassSpec, FieldSpec, MaskFnSpec, MethodOp, MethodSpec, TriggerSpec};

@@ -269,6 +269,25 @@ pub enum ServerMsg {
         /// rejected (`stale_epoch`) before it touches the engine.
         epoch: u64,
     },
+    /// A compressed archive of WAL records, shipped during replica
+    /// catch-up when the requested `from_lsn` predates the primary's
+    /// live log but the archive chain still covers it. Cheaper than a
+    /// snapshot bootstrap: the replica replays records instead of
+    /// discarding its state.
+    ReplArchive {
+        /// Which shard stream the archived records belong to.
+        shard: u64,
+        /// The LSN of the archive's first record.
+        base_lsn: u64,
+        /// Records in the archive (the replica verifies the decoded
+        /// count against this).
+        records: u64,
+        /// The archive file bytes (CRC-framed, LZ-compressed), hex
+        /// encoded like [`ServerMsg::ReplOp`] frames.
+        data: String,
+        /// The shipper's epoch at ship time.
+        epoch: u64,
+    },
     /// A class defined on the primary mid-stream.
     ReplSchema(ClassSpec),
     /// Periodic head report so an idle replica still tracks lag and
@@ -334,8 +353,14 @@ pub enum Reply {
         /// snapshot bootstraps.
         swept_segments: u64,
         /// How long the snapshot + checkpoint held the engine lock —
-        /// every session stalls for this long.
+        /// every session stalls for this long. The retention sweep runs
+        /// *after* the locks drop, so its cost shows up in `sweep_ms`,
+        /// not here.
         stall_ms: u64,
+        /// How long the post-checkpoint sweep took after the engine
+        /// locks were released (file deletion in plain mode; a queue
+        /// hand-off to the archiver thread in `--wal-archive` mode).
+        sweep_ms: u64,
     },
     /// Answer to [`Command::Replicate`]: the stream is established.
     /// (The stream's first messages may already be queued before this
@@ -550,6 +575,22 @@ pub struct WireStats {
     /// stale epoch — nonzero means a deposed primary (or its subtree)
     /// tried to ship or rejoin with forked history.
     pub stale_epoch_rejections: u64,
+    /// Wall-clock milliseconds startup recovery spent replaying the
+    /// WAL (all shards; `0` without a WAL).
+    pub recovery_ms: u64,
+    /// Segment files replayed by startup recovery, summed across
+    /// shards.
+    pub segments_replayed: u64,
+    /// Segments made archive-durable (and unlinked) since startup,
+    /// summed across shards (`0` unless `--wal-archive`).
+    pub archive_segments: u64,
+    /// Compressed bytes written to the archive since startup, summed
+    /// across shards.
+    pub archive_bytes: u64,
+    /// Segments swept by a checkpoint but not yet durable in the
+    /// archive — the archiver's backlog. Persistently nonzero means
+    /// the archiver can't keep up with checkpoint cadence.
+    pub archive_lag_segments: u64,
 }
 
 /// A trigger firing as streamed to subscribers — the wire image of

@@ -59,6 +59,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ode_db::durability::archive::decode_archive_bytes;
 use ode_db::durability::frame;
 use ode_db::replication::{Applier, ApplyError};
 use ode_db::{Database, LogOp, Snapshot};
@@ -625,7 +626,100 @@ fn handle_msg(
             }
             Flow::Continue
         }
+        ServerMsg::ReplArchive {
+            shard,
+            base_lsn,
+            records,
+            data,
+            epoch,
+        } => {
+            rs.note_contact();
+            let s = shard as usize;
+            if s >= appliers.len() {
+                return Flow::Fatal;
+            }
+            if epoch < inner.epochs.history_epoch() {
+                inner
+                    .epochs
+                    .stale_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Flow::Resync;
+            }
+            let Some(bytes) = hex_decode(&data) else {
+                return Flow::Resync;
+            };
+            // Full end-to-end validation before anything touches the
+            // engine: archive frame CRCs, decompression, the recorded
+            // raw length/CRC, and the record count must all line up,
+            // or the link resyncs (the retransmit re-negotiates).
+            let Ok(seg) = decode_archive_bytes(&bytes) else {
+                return Flow::Resync;
+            };
+            if seg.meta.base_lsn != base_lsn || seg.meta.records != records {
+                return Flow::Resync;
+            }
+            for (i, payload) in seg.records.iter().enumerate() {
+                let lsn = base_lsn + i as u64;
+                let Ok(text) = std::str::from_utf8(payload) else {
+                    return Flow::Fatal;
+                };
+                let Ok(op) = LogOp::from_json_line(text) else {
+                    return Flow::Fatal;
+                };
+                match apply_replayed(inner, rs, appliers, s, shard, lsn, &op) {
+                    Flow::Continue => {}
+                    other => return other,
+                }
+            }
+            Flow::Continue
+        }
     }
+}
+
+/// Apply one record replayed out of a shipped archive — the same tail
+/// as a live `ReplOp`: duplicate LSNs skip, a gap resyncs, and a fresh
+/// epoch bump is re-appended to the local log (the engine no-ops it,
+/// so the log sink never would) and recorded in the epoch table.
+fn apply_replayed(
+    inner: &Arc<Shared>,
+    rs: &ReplicaState,
+    appliers: &mut [Applier],
+    s: usize,
+    shard: u64,
+    lsn: u64,
+    op: &LogOp,
+) -> Flow {
+    if let LogOp::EpochBump { epoch: bump } = op {
+        if *bump > inner.epochs.history_epoch() && lsn < appliers[s].next_lsn() {
+            inner
+                .epochs
+                .stale_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return reset_shard(inner, rs, appliers, s);
+        }
+    }
+    let applier = &mut appliers[s];
+    let fresh = lsn == applier.next_lsn();
+    match inner.db.shard(s).with(|db| applier.apply(db, lsn, op)) {
+        Ok(_) => {}
+        Err(ApplyError::Gap { .. }) => return Flow::Resync,
+        Err(_) => return Flow::Fatal,
+    }
+    rs.applied[s].store(applier.next_lsn(), Ordering::SeqCst);
+    if fresh {
+        if let LogOp::EpochBump { epoch: bump } = op {
+            if let Some(ws) = &inner.wal {
+                match ws.wal.wal(s).append(op) {
+                    Ok(got) if got == lsn => {}
+                    _ => return Flow::Fatal,
+                }
+            }
+            if inner.epochs.note_start(*bump, shard, lsn).is_err() {
+                return Flow::Fatal;
+            }
+        }
+    }
+    Flow::Continue
 }
 
 /// Fork healing: discard shard `s`'s entire local history — engine,

@@ -62,14 +62,17 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ode_core::{Qualifier, Value};
+use ode_db::durability::archive::{
+    archive_dir, list_archives, read_archive_bytes, read_archive_meta,
+};
 use ode_db::durability::frame;
 use ode_db::engine::{EventTap, FiringSink, LogSink};
 use ode_db::replication::Applier;
 use ode_db::{
-    shard_dir, shard_of, to_global, to_local, ArgPred, Batch, CmpOp, Database, DurableRecord,
-    EpochRecord, EpochTable, FiringNotice, HistConfig, HistQuery, HistStore, LogOp, ObjectId,
-    SegmentReader, ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot, StdIo,
-    TapEvent, TxnId, WalConfig, WalFlusher,
+    shard_dir, shard_of, to_global, to_local, ArchiveStats, ArgPred, Batch, CmpOp, Database,
+    DurableRecord, EpochRecord, EpochTable, FiringNotice, HistConfig, HistQuery, HistStore, LogOp,
+    ObjectId, SegmentReader, ShardedDatabase, ShardedWal, SharedDatabase, SharedIo, Snapshot,
+    StdIo, TapEvent, TxnId, WalArchiver, WalConfig, WalFlusher,
 };
 use parking_lot::Mutex;
 
@@ -151,6 +154,11 @@ pub(crate) struct WalState {
     /// maps are per shard because a handshake registers with each shard
     /// stream only after scanning *that* shard's history.
     pub(crate) repl_subs: Vec<Subscribers>,
+    /// Wall-clock milliseconds startup recovery spent replaying the
+    /// WAL (the slowest shard — shards recover in parallel).
+    pub(crate) recovery_ms: u64,
+    /// Segment files replayed by startup recovery, all shards.
+    pub(crate) segments_replayed: u64,
 }
 
 /// The node's primary-election epoch state: the durable
@@ -399,6 +407,18 @@ impl ServerBuilder {
         self
     }
 
+    /// Archive swept WAL segments (compressed, CRC-framed, under each
+    /// shard directory's `archive/`) instead of deleting them at
+    /// checkpoint. A dedicated archiver thread per shard does the
+    /// compression; a segment is only unlinked once its archive is
+    /// fsync-durable. Enables point-in-time restore and archive-based
+    /// replica catch-up. Only meaningful together with
+    /// [`ServerBuilder::wal_dir`].
+    pub fn wal_archive(mut self, on: bool) -> Self {
+        self.wal_config.archive = on;
+        self
+    }
+
     /// Override the WAL's I/O layer (fault injection in tests). Only
     /// meaningful together with [`ServerBuilder::wal_dir`].
     pub fn wal_io(mut self, io: SharedIo) -> Self {
@@ -513,6 +533,19 @@ impl ServerBuilder {
                     ShardedWal::open_per_shard(dir, self.wal_config, ios)
                 };
                 let (wal, recovery) = open.map_err(|e| std::io::Error::other(e.to_string()))?;
+                // Shards recover in parallel, so the user-visible
+                // recovery time is the slowest shard's, not the sum.
+                let recovery_ms = recovery
+                    .shards
+                    .iter()
+                    .map(|r| r.report.total_us / 1_000)
+                    .max()
+                    .unwrap_or(0);
+                let segments_replayed = recovery
+                    .shards
+                    .iter()
+                    .map(|r| r.report.segments.len() as u64)
+                    .sum();
                 // Load the epoch table and heal the promote crash
                 // window: a bump that reached a shard WAL but not the
                 // table (crash between the two appends) is merged back
@@ -623,6 +656,8 @@ impl ServerBuilder {
                     repl_subs: (0..n)
                         .map(|_| Arc::new(Mutex::new(HashMap::new())))
                         .collect(),
+                    recovery_ms,
+                    segments_replayed,
                 }))
             }
         };
@@ -639,6 +674,7 @@ impl ServerBuilder {
 
         let mut log_sinks: Vec<LogSink> = Vec::new();
         let mut wal_flushers = Vec::new();
+        let mut wal_archivers = Vec::new();
         if let Some(ws) = &wal {
             for (s, shard_cur) in cur_lsns.iter().enumerate() {
                 // Shipping happens in each shard's durable sink:
@@ -707,6 +743,7 @@ impl ServerBuilder {
                 db.shard(s).set_log_sink(Some(sink));
             }
             wal_flushers = ws.wal.start_flushers();
+            wal_archivers = ws.wal.start_archivers();
         }
 
         let subscriber_drops = Arc::new(AtomicU64::new(0));
@@ -809,6 +846,7 @@ impl ServerBuilder {
             reactor,
             repl_thread,
             wal_flushers,
+            wal_archivers,
             tcp_addr,
             unix_path,
             stopped: false,
@@ -823,6 +861,7 @@ pub struct Server {
     reactor: Option<ReactorHandle>,
     repl_thread: Option<JoinHandle<()>>,
     wal_flushers: Vec<WalFlusher>,
+    wal_archivers: Vec<WalArchiver>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     stopped: bool,
@@ -922,6 +961,12 @@ impl Server {
             for w in ws.wal.wals() {
                 w.set_durable_sink(None);
             }
+        }
+        // Archivers stop last (after the final sync): their stop does a
+        // final drain, so segments retired by a late checkpoint still
+        // reach the archive before the process exits.
+        for a in self.wal_archivers.drain(..) {
+            a.stop();
         }
         if let Some(p) = &self.unix_path {
             let _ = std::fs::remove_file(p);
@@ -1176,7 +1221,9 @@ fn mutates(cmd: &Command) -> bool {
 /// Read the framed `ClassSpec` records from `schema.wal`. A missing
 /// file means no wire-defined classes; a torn trailing record (crash
 /// between define and append) is truncated away like an op-log tail.
-pub(crate) fn load_schema(io: &SharedIo, path: &Path) -> Result<Vec<ClassSpec>, String> {
+/// Public so out-of-process restore tools (`ode_server --wal-restore`)
+/// can rebuild the class table before replaying restored ops.
+pub fn load_schema(io: &SharedIo, path: &Path) -> Result<Vec<ClassSpec>, String> {
     let bytes = match io.with(|io| io.read(path)) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -1206,6 +1253,49 @@ pub(crate) fn append_schema(io: &SharedIo, path: &Path, spec: &ClassSpec) -> Res
         io.fsync(path)
     })
     .map_err(|e| e.to_string())
+}
+
+/// Build the `ReplArchive` messages that carry a shard's compressed
+/// archive chain from `from_lsn` up to (at least) `upto` — replica
+/// catch-up without a snapshot bootstrap. Returns `None` when the chain
+/// has a gap, an unreadable file, or simply doesn't reach `upto`; the
+/// caller then falls back to the snapshot. Best-effort by design: an
+/// archiver that is mid-drain or disabled must never fail a handshake.
+fn archive_catchup(
+    io: &SharedIo,
+    dir: &Path,
+    shard: u64,
+    from_lsn: u64,
+    upto: u64,
+    epoch: u64,
+) -> Option<Vec<ServerMsg>> {
+    let entries = list_archives(io, dir).ok()?;
+    let adir = archive_dir(dir);
+    let mut msgs = Vec::new();
+    let mut cov = from_lsn;
+    for (_, _, _, name) in entries {
+        if cov >= upto {
+            break;
+        }
+        let meta = read_archive_meta(io, &adir.join(&name)).ok()?;
+        let end = meta.base_lsn + meta.records;
+        if end <= cov {
+            continue; // wholly before the replica's cursor
+        }
+        if meta.base_lsn > cov {
+            return None; // gap: chain doesn't reach back to the cursor
+        }
+        let bytes = read_archive_bytes(io, dir, &name).ok()?;
+        msgs.push(ServerMsg::ReplArchive {
+            shard,
+            base_lsn: meta.base_lsn,
+            records: meta.records,
+            data: hex_encode(&bytes),
+            epoch,
+        });
+        cov = end;
+    }
+    (cov >= upto).then_some(msgs)
 }
 
 fn no_txn() -> WireError {
@@ -1553,24 +1643,37 @@ fn execute(
                             .map_err(|e| WireError::new("history", e.to_string()))?;
                     }
                 }
-                let report = ws.wal.wal(s).checkpoint(&snap).map_err(|e| WireError {
-                    code: "wal".to_string(),
-                    message: e.to_string(),
-                    retryable: true,
-                })?;
+                // The deferred form only *installs* the checkpoint and
+                // queues the superseded generation; deletion (or the
+                // archiver hand-off) runs below, after the engine locks
+                // drop, so the stall figure is pure snapshot+install.
+                let report = ws
+                    .wal
+                    .wal(s)
+                    .checkpoint_deferred(&snap)
+                    .map_err(|e| WireError {
+                        code: "wal".to_string(),
+                        message: e.to_string(),
+                        retryable: true,
+                    })?;
                 lsn_max = lsn_max.max(report.lsn);
                 swept += report.swept_segments;
             }
             drop(guards);
             let stall = started.elapsed();
+            let sweep_started = Instant::now();
+            ws.wal.finish_sweep_all();
+            let sweep = sweep_started.elapsed();
             eprintln!(
-                "checkpoint: lsn {} in {:?} (engine stalled), swept {} segment file(s)",
-                lsn_max, stall, swept
+                "checkpoint: lsn {} in {:?} (engine stalled), retired {} segment file(s), \
+                 sweep {:?} off-stall",
+                lsn_max, stall, swept, sweep
             );
             Ok(Reply::Checkpointed {
                 lsn: lsn_max,
                 swept_segments: swept,
                 stall_ms: stall.as_millis() as u64,
+                sweep_ms: sweep.as_millis() as u64,
             })
         }
         Command::Stats => {
@@ -1597,8 +1700,13 @@ fn execute(
             // per-shard sequences, so the sums are record counts).
             let (mut read_only, mut wal_lsn, mut durable_lsn) = (false, None, None);
             let (mut fsyncs_total, mut batches, mut max_batch) = (0, 0, 0);
+            let (mut recovery_ms, mut segments_replayed) = (0, 0);
+            let mut archive = ArchiveStats::default();
             if let Some(ws) = &inner.wal {
                 read_only = ws.read_only.load(Ordering::SeqCst);
+                recovery_ms = ws.recovery_ms;
+                segments_replayed = ws.segments_replayed;
+                archive = ws.wal.archive_stats();
                 let mut lsn_sum = 0;
                 let mut durable_sum = 0;
                 for w in ws.wal.wals() {
@@ -1689,6 +1797,11 @@ fn execute(
                 deposed: inner.epochs.is_deposed(),
                 repl_heartbeat_age_ms: heartbeat_age,
                 stale_epoch_rejections: inner.epochs.stale_rejections.load(Ordering::Relaxed),
+                recovery_ms,
+                segments_replayed,
+                archive_segments: archive.segments_archived,
+                archive_bytes: archive.bytes_archived,
+                archive_lag_segments: archive.lag_segments,
             })))
         }
         Command::Subscribe => {
@@ -1818,22 +1931,46 @@ fn execute(
                             let schema = load_schema(&ws.io, &ws.schema_path).map_err(|msg| {
                                 WireError::new("wal", format!("schema scan failed: {msg}"))
                             })?;
+                            let mut archive_msgs: Vec<ServerMsg> = Vec::new();
                             let (start_lsn, snapshot) = if from_lsn < scan.base_lsn {
-                                // The log before the checkpoint is
-                                // gone; bootstrap this shard from the
-                                // checkpoint snapshot instead.
-                                let bytes = scan.checkpoint.clone().ok_or_else(|| {
-                                    WireError::new(
+                                // The live log before the checkpoint is
+                                // gone. Prefer archive catch-up: when
+                                // the compressed archive chain still
+                                // covers [from_lsn, base), ship those
+                                // archives and let the replica *replay*
+                                // instead of discarding its state for a
+                                // snapshot bootstrap.
+                                match archive_catchup(
+                                    &ws.io,
+                                    &dir,
+                                    s as u64,
+                                    from_lsn,
+                                    scan.base_lsn,
+                                    my_epoch,
+                                ) {
+                                    Some(msgs) => {
+                                        archive_msgs = msgs;
+                                        (from_lsn, None)
+                                    }
+                                    None => {
+                                        let bytes =
+                                            scan.checkpoint.clone().ok_or_else(|| {
+                                                WireError::new(
                                         "wal",
                                         format!(
                                     "shard {s} log starts past the requested lsn with no checkpoint"
                                 ),
                                     )
-                                })?;
-                                let json = String::from_utf8(bytes).map_err(|e| {
-                                    WireError::new("wal", format!("checkpoint not utf-8: {e}"))
-                                })?;
-                                (scan.base_lsn, Some(json))
+                                            })?;
+                                        let json = String::from_utf8(bytes).map_err(|e| {
+                                            WireError::new(
+                                                "wal",
+                                                format!("checkpoint not utf-8: {e}"),
+                                            )
+                                        })?;
+                                        (scan.base_lsn, Some(json))
+                                    }
+                                }
                             } else {
                                 (from_lsn, None)
                             };
@@ -1845,6 +1982,9 @@ fn execute(
                                 epoch: my_epoch,
                                 fence_lsn: None,
                             });
+                            for m in archive_msgs {
+                                let _ = tx.send(m);
+                            }
                             for (lsn, payload) in scan.records_from(start_lsn) {
                                 let _ = tx.send(ServerMsg::ReplOp {
                                     shard: s as u64,

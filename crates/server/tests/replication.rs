@@ -33,6 +33,7 @@ fn cfg() -> WalConfig {
     WalConfig {
         segment_bytes: 512,
         fsync: FsyncPolicy::Always,
+        archive: false,
     }
 }
 

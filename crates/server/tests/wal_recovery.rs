@@ -29,6 +29,7 @@ fn small_cfg() -> WalConfig {
     WalConfig {
         segment_bytes: 512,
         fsync: FsyncPolicy::Always,
+        archive: false,
     }
 }
 

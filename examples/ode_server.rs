@@ -40,9 +40,20 @@
 //! `--seconds N` the server shuts down gracefully after N seconds
 //! (every session's open transaction is aborted and all threads are
 //! joined); otherwise it runs until the process is killed.
+//!
+//! WAL lifecycle flags (both require `--wal-dir`): with
+//! `--wal-archive` a background archiver thread compresses every
+//! checkpoint-swept segment into `DIR/archive/` before it is unlinked,
+//! so the full committed history stays restorable. With
+//! `--wal-restore LSN` the server does not start at all: it rebuilds
+//! the database as of exactly `LSN` committed ops — from the
+//! checkpoint + archive chain + live segments — prints a state
+//! fingerprint, and exits (a point-in-time inspection tool).
 
+use ode_db::durability::{frame, restore_to_lsn, SharedIo, StdIo};
 use ode_db::{Database, FsyncPolicy, SharedDatabase, WalConfig};
-use ode_server::{ReplSource, Server};
+use ode_server::{load_schema, spec::compile_class, ReplSource, Server};
+use std::path::Path;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -55,6 +66,8 @@ fn main() {
     let mut shards: usize = 1;
     let mut history = false;
     let mut max_conns: Option<u64> = None;
+    let mut wal_archive = false;
+    let mut wal_restore: Option<u64> = None;
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag value");
         match flag.as_str() {
@@ -68,6 +81,10 @@ fn main() {
             // are re-parenting fallbacks.
             "--replicate-from" => replicate_from.extend(value().split(',').map(ReplSource::parse)),
             "--history" => history = true,
+            "--wal-archive" => wal_archive = true,
+            "--wal-restore" => {
+                wal_restore = Some(value().parse().expect("numeric --wal-restore LSN"));
+            }
             "--max-conns" => {
                 let n = value().parse().expect("numeric --max-conns");
                 if n == 0 {
@@ -95,7 +112,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; use --tcp ADDR, --unix PATH, --seconds N, \
-                     --wal-dir DIR, --history, --replicate-from SRC[,FALLBACK...], --shards N, \
+                     --wal-dir DIR, --history, --wal-archive, --wal-restore LSN, \
+                     --replicate-from SRC[,FALLBACK...], --shards N, \
                      --max-conns N, --fsync always|commit|group|group:BATCH:DELAYMS|never|N"
                 );
                 std::process::exit(2);
@@ -104,6 +122,63 @@ fn main() {
     }
     if tcp.is_none() && unix.is_none() {
         tcp = Some("127.0.0.1:7878".to_string());
+    }
+
+    // Point-in-time restore is a one-shot: rebuild the database as of
+    // exactly `target` committed ops, print a fingerprint, and exit —
+    // no sockets, no flushers, no archiver.
+    if let Some(target) = wal_restore {
+        let Some(dir) = &wal_dir else {
+            eprintln!("--wal-restore requires --wal-dir");
+            std::process::exit(2);
+        };
+        if shards != 1 {
+            eprintln!("--wal-restore operates on one shard directory; use --shards 1");
+            std::process::exit(2);
+        }
+        let io = SharedIo::new(StdIo::new());
+        let dir = Path::new(dir);
+        let rec = match restore_to_lsn(dir, &io, target) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("restore to LSN {target} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut db = Database::new();
+        let specs = load_schema(&io, &dir.join("schema.wal")).unwrap_or_else(|e| {
+            eprintln!("restore: {e}");
+            std::process::exit(1);
+        });
+        let build = (|| -> Result<(), String> {
+            for spec in &specs {
+                let def = compile_class(spec).map_err(|e| e.to_string())?;
+                db.define_class(def).map_err(|e| e.to_string())?;
+            }
+            rec.restore_into(&mut db).map_err(|e| e.to_string())
+        })();
+        if let Err(e) = build {
+            eprintln!("restore replay failed: {e}");
+            std::process::exit(1);
+        }
+        db.take_output();
+        let fingerprint = db
+            .snapshot()
+            .and_then(|s| s.to_json())
+            .map(|j| frame::crc32(j.as_bytes()))
+            .unwrap_or_else(|e| {
+                eprintln!("restore snapshot failed: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "ode-server restored {} to LSN {target}: checkpoint base {}, {} ops replayed \
+             from {} source segments, state crc32 {fingerprint:08x}",
+            dir.display(),
+            rec.base_lsn,
+            rec.ops.len(),
+            rec.segments,
+        );
+        return;
     }
 
     let db = SharedDatabase::new(Database::new());
@@ -120,8 +195,12 @@ fn main() {
     if let Some(dir) = &wal_dir {
         builder = builder.wal_dir(dir).wal_config(WalConfig {
             fsync,
+            archive: wal_archive,
             ..WalConfig::default()
         });
+    } else if wal_archive {
+        eprintln!("--wal-archive requires --wal-dir");
+        std::process::exit(2);
     }
     if history {
         if wal_dir.is_none() {
@@ -144,6 +223,9 @@ fn main() {
     }
     if history {
         println!("ode-server indexing committed events (Query / replay_history enabled)");
+    }
+    if wal_archive {
+        println!("ode-server archiving swept WAL segments (point-in-time restore enabled)");
     }
     if replica {
         println!("ode-server running as a read replica (Promote to take writes)");
